@@ -1,0 +1,62 @@
+"""Ablation — checkpoint strategies beyond the paper's evaluation.
+
+The paper's §VI names proactive and multi-level/hierarchical checkpointing
+as future work and claims the data-logging framework "can easily adapt"
+to them (§III-A.1). This bench substantiates that: both extensions run on
+the unchanged logging/replay machinery and improve on plain uncoordinated
+C/R — proactive by shrinking lost work (perfect predictor bound),
+multi-level by making most checkpoints node-local.
+"""
+
+from repro.analysis import banner, format_table
+from repro.perfsim import PRODUCER, SimFailure, simulate, table2_config
+
+from benchmarks.conftest import emit
+
+FAILURE_STEPS = (10, 18, 26, 34)
+
+
+def run_ablation():
+    cfg = table2_config()
+    out = {}
+    for scheme in ("uncoordinated", "proactive", "multilevel"):
+        clean = simulate(cfg, scheme).total_time
+        with_failures = []
+        for step in FAILURE_STEPS:
+            r = simulate(cfg, scheme, failures=[SimFailure(PRODUCER, step)])
+            with_failures.append(r.total_time)
+        out[scheme] = (clean, sum(with_failures) / len(with_failures))
+    # Node-failure variant for multi-level.
+    node = [
+        simulate(
+            cfg, "multilevel", failures=[SimFailure(PRODUCER, s, kind="node")]
+        ).total_time
+        for s in FAILURE_STEPS
+    ]
+    out["multilevel+nodefail"] = (out["multilevel"][0], sum(node) / len(node))
+    return out
+
+
+def test_ablation_checkpoint_strategies(once):
+    results = once(run_ablation)
+    rows = [
+        [name, f"{clean:.1f}", f"{failed:.1f}", f"{failed - clean:.1f}"]
+        for name, (clean, failed) in results.items()
+    ]
+    text = banner("Ablation: checkpoint strategies (Table II, mean over 1-failure runs)") + "\n"
+    text += format_table(
+        ["scheme", "failure-free (s)", "with 1 failure (s)", "failure cost (s)"], rows
+    )
+    emit("ablation_checkpoint_strategies", text)
+
+    un_clean, un_failed = results["uncoordinated"]
+    pro_clean, pro_failed = results["proactive"]
+    ml_clean, ml_failed = results["multilevel"]
+    node_failed = results["multilevel+nodefail"][1]
+    # Proactive: same failure-free cost, much cheaper failures.
+    assert abs(pro_clean - un_clean) < 1.0
+    assert pro_failed < un_failed
+    # Multi-level: cheaper failure-free (node-local checkpoints).
+    assert ml_clean < un_clean
+    # Node failures cost more than process failures under multi-level.
+    assert node_failed >= ml_failed

@@ -1,0 +1,71 @@
+"""Ablation — staging-area data resilience: replication vs erasure coding.
+
+The paper delegates staging resilience to CoREC ("data staging can contain
+data resilience mechanism such as data replication or erasure coding").
+This bench measures the actual trade-off on our CoREC substrate: storage
+overhead and encode/recover throughput of 2x/3x replication, RS(4,2),
+RS(8,3), and the hybrid hot/cold policy. These are real pytest-benchmark
+micro-benchmarks over NumPy payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.corec import HybridPolicy, RSCode, ReplicationScheme
+
+from benchmarks.conftest import emit
+
+PAYLOAD = np.random.default_rng(7).standard_normal(1 << 18)  # 2 MiB float64
+
+
+def encode_rs(code: RSCode):
+    return code.encode(PAYLOAD.view(np.uint8))
+
+
+def recover_rs(code: RSCode, shards):
+    return code.decode(shards[code.m :], PAYLOAD.nbytes)
+
+
+@pytest.mark.parametrize("k,m", [(4, 2), (8, 3)])
+def test_rs_encode_throughput(benchmark, k, m):
+    code = RSCode(k, m)
+    shards = benchmark(encode_rs, code)
+    assert len(shards) == k + m
+
+
+@pytest.mark.parametrize("k,m", [(4, 2), (8, 3)])
+def test_rs_worstcase_decode_throughput(benchmark, k, m):
+    code = RSCode(k, m)
+    shards = encode_rs(code)
+    out = benchmark(recover_rs, code, shards)
+    assert out == PAYLOAD.view(np.uint8).tobytes()
+
+
+def test_resilience_storage_tradeoff(once):
+    def run():
+        rows = []
+        for name, overhead, tolerates in (
+            ("replication x2", ReplicationScheme(2).storage_overhead, 1),
+            ("replication x3", ReplicationScheme(3).storage_overhead, 2),
+            ("RS(4,2)", RSCode(4, 2).storage_overhead, 2),
+            ("RS(8,3)", RSCode(8, 3).storage_overhead, 3),
+        ):
+            rows.append([name, f"{overhead * 100:.0f}%", tolerates])
+        # Hybrid policy measured on a realistic version stream.
+        hp = HybridPolicy(hot_versions=1)
+        for v in range(8):
+            hp.protect("field", v, PAYLOAD)
+        rows.append(["CoREC hybrid (1 hot)", f"{hp.overhead() * 100:.0f}%", "1-2"])
+        return rows
+
+    rows = once(run)
+    text = banner("Ablation: staging resilience storage overhead vs failures tolerated") + "\n"
+    text += format_table(["mechanism", "storage overhead", "server losses tolerated"], rows)
+    emit("ablation_staging_resilience", text)
+
+    overheads = {r[0]: float(r[1].rstrip("%")) for r in rows}
+    # Erasure coding strictly cheaper than replication at equal tolerance.
+    assert overheads["RS(4,2)"] < overheads["replication x3"]
+    # The hybrid lands between pure RS and pure replication.
+    assert overheads["RS(4,2)"] < overheads["CoREC hybrid (1 hot)"] < overheads["replication x2"]

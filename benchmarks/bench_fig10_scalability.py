@@ -1,0 +1,88 @@
+"""Figure 10 — total workflow time under 1-3 failures at 704-11264 cores.
+
+The paper: "workflow-level uncoordinated checkpoint reduced the total
+execution time by up to 7.89 %, 10.48 %, 11.5 %, 12.03 %, and 13.48 % on
+704, 1408, 2816, 5632, and 11264 cores ... in comparison to global
+coordinated checkpoint."
+
+Failures are sampled per the paper's model (victim weighted by core count,
+step uniform); we average over seeds per (scale, failure-count) cell and
+report the 3-failure column against the paper's "up to" numbers.
+
+Known deviation (documented in EXPERIMENTS.md): the growth with scale is
+flatter here (~7.5 % -> ~10 %) than the paper's (7.89 % -> 13.48 %) because
+our weak-scaling model keeps per-step costs constant across scales; the
+scale-dependent penalty we do model (PFS storms for the coordinated
+scheme's staging-inclusive snapshots) reproduces the direction.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonRow, comparison_table, format_table
+from repro.analysis.paper import FIG10_MAX_IMPROVEMENT_PCT
+from repro.perfsim import TABLE3_SCALES, sample_failures, simulate, table3_config
+
+from benchmarks.conftest import emit
+
+SEEDS = range(6)
+FAILURE_COUNTS = (1, 2, 3)
+
+
+def run_fig10():
+    grid = {}
+    for scale in TABLE3_SCALES:
+        cfg = table3_config(scale)
+        for count in FAILURE_COUNTS:
+            gaps = []
+            co_total = un_total = 0.0
+            for seed in SEEDS:
+                failures = sample_failures(cfg, count, seed=seed)
+                co = simulate(cfg, "coordinated", failures=failures).total_time
+                un = simulate(cfg, "uncoordinated", failures=failures).total_time
+                gaps.append((co - un) / co * 100)
+                co_total += co
+                un_total += un
+            grid[(scale, count)] = (
+                sum(gaps) / len(gaps),
+                co_total / len(gaps),
+                un_total / len(gaps),
+            )
+    return grid
+
+
+def test_fig10_scalability(once):
+    grid = once(run_fig10)
+
+    rows = [
+        ComparisonRow(
+            f"{scale} cores, 3 failures",
+            FIG10_MAX_IMPROVEMENT_PCT[scale],
+            grid[(scale, 3)][0],
+        )
+        for scale in TABLE3_SCALES
+    ]
+    text = comparison_table(
+        "Fig 10: Un vs Co total-time reduction (mean over seeds)", rows
+    )
+    detail = []
+    for scale in TABLE3_SCALES:
+        detail.append(
+            [scale]
+            + [f"{grid[(scale, c)][0]:.2f}%" for c in FAILURE_COUNTS]
+            + [f"{grid[(scale, 3)][1]:.0f}s/{grid[(scale, 3)][2]:.0f}s"]
+        )
+    text += "\n" + format_table(
+        ["cores", "1f", "2f", "3f", "Co/Un total @3f"], detail
+    )
+    emit("fig10_scalability", text)
+
+    # Shape assertions.
+    for scale in TABLE3_SCALES:
+        gaps = [grid[(scale, c)][0] for c in FAILURE_COUNTS]
+        # Un always wins, and its advantage grows with the failure count.
+        assert all(g > 0 for g in gaps)
+        assert gaps[0] < gaps[-1]
+    # Advantage grows with scale (flatter than the paper; see module doc).
+    assert grid[(11264, 3)][0] > grid[(704, 3)][0]
+    # The smallest scale lands near the paper's 7.89 %.
+    assert grid[(704, 3)][0] == pytest.approx(FIG10_MAX_IMPROVEMENT_PCT[704], abs=2.5)

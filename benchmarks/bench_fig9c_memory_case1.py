@@ -1,0 +1,52 @@
+"""Figure 9(c) — staging memory usage, Case 1.
+
+The paper reports data/event logging increases staging memory usage by
++81/82/84/86/86 % over the original data staging for 20-100 % subsets.
+We compare the time-weighted mean staging memory of the logging run against
+the original-staging run at each subset.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonRow, comparison_table
+from repro.analysis.paper import FIG9C_MEMORY_OVERHEAD_PCT
+from repro.perfsim import simulate, table2_config
+from repro.util.units import GIB
+
+from benchmarks.conftest import emit
+
+SUBSETS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run_case1_memory():
+    out = {}
+    for frac in SUBSETS:
+        cfg = table2_config(subset_fraction=frac)
+        ds = simulate(cfg, "ds")
+        un = simulate(cfg, "uncoordinated")
+        out[int(frac * 100)] = (
+            (un.mean_memory / ds.mean_memory - 1.0) * 100.0,
+            ds.mean_memory,
+            un.mean_memory,
+        )
+    return out
+
+
+def test_fig9c_memory_overhead(once):
+    results = once(run_case1_memory)
+    rows = [
+        ComparisonRow(f"{pct}% subset", FIG9C_MEMORY_OVERHEAD_PCT[pct], results[pct][0])
+        for pct in sorted(results)
+    ]
+    text = comparison_table(
+        "Fig 9(c): staging memory increase of data/event logging (Case 1)", rows
+    )
+    text += "\n" + "\n".join(
+        f"  {pct}%: Ds mean {results[pct][1] / GIB:.2f} GiB -> logging "
+        f"{results[pct][2] / GIB:.2f} GiB"
+        for pct in sorted(results)
+    )
+    emit("fig9c_memory_case1", text)
+
+    for pct, paper_val in FIG9C_MEMORY_OVERHEAD_PCT.items():
+        assert results[pct][0] == pytest.approx(paper_val, abs=8.0)

@@ -1,0 +1,50 @@
+"""Figure 9(d) — staging memory usage vs checkpoint period, Case 2.
+
+"Since the less frequent checkpoint indicates the longer data/event queue
+size in staging area, the higher storage cost can be expected": the paper
+reports +76/79/84/89/97 % for checkpoint periods 2-6.
+
+Known deviation (documented in EXPERIMENTS.md): our retention window tracks
+the consumer's checkpoint period linearly, so the measured overhead grows
+more steeply than the paper's (+~32 % at period 2 to +~132 % at period 6),
+matching exactly at the Table II operating point (period 4, +84 %). The
+qualitative claim — monotonic growth with the period — holds.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonRow, comparison_table
+from repro.analysis.paper import FIG9D_MEMORY_OVERHEAD_PCT
+from repro.perfsim import simulate, table2_config
+
+from benchmarks.conftest import emit
+
+PERIODS = (2, 3, 4, 5, 6)
+
+
+def run_case2_memory():
+    out = {}
+    for period in PERIODS:
+        cfg = table2_config(checkpoint_period=period)
+        ds = simulate(cfg, "ds")
+        un = simulate(cfg, "uncoordinated")
+        out[period] = (un.mean_memory / ds.mean_memory - 1.0) * 100.0
+    return out
+
+
+def test_fig9d_memory_by_checkpoint_period(once):
+    results = once(run_case2_memory)
+    rows = [
+        ComparisonRow(f"period {p} ts", FIG9D_MEMORY_OVERHEAD_PCT[p], results[p])
+        for p in sorted(results)
+    ]
+    text = comparison_table(
+        "Fig 9(d): staging memory increase vs checkpoint period (Case 2)", rows
+    )
+    emit("fig9d_memory_case2", text)
+
+    # Monotonic growth with the checkpoint period (the paper's claim).
+    values = [results[p] for p in PERIODS]
+    assert values == sorted(values)
+    # Exact agreement at the paper's Table II operating point (period 4).
+    assert results[4] == pytest.approx(FIG9D_MEMORY_OVERHEAD_PCT[4], abs=8.0)

@@ -1,0 +1,103 @@
+"""Figure 9(e) — total workflow execution time with one failure.
+
+The paper's bars: Ds (failure-free) and Co/Un/Hy/In each with one injected
+failure, across checkpoint periods 2-6 (Case 2); Un/Hy reduce the total time
+by ~3.05-3.28 % vs Co and track In (the consistency-unsafe lower bound)
+almost exactly.
+
+The paper's Fig. 9(e) percentages correspond to a failure in the dominant
+component (the 256-core simulation, 80 % of application cores), so the
+headline comparison injects a simulation failure mid-run; a consumer-victim
+variant is also reported for completeness.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonRow, comparison_table, format_table
+from repro.analysis.paper import FIG9E_IMPROVEMENT_PCT
+from repro.perfsim import PRODUCER, CONSUMER, SimFailure, simulate, table2_config
+
+from benchmarks.conftest import emit
+
+PERIODS = (2, 3, 4, 5, 6)
+SCHEMES = ("coordinated", "uncoordinated", "hybrid", "individual")
+
+
+FAILURE_STEPS = (9, 13, 17, 21)
+
+
+def run_fig9e():
+    out = {}
+    for period in PERIODS:
+        cfg = table2_config(checkpoint_period=period)
+        times = {"ds": simulate(cfg, "ds").total_time}
+        for scheme in SCHEMES:
+            # Average over failure placements to smooth the lost-work jitter
+            # (the paper reports one random placement per bar).
+            totals = [
+                simulate(cfg, scheme, failures=[SimFailure(PRODUCER, s)]).total_time
+                for s in FAILURE_STEPS
+            ]
+            times[scheme] = sum(totals) / len(totals)
+        out[period] = times
+    # Consumer-victim variant at the Table II period.
+    cfg = table2_config()
+    ana_failure = [SimFailure(CONSUMER, 17)]
+    out["consumer_victim"] = {
+        scheme: simulate(cfg, scheme, failures=ana_failure).total_time
+        for scheme in SCHEMES
+    }
+    return out
+
+
+def improvement(times):
+    return (times["coordinated"] - times["uncoordinated"]) / times["coordinated"] * 100
+
+
+def test_fig9e_total_workflow_time(once):
+    results = once(run_fig9e)
+
+    rows = [
+        ComparisonRow(f"period {p} ts", FIG9E_IMPROVEMENT_PCT[p], improvement(results[p]))
+        for p in PERIODS
+    ]
+    text = comparison_table(
+        "Fig 9(e): Un vs Co total-time reduction, one simulation failure", rows
+    )
+    table_rows = []
+    for p in PERIODS:
+        t = results[p]
+        table_rows.append(
+            [f"{p} ts"]
+            + [f"{t[k]:.1f}" for k in ("ds", "coordinated", "uncoordinated", "hybrid", "individual")]
+        )
+    text += "\n" + format_table(
+        ["period", "Ds", "Co+1f", "Un+1f", "Hy+1f", "In+1f"], table_rows
+    )
+    cons = results["consumer_victim"]
+    text += (
+        f"\nconsumer-victim variant: Co {cons['coordinated']:.1f} s vs "
+        f"Un {cons['uncoordinated']:.1f} s "
+        f"({(cons['coordinated'] - cons['uncoordinated']) / cons['coordinated'] * 100:.1f} % faster; "
+        f"replication failover in Hy: {cons['hybrid']:.1f} s)"
+    )
+    emit("fig9e_total_time", text)
+
+    for p in PERIODS:
+        t = results[p]
+        # Ordering: failure-free Ds fastest; Co slowest; Un ~ Hy ~ In.
+        assert t["ds"] < t["uncoordinated"] < t["coordinated"]
+        assert t["hybrid"] < t["coordinated"]
+        assert t["individual"] < t["coordinated"]
+        # Improvement stays in the single-digit band around the paper's
+        # ~3.0-3.3 %. Our per-period profile tilts (coordinated barrier
+        # drain scales with checkpoint frequency; the paper's curve is
+        # flat) — see EXPERIMENTS.md — so the band is asserted per period
+        # and the exact value only at the Table II operating point.
+        assert 1.0 < improvement(t) < 8.0
+    assert improvement(results[4]) == pytest.approx(FIG9E_IMPROVEMENT_PCT[4], abs=2.0)
+    mean_improvement = sum(improvement(results[p]) for p in PERIODS) / len(PERIODS)
+    paper_mean = sum(FIG9E_IMPROVEMENT_PCT.values()) / len(FIG9E_IMPROVEMENT_PCT)
+    assert mean_improvement == pytest.approx(paper_mean, abs=2.0)
+    # Consumer failures: replication (Hy) recovers fastest of all.
+    assert cons["hybrid"] <= min(cons["uncoordinated"], cons["coordinated"])

@@ -1,0 +1,36 @@
+"""Table II — experimental setup for the synthetic test cases.
+
+Regenerates the paper's Table II from the library's configuration objects
+and checks every row against the published values.
+"""
+
+from repro.analysis import banner, format_table
+from repro.analysis.paper import TABLE2_SETUP
+from repro.perfsim import TABLE2
+from repro.util.units import GIB
+
+from benchmarks.conftest import emit
+
+
+def build_rows():
+    cfg = TABLE2
+    return [
+        ["Total No. of cores", TABLE2_SETUP["total_cores"], cfg.total_cores],
+        ["No. of simulation cores", TABLE2_SETUP["sim_cores"], cfg.sim_cores],
+        ["No. of staging cores", TABLE2_SETUP["staging_cores"], cfg.staging_cores],
+        ["No. of analytic cores", TABLE2_SETUP["analytic_cores"], cfg.analytic_cores],
+        ["Volume size", "512x512x256", "x".join(map(str, cfg.domain_shape))],
+        ["Data size (40 ts, GiB)", TABLE2_SETUP["data_40ts_gib"], round(cfg.bytes_per_step * 40 / GIB)],
+        ["Coordinated ckpt period (ts)", TABLE2_SETUP["coordinated_period"], cfg.coordinated_checkpoint_period],
+        ["Simulation ckpt period (ts)", TABLE2_SETUP["sim_period"], cfg.sim_checkpoint_period],
+        ["Analytic ckpt period (ts)", TABLE2_SETUP["analytic_period"], cfg.analytic_checkpoint_period],
+    ]
+
+
+def test_table2_setup(once):
+    rows = once(build_rows)
+    text = banner("Table II: synthetic test case setup (paper vs library)") + "\n"
+    text += format_table(["parameter", "paper", "library"], rows)
+    emit("table2_setup", text)
+    for _, paper_val, ours in rows:
+        assert str(paper_val) == str(ours)

@@ -1,0 +1,48 @@
+"""Table III — scalability test configuration (704 to 11264 cores).
+
+Regenerates the paper's Table III rows from :func:`table3_config` and checks
+core splits, data volumes, checkpoint periods and the MTBF/failure mapping.
+"""
+
+from repro.analysis import banner, format_table
+from repro.analysis.paper import TABLE3_SETUP
+from repro.perfsim import TABLE3_MTBF, TABLE3_SCALES, table3_config
+from repro.util.units import GIB
+
+from benchmarks.conftest import emit
+
+
+def build_rows():
+    rows = []
+    for scale in TABLE3_SCALES:
+        cfg = table3_config(scale)
+        paper = TABLE3_SETUP[scale]
+        rows.append(
+            [
+                scale,
+                f"{paper['sim']}/{cfg.sim_cores}",
+                f"{paper['staging']}/{cfg.staging_cores}",
+                f"{paper['analytic']}/{cfg.analytic_cores}",
+                f"{paper['data_gib']}/{round(cfg.bytes_per_step * 40 / GIB)}",
+                f"{8}/{cfg.sim_checkpoint_period}",
+                f"{10}/{cfg.analytic_checkpoint_period}",
+            ]
+        )
+    return rows
+
+
+def test_table3_setup(once):
+    rows = once(build_rows)
+    text = banner("Table III: scalability setup, paper/library per cell") + "\n"
+    text += format_table(
+        ["cores", "sim", "staging", "analytic", "GiB/40ts", "sim ckpt", "ana ckpt"],
+        rows,
+    )
+    text += "\nMTBF mapping (s -> failures): " + ", ".join(
+        f"{int(mtbf)}s -> {n}f" for n, mtbf in sorted(TABLE3_MTBF.items())
+    )
+    emit("table3_setup", text)
+    for row in rows:
+        for cell in row[1:]:
+            paper_val, ours = str(cell).split("/")
+            assert paper_val == ours

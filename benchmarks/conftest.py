@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints a
+paper-vs-measured comparison, and writes the same text into
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once under pytest-benchmark.
+
+    Simulated-Cori runs take seconds; default benchmark looping would
+    multiply that by hundreds. One round is both honest (DES is
+    deterministic) and fast.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: a coupled in-situ workflow surviving a crash, consistently.
+
+Builds the paper's two-component workflow (a simulation producing a field
+through data staging, an analytic consuming it), runs a failure-free
+reference, then re-runs with a fail-stop crash injected into the analytic
+under the paper's uncoordinated checkpoint/restart with data logging — and
+verifies the analytic observed *exactly* the same data both times.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FailurePlan, run_with_reference
+from repro.workloads import coupled_specs
+
+
+def main() -> None:
+    specs = coupled_specs(num_steps=12)
+    print("Components:")
+    for spec in specs:
+        print(
+            f"  {spec.name:<12} {spec.kind:<9} ranks={spec.nranks} "
+            f"checkpoint every {spec.checkpoint_period} steps"
+        )
+
+    print("\nRunning failure-free reference, then a run with a crash in the")
+    print("analytic at step 7 under the uncoordinated (logging) scheme ...")
+    reference, run = run_with_reference(
+        specs, "uncoordinated", failures=[FailurePlan("analytic", 7)]
+    )
+
+    stats = run.component_stats["analytic"]
+    print(f"\nFailures injected:   {run.failures_injected}")
+    print(f"Rollbacks performed: {stats.rollbacks}")
+    print(f"Reads replayed from the staging log: {stats.replayed_gets}")
+    print(f"Steps re-executed:   {stats.steps_reexecuted}")
+    print(f"Read-stable vs reference: {run.consistent}")
+
+    # The analytic's computed results are bitwise what the reference got.
+    assert run.final_states["analytic"]["results"] == (
+        reference.final_states["analytic"]["results"]
+    )
+    print("\nAnalytic results identical to the failure-free run. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""An S3D-like DNS + in-situ visualization workflow with crashes everywhere.
+
+The paper motivates its framework with the S3D turbulent-combustion
+workflow: a DNS solver streaming "dozens of 3D scalar and vector field
+components (fluid velocity, molecular species concentrations, temperature,
+pressure, density, etc)" through staging to analysis/visualization. This
+example couples ten such fields, crashes *both* components at different
+steps, and shows the uncoordinated scheme recovering each independently —
+the visualization replays its logged reads, the solver's redundant
+re-writes are suppressed — with bit-identical analysis output.
+
+Run:  python examples/s3d_coupled_workflow.py
+"""
+
+from repro import FailurePlan, run_with_reference
+from repro.workloads import s3d_field_set, s3d_specs
+
+
+def main() -> None:
+    pattern = s3d_field_set()
+    specs = s3d_specs(num_steps=8)
+    print(f"S3D field set ({len(pattern.variables)} coupled variables):")
+    for var in pattern.variables:
+        print(f"  {var:<20} every {pattern.frequencies[var]} step(s)")
+
+    failures = [FailurePlan("s3d-viz", 5), FailurePlan("s3d-dns", 6)]
+    print("\nInjecting fail-stop crashes: viz at step 5, DNS at step 6 ...")
+    reference, run = run_with_reference(specs, "uncoordinated", failures=failures)
+
+    dns = run.component_stats["s3d-dns"]
+    viz = run.component_stats["s3d-viz"]
+    print(f"\nDNS:  rollbacks={dns.rollbacks}  puts={dns.puts} "
+          f"(suppressed on replay: {dns.suppressed_puts})")
+    print(f"viz:  rollbacks={viz.rollbacks}  gets={viz.gets} "
+          f"(replayed from log: {viz.replayed_gets})")
+    print(f"staging memory at end: {run.memory_bytes / 2**20:.1f} MiB "
+          f"(logging overhead {run.logging_overhead * 100:.0f}% vs latest-only)")
+    print(f"read-stable vs failure-free reference: {run.consistent}")
+
+    ref_results = reference.final_states["s3d-viz"]["results"]
+    run_results = run.final_states["s3d-viz"]["results"]
+    assert ref_results == run_results
+    print(f"\nAll {len(run_results)} extracted features identical to the "
+          f"failure-free run. ✓")
+
+
+if __name__ == "__main__":
+    main()

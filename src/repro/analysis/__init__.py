@@ -1,0 +1,6 @@
+"""Reporting: the paper's reported numbers and comparison-table helpers."""
+
+from repro.analysis import paper
+from repro.analysis.report import ComparisonRow, banner, comparison_table, format_table
+
+__all__ = ["paper", "ComparisonRow", "banner", "comparison_table", "format_table"]

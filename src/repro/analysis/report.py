@@ -1,0 +1,58 @@
+"""Plain-text report helpers: aligned tables and paper-vs-measured rows.
+
+Benchmarks print through these so every figure reproduction has a uniform,
+diffable output format that EXPERIMENTS.md can quote directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["format_table", "ComparisonRow", "comparison_table", "banner"]
+
+
+def banner(title: str) -> str:
+    """A section header line."""
+    bar = "=" * max(8, len(title))
+    return f"{bar}\n{title}\n{bar}"
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper: float | None
+    measured: float
+    unit: str = "%"
+
+    @property
+    def delta(self) -> float | None:
+        if self.paper is None:
+            return None
+        return self.measured - self.paper
+
+    def cells(self) -> list[str]:
+        paper = f"{self.paper:+.2f}{self.unit}" if self.paper is not None else "—"
+        delta = f"{self.delta:+.2f}" if self.delta is not None else "—"
+        return [self.label, paper, f"{self.measured:+.2f}{self.unit}", delta]
+
+
+def comparison_table(title: str, rows: list[ComparisonRow]) -> str:
+    """Render a paper-vs-measured table with a title banner."""
+    body = format_table(
+        ["point", "paper", "measured", "delta"], [r.cells() for r in rows]
+    )
+    return f"{banner(title)}\n{body}"

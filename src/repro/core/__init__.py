@@ -1,0 +1,53 @@
+"""The paper's primary contribution: workflow-level checkpoint/restart with
+data/event logging in the staging area.
+
+Public surface:
+
+* :class:`WorkflowStaging` / :class:`WorkflowClient` — the global user
+  interface of Table I (``workflow_check``, ``workflow_restart``,
+  ``dspaces_put_with_log``, ``dspaces_get_with_log``);
+* :class:`EventQueue` / :class:`ReplayScript` — the queue-based data
+  consistency algorithm of §III-A.1;
+* :class:`DataLog` — the data logging component;
+* :class:`GarbageCollector` — the storage-cost GC of §III-A.2;
+* :class:`ObservationLog` / :func:`verify_read_stability` — the
+  crash-consistency checker used by tests and the inconsistency demo.
+"""
+
+from repro.core.consistency import Observation, ObservationLog, verify_read_stability
+from repro.core.data_log import DataLog, LogRecord
+from repro.core.event_queue import EventQueue, ReplayScript
+from repro.core.events import (
+    CheckpointEvent,
+    DataEvent,
+    EventKind,
+    RecoveryEvent,
+    WChkId,
+    WorkflowEvent,
+    payload_digest,
+)
+from repro.core.garbage import GarbageCollector, GCReport
+from repro.core.interface import GetResult, PutResult, WorkflowClient, WorkflowStaging
+
+__all__ = [
+    "Observation",
+    "ObservationLog",
+    "verify_read_stability",
+    "DataLog",
+    "LogRecord",
+    "EventQueue",
+    "ReplayScript",
+    "CheckpointEvent",
+    "DataEvent",
+    "EventKind",
+    "RecoveryEvent",
+    "WChkId",
+    "WorkflowEvent",
+    "payload_digest",
+    "GarbageCollector",
+    "GCReport",
+    "GetResult",
+    "PutResult",
+    "WorkflowClient",
+    "WorkflowStaging",
+]

@@ -1,0 +1,101 @@
+"""Crash-consistency checking.
+
+The correctness criterion of the paper's framework (its Figure 2 motivates
+the failure mode): across any schedule of failures and rollbacks, every
+component must observe — via its staged reads — exactly the (variable,
+version, payload) sequence it observed in the initial execution, and its
+redundant re-writes must be absorbed without creating new state.
+
+:class:`ObservationLog` records what each component actually saw;
+:func:`verify_read_stability` compares a run against a failure-free
+reference and raises :class:`~repro.errors.ConsistencyError` with a precise
+diagnosis on the first divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConsistencyError
+
+__all__ = ["Observation", "ObservationLog", "verify_read_stability"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One staged read as seen by the application code."""
+
+    component: str
+    step: int
+    name: str
+    version: int
+    digest: str
+
+
+@dataclass
+class ObservationLog:
+    """Per-component record of application-visible reads.
+
+    Re-executed steps after a rollback *overwrite* their original slot: the
+    application-visible history is indexed by (step, read-ordinal within the
+    step), because that is what the application's own control flow sees. A
+    consistent recovery therefore reproduces identical entries; an
+    inconsistent one (paper Fig. 2 case 1) shows a different version in an
+    already-filled slot.
+    """
+
+    observations: dict[str, dict[tuple[int, int], Observation]] = field(default_factory=dict)
+    _ordinals: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def begin_step(self, component: str, step: int) -> None:
+        """Reset the read-ordinal counter for a (re-)executed step."""
+        self._ordinals[(component, step)] = 0
+
+    def record(self, component: str, step: int, name: str, version: int, digest: str) -> Observation:
+        """Record one read; returns the observation stored."""
+        ordinal = self._ordinals.get((component, step), 0)
+        self._ordinals[(component, step)] = ordinal + 1
+        obs = Observation(component=component, step=step, name=name, version=version, digest=digest)
+        self.observations.setdefault(component, {})[(step, ordinal)] = obs
+        return obs
+
+    def history(self, component: str) -> list[Observation]:
+        """Final application-visible history, ordered by (step, ordinal)."""
+        slots = self.observations.get(component, {})
+        return [slots[k] for k in sorted(slots)]
+
+    def components(self) -> list[str]:
+        return sorted(self.observations)
+
+
+def verify_read_stability(reference: ObservationLog, run: ObservationLog) -> None:
+    """Check a (possibly failure-ridden) run against a failure-free reference.
+
+    Raises :class:`ConsistencyError` naming the first divergent observation;
+    returns None when the run is read-stable.
+    """
+    for component in reference.components():
+        ref_hist = reference.history(component)
+        run_hist = run.history(component)
+        if len(run_hist) != len(ref_hist):
+            raise ConsistencyError(
+                f"component {component!r}: observed {len(run_hist)} reads, "
+                f"reference has {len(ref_hist)}"
+            )
+        for ref_obs, run_obs in zip(ref_hist, run_hist):
+            if (ref_obs.name, ref_obs.version) != (run_obs.name, run_obs.version):
+                raise ConsistencyError(
+                    f"component {component!r} step {run_obs.step}: read "
+                    f"{run_obs.name!r} v{run_obs.version}, reference read "
+                    f"{ref_obs.name!r} v{ref_obs.version} — stale/wrong version "
+                    f"after recovery (paper Fig. 2 failure mode)"
+                )
+            if ref_obs.digest != run_obs.digest:
+                raise ConsistencyError(
+                    f"component {component!r} step {run_obs.step}: payload of "
+                    f"{run_obs.name!r} v{run_obs.version} differs from the "
+                    f"initial execution ({run_obs.digest} != {ref_obs.digest})"
+                )
+    extra = set(run.components()) - set(reference.components())
+    if extra:
+        raise ConsistencyError(f"run observed unknown components: {sorted(extra)}")

@@ -1,0 +1,154 @@
+"""Event model for the workflow-level checkpoint framework.
+
+Everything the staging area logs is one of four event kinds (paper §III):
+
+* ``PUT`` / ``GET`` — data-communication requests, identified by the object
+  descriptor they carry plus a digest of the payload (so replay can verify it
+  reproduces the *exact* bytes of the initial execution);
+* ``CHECKPOINT`` — a component called ``workflow_check()``; staging mints a
+  unique :class:`WChkId` and inserts the event into that component's queue;
+* ``RECOVERY`` — a component called ``workflow_restart()`` after rollback.
+
+Events are immutable; per-component sequence numbers give each queue a total
+order that replay follows verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.descriptors.odsc import ObjectDescriptor
+
+__all__ = [
+    "EventKind",
+    "WChkId",
+    "WorkflowEvent",
+    "DataEvent",
+    "CheckpointEvent",
+    "RecoveryEvent",
+    "payload_digest",
+]
+
+
+def payload_digest(data: np.ndarray | bytes) -> str:
+    """Short stable digest of payload bytes (for replay verification)."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    return hashlib.blake2b(data, digest_size=12).hexdigest()
+
+
+class EventKind(enum.Enum):
+    """The four event kinds the staging area logs."""
+
+    PUT = "put"
+    GET = "get"
+    CHECKPOINT = "checkpoint"
+    RECOVERY = "recovery"
+
+
+@dataclass(frozen=True, order=True)
+class WChkId:
+    """Unique workflow checkpoint id (paper: ``W_Chk_ID``).
+
+    Components checkpoint at independent times, so the id carries both the
+    component name and a per-component monotone counter.
+    """
+
+    component: str
+    counter: int
+
+    def __str__(self) -> str:
+        return f"W_Chk[{self.component}#{self.counter}]"
+
+
+@dataclass(frozen=True)
+class WorkflowEvent:
+    """Base event: which component, queue sequence number, app step."""
+
+    component: str
+    seq: int
+    step: int
+
+    @property
+    def kind(self) -> EventKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DataEvent(WorkflowEvent):
+    """A logged put or get request."""
+
+    op: EventKind = EventKind.PUT
+    desc: ObjectDescriptor | None = None
+    digest: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in (EventKind.PUT, EventKind.GET):
+            raise ValueError(f"DataEvent op must be PUT or GET, got {self.op}")
+        if self.desc is None:
+            raise ValueError("DataEvent requires a descriptor")
+
+    @property
+    def kind(self) -> EventKind:
+        return self.op
+
+    def matches_request(self, op: EventKind, desc: ObjectDescriptor) -> bool:
+        """True when a replayed request re-issues this logged event.
+
+        Identity is (operation, name, version, bbox): a rolled-back component
+        must re-issue byte-identical requests, which the paper guarantees by
+        deterministic re-execution from the checkpoint.
+        """
+        return (
+            self.op is op
+            and self.desc is not None
+            and self.desc.name == desc.name
+            and self.desc.version == desc.version
+            and self.desc.bbox == desc.bbox
+        )
+
+    def __str__(self) -> str:
+        return f"{self.op.value}({self.component}#{self.seq}, {self.desc})"
+
+
+@dataclass(frozen=True)
+class CheckpointEvent(WorkflowEvent):
+    """A component checkpointed (``workflow_check``).
+
+    ``durable`` distinguishes checkpoint tiers for multi-level schemes:
+    durable checkpoints (PFS) survive node loss; non-durable ones
+    (node-local NVRAM/SSD) are faster but may vanish with the node, in
+    which case recovery replays from the last *durable* checkpoint.
+    """
+
+    chk_id: WChkId | None = None
+    durable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chk_id is None:
+            raise ValueError("CheckpointEvent requires a WChkId")
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.CHECKPOINT
+
+    def __str__(self) -> str:
+        return f"checkpoint({self.component}#{self.seq}, {self.chk_id}, step={self.step})"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(WorkflowEvent):
+    """A component announced rollback recovery (``workflow_restart``)."""
+
+    restored_chk: WChkId | None = None  # None => restarted from the beginning
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.RECOVERY
+
+    def __str__(self) -> str:
+        return f"recovery({self.component}#{self.seq}, from={self.restored_chk})"

@@ -1,0 +1,132 @@
+"""Garbage Collection Component (paper §III-A.2).
+
+"Data staging servers periodically delete logged data which are related with
+previous checkpoint periods without data dependency to other application
+components, and only keep the latest version of data in staging area."
+
+Concretely: a logged version ``v`` of variable ``X`` is collectable when
+
+1. it is not the latest version of ``X`` (staging always serves the newest
+   data to forward progress), and
+2. for every consumer component ``C`` of ``X``, a rollback of ``C`` to its
+   latest checkpoint could no longer re-read ``v`` — i.e. ``v`` is below
+   ``C``'s replay *version floor* (the oldest version appearing in a GET
+   after ``C``'s latest checkpoint), and
+3. no component is currently mid-replay with ``v`` still pending in its
+   script.
+
+The GC also trims each component's event queue below its latest checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.data_log import DataLog
+from repro.core.event_queue import EventQueue
+
+__all__ = ["GarbageCollector", "GCReport"]
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one collection pass."""
+
+    versions_collected: int
+    bytes_freed: int
+    events_trimmed: int
+
+    def __add__(self, other: "GCReport") -> "GCReport":
+        return GCReport(
+            self.versions_collected + other.versions_collected,
+            self.bytes_freed + other.bytes_freed,
+            self.events_trimmed + other.events_trimmed,
+        )
+
+
+@dataclass
+class GarbageCollector:
+    """Collects dead logged versions and trims event queues."""
+
+    log: DataLog
+    queues: dict[str, EventQueue]
+    # Components currently replaying; their scripts pin versions.
+    _replaying: dict[str, set[tuple[str, int]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ replay pins
+
+    def pin_replay(self, component: str, pinned: set[tuple[str, int]]) -> None:
+        """Pin (name, version) pairs while ``component`` replays them."""
+        self._replaying[component] = set(pinned)
+
+    def unpin_replay(self, component: str) -> None:
+        """Release ``component``'s replay pins (script exhausted)."""
+        self._replaying.pop(component, None)
+
+    def replay_pinned(self) -> set[tuple[str, int]]:
+        """Union of all currently pinned (name, version) pairs."""
+        pinned: set[tuple[str, int]] = set()
+        for s in self._replaying.values():
+            pinned |= s
+        return pinned
+
+    # -------------------------------------------------------------- analysis
+
+    def version_floor(self, name: str) -> int | None:
+        """Oldest version of ``name`` any consumer could still need.
+
+        Per consumer the constraint is the minimum of its *rollback floor*
+        (oldest version it would re-read after restoring its latest
+        checkpoint) and its *read frontier + 1* (versions it has not consumed
+        yet — a producer running ahead must not lose them). ``None`` means
+        the variable has no registered consumer, so only the latest version
+        must be kept.
+        """
+        floors: list[int] = []
+        consumers = self.log.consumers_of(name)
+        for comp in consumers:
+            frontier_floor = self.log.read_frontier(name, comp) + 1
+            queue = self.queues.get(comp)
+            replay_floor = queue.version_floor(name) if queue is not None else None
+            if replay_floor is not None:
+                floors.append(min(replay_floor, frontier_floor))
+            else:
+                floors.append(frontier_floor)
+        return min(floors) if floors else None
+
+    def collectable(self, name: str) -> list[int]:
+        """Versions of ``name`` that this pass may evict."""
+        versions = self.log.logged_versions(name)
+        if len(versions) <= 1:
+            return []
+        latest = versions[-1]
+        pinned = self.replay_pinned()
+        floor = self.version_floor(name)
+        out = []
+        for v in versions:
+            if v == latest:
+                continue
+            if (name, v) in pinned:
+                continue
+            if floor is not None and v >= floor:
+                continue
+            out.append(v)
+        return out
+
+    # ---------------------------------------------------------------- collect
+
+    def collect(self) -> GCReport:
+        """One full collection pass over every logged variable and queue."""
+        versions = 0
+        freed = 0
+        for name in self.log.names():
+            for v in self.collectable(name):
+                freed += self.log.evict(name, v)
+                versions += 1
+        trimmed = 0
+        for queue in self.queues.values():
+            if queue.component in self._replaying:
+                # Never trim a queue mid-replay; its script references it.
+                continue
+            trimmed += len(queue.trim_before(queue.trimmable_horizon()))
+        return GCReport(versions_collected=versions, bytes_freed=freed, events_trimmed=trimmed)

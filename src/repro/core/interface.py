@@ -1,0 +1,367 @@
+"""Global User Interface (paper §III-C, Table I).
+
+:class:`WorkflowStaging` is the staging-side service that glues together the
+event queues, the data-logging component, and the garbage collector.
+:class:`WorkflowClient` is the per-component handle exposing the paper's four
+calls:
+
+=========================  ====================================================
+``workflow_check()``       send a checkpoint event to data staging
+``workflow_restart()``     recover the staging client and notify the recovery
+                           event; staging builds the replay script
+``dspaces_put_with_log()`` log data to data staging (suppressed when replaying)
+``dspaces_get_with_log()`` retrieve the logged data specified by a geometric
+                           descriptor (served from the log when replaying)
+=========================  ====================================================
+
+The same object also implements the *original* (non-logging) staging mode
+used by the paper's ``Ds`` baseline and its ``In`` (individual checkpoint,
+consistency-unsafe) comparison point, selected with ``enable_logging=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.data_log import DataLog
+from repro.core.event_queue import EventQueue, ReplayScript
+from repro.core.events import EventKind, WChkId, payload_digest
+from repro.core.garbage import GarbageCollector, GCReport
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import ObjectNotFound, ReplayError, StagingError
+from repro.staging.client import StagingClient, StagingGroup
+
+__all__ = ["WorkflowStaging", "WorkflowClient", "PutResult", "GetResult"]
+
+
+@dataclass(frozen=True)
+class PutResult:
+    """Outcome of one put: whether it was stored or replay-suppressed."""
+
+    desc: ObjectDescriptor
+    stored: bool
+    suppressed: bool
+    shards: int
+
+
+@dataclass(frozen=True)
+class GetResult:
+    """Outcome of one get: payload plus the version actually served."""
+
+    desc: ObjectDescriptor
+    data: np.ndarray
+    served_version: int
+    replayed: bool
+    digest: str
+
+
+class WorkflowStaging:
+    """Staging service with data/event logging and rollback replay.
+
+    Parameters
+    ----------
+    group:
+        The staging server group holding payloads.
+    enable_logging:
+        True (default) for the paper's framework; False gives original
+        DataSpaces retention (latest version only, no queues, no replay) —
+        the ``Ds``/``In`` baselines.
+    auto_gc:
+        Run a garbage-collection pass after every ``workflow_check``.
+    """
+
+    def __init__(
+        self,
+        group: StagingGroup,
+        enable_logging: bool = True,
+        auto_gc: bool = True,
+    ) -> None:
+        self.group = group
+        self.enable_logging = enable_logging
+        self.auto_gc = auto_gc
+        # Optional hook (set by the runtime layer): given a variable name,
+        # return the lowest version some consumer has not yet read, or None
+        # when unknown. Non-logged retention then keeps unconsumed versions
+        # instead of blindly keeping only the latest.
+        self.frontier_source = None
+        self._client = StagingClient(group, client_id="staging-internal")
+        self.queues: dict[str, EventQueue] = {}
+        self.log = DataLog(group=group)
+        self.gc = GarbageCollector(log=self.log, queues=self.queues)
+        self._replay: dict[str, ReplayScript] = {}
+        self.gc_reports: list[GCReport] = []
+
+    # ------------------------------------------------------------- register
+
+    def register(self, component: str) -> "WorkflowClient":
+        """Create (or fetch) the event queue for a component; returns a client."""
+        if component not in self.queues:
+            self.queues[component] = EventQueue(component=component)
+        return WorkflowClient(staging=self, component=component)
+
+    def declare_coupling(self, name: str, consumer: str) -> None:
+        """Pre-declare that ``consumer`` reads variable ``name``.
+
+        Protects not-yet-read versions from garbage collection during the
+        window before the consumer's first get.
+        """
+        self.log.register_consumer(name, consumer)
+
+    def in_replay(self, component: str) -> bool:
+        """True while ``component`` is consuming its replay script."""
+        return component in self._replay
+
+    def replay_script(self, component: str) -> ReplayScript | None:
+        """The active replay script for ``component``, if any."""
+        return self._replay.get(component)
+
+    def _queue(self, component: str) -> EventQueue:
+        queue = self.queues.get(component)
+        if queue is None:
+            raise StagingError(f"component {component!r} never registered")
+        return queue
+
+    # ------------------------------------------------------------------ put
+
+    def handle_put(
+        self, component: str, desc: ObjectDescriptor, data: np.ndarray, step: int
+    ) -> PutResult:
+        """Service one write request (``dspaces_put_with_log``).
+
+        Live execution stores + logs the payload; replay mode recognises the
+        request as redundant and suppresses it (paper: "omit the write
+        request due to the redundant write request from the rollback
+        recovering application").
+        """
+        data = np.asarray(data, dtype=np.dtype(desc.dtype))
+        if tuple(data.shape) != desc.bbox.shape:
+            raise StagingError(
+                f"payload shape {data.shape} != descriptor shape {desc.bbox.shape}"
+            )
+        if self.enable_logging and self.in_replay(component):
+            expected = self._replay[component].peek()
+            if not expected.matches_request(EventKind.PUT, desc):
+                raise ReplayError(
+                    f"{component!r} replayed {EventKind.PUT.value} {desc}, "
+                    f"but the log expects {expected}"
+                )
+            if expected.digest != payload_digest(data):
+                raise ReplayError(
+                    f"{component!r} re-executed {desc} with different bytes than "
+                    f"its initial execution — non-deterministic replay"
+                )
+            self._replay[component].advance()
+            self._finish_replay_if_done(component)
+            return PutResult(desc=desc, stored=False, suppressed=True, shards=0)
+
+        shards = self._client.put(desc, data)
+        if self.enable_logging:
+            queue = self._queue(component)
+            queue.record_data(EventKind.PUT, desc, payload_digest(data), step)
+            self.log.record_put(
+                name=desc.name,
+                version=desc.version,
+                nbytes=desc.nbytes,
+                producer=component,
+                step=step,
+            )
+        else:
+            # Original DataSpaces retention: consumed versions are dropped.
+            # Without a frontier source this degrades to latest-only (the
+            # write-immediately-followed-by-read pattern of the paper).
+            floor = None
+            if self.frontier_source is not None:
+                floor = self.frontier_source(desc.name)
+            for server in self.group.servers:
+                if floor is None:
+                    server.keep_only_latest(desc.name)
+                else:
+                    latest = server.store.latest_version(desc.name)
+                    if latest is not None:
+                        server.evict_older_than_version(
+                            desc.name, min(floor, latest)
+                        )
+        return PutResult(desc=desc, stored=True, suppressed=False, shards=shards)
+
+    # ------------------------------------------------------------------ get
+
+    def handle_get(
+        self, component: str, desc: ObjectDescriptor, step: int
+    ) -> GetResult:
+        """Service one read request (``dspaces_get_with_log``).
+
+        Replay mode re-serves the logged version; live mode serves the
+        requested version and records the event. In non-logging mode a
+        missing version silently degrades to the latest available one — the
+        exact inconsistency of the paper's Figure 2 case 1, kept here so the
+        ``In`` baseline demonstrably returns wrong data.
+        """
+        replayed = False
+        if self.enable_logging and self.in_replay(component):
+            expected = self._replay[component].peek()
+            if not expected.matches_request(EventKind.GET, desc):
+                raise ReplayError(
+                    f"{component!r} replayed {EventKind.GET.value} {desc}, "
+                    f"but the log expects {expected}"
+                )
+            data = self._client.get(desc)
+            digest = payload_digest(data)
+            if expected.digest != digest:
+                raise ReplayError(
+                    f"replay of {desc} for {component!r} served different bytes "
+                    f"than the initial execution ({digest} != {expected.digest})"
+                )
+            self._replay[component].advance()
+            self._finish_replay_if_done(component)
+            return GetResult(
+                desc=desc,
+                data=data,
+                served_version=desc.version,
+                replayed=True,
+                digest=digest,
+            )
+
+        served_version = desc.version
+        try:
+            data = self._client.get(desc)
+        except ObjectNotFound:
+            if self.enable_logging:
+                raise
+            latest = self._client.latest_version(desc.name)
+            if latest is None:
+                raise
+            served_version = latest
+            data = self._client.get(desc.with_version(latest))
+        digest = payload_digest(data)
+        if self.enable_logging:
+            queue = self._queue(component)
+            queue.record_data(EventKind.GET, desc, digest, step)
+            self.log.record_get(desc.name, component, served_version)
+        return GetResult(
+            desc=desc,
+            data=data,
+            served_version=served_version,
+            replayed=replayed,
+            digest=digest,
+        )
+
+    # ------------------------------------------------------------ checkpoint
+
+    def handle_check(self, component: str, step: int, durable: bool = True) -> WChkId:
+        """Service ``workflow_check``: mint a W_Chk_ID and insert the event.
+
+        ``durable=False`` marks a node-local (multi-level) checkpoint: the
+        GC then keeps retaining back to the last durable one, because a node
+        failure can force a deeper rollback.
+        """
+        if not self.enable_logging:
+            # The Ds/In baselines checkpoint applications without informing
+            # staging; the call is accepted and ignored.
+            return WChkId(component, -1)
+        if self.in_replay(component):
+            raise ReplayError(
+                f"{component!r} attempted workflow_check while replaying"
+            )
+        queue = self._queue(component)
+        ev = queue.record_checkpoint(step, durable=durable)
+        if self.auto_gc:
+            self.gc_reports.append(self.gc.collect())
+        assert ev.chk_id is not None
+        return ev.chk_id
+
+    # -------------------------------------------------------------- restart
+
+    def handle_restart(
+        self, component: str, step: int, durable_only: bool = False
+    ) -> ReplayScript:
+        """Service ``workflow_restart``: build and activate the replay script.
+
+        A component may fail *again* while replaying; the half-consumed
+        script is discarded and replay restarts from the checkpoint — the
+        queue still holds every event of the window, so the fresh script is
+        identical to the original one. ``durable_only=True`` replays from
+        the last durable checkpoint (node failure destroyed the node-local
+        tier).
+        """
+        if not self.enable_logging:
+            # No log: the recovering component simply rejoins live execution.
+            return ReplayScript(component=component, restored_chk=None, events=[])
+        if self.in_replay(component):
+            del self._replay[component]
+            self.gc.unpin_replay(component)
+        queue = self._queue(component)
+        script = queue.build_replay_script(durable_only=durable_only)
+        queue.record_recovery(step, script.restored_chk)
+        if script.events:
+            self._replay[component] = script
+            pins = {
+                (ev.desc.name, ev.desc.version)
+                for ev in script.events
+                if ev.op is EventKind.GET and ev.desc is not None
+            }
+            self.gc.pin_replay(component, pins)
+        return script
+
+    def _finish_replay_if_done(self, component: str) -> None:
+        script = self._replay.get(component)
+        if script is not None and script.exhausted:
+            del self._replay[component]
+            self.gc.unpin_replay(component)
+
+    # -------------------------------------------------------------- metrics
+
+    def memory_bytes(self) -> int:
+        """Payload bytes resident across all staging servers."""
+        return self.group.total_bytes
+
+    def logging_overhead(self) -> float:
+        """Memory overhead of logging vs latest-only retention."""
+        return self.log.logging_overhead()
+
+    def run_gc(self) -> GCReport:
+        """Force one garbage-collection pass."""
+        report = self.gc.collect()
+        self.gc_reports.append(report)
+        return report
+
+
+class WorkflowClient:
+    """Per-component handle implementing the paper's Table I interface."""
+
+    def __init__(self, staging: WorkflowStaging, component: str) -> None:
+        self.staging = staging
+        self.component = component
+        self._step = 0
+
+    def set_step(self, step: int) -> None:
+        """Advance the component's coupling step (tags logged events)."""
+        self._step = step
+
+    # ---- Table I ----------------------------------------------------------
+
+    def workflow_check(self, durable: bool = True) -> WChkId:
+        """Send a checkpoint event to data staging."""
+        return self.staging.handle_check(self.component, self._step, durable=durable)
+
+    def workflow_restart(self, durable_only: bool = False) -> ReplayScript:
+        """Recover the staging client and notify the recovery event."""
+        return self.staging.handle_restart(
+            self.component, self._step, durable_only=durable_only
+        )
+
+    def dspaces_put_with_log(self, desc: ObjectDescriptor, data: np.ndarray) -> PutResult:
+        """Log data to data staging."""
+        return self.staging.handle_put(self.component, desc, data, self._step)
+
+    def dspaces_get_with_log(self, desc: ObjectDescriptor) -> GetResult:
+        """Retrieve the logged data specified by a geometric descriptor."""
+        return self.staging.handle_get(self.component, desc, self._step)
+
+    # ---- convenience -------------------------------------------------------
+
+    @property
+    def in_replay(self) -> bool:
+        """True while this component is consuming its replay script."""
+        return self.staging.in_replay(self.component)

@@ -1,0 +1,17 @@
+"""CoREC-style data resilience for the staging area: GF(256) arithmetic,
+systematic Reed-Solomon erasure coding, buddy replication, and the hybrid
+hot/cold protection policy."""
+
+from repro.corec.gf256 import GF256
+from repro.corec.policy import HybridPolicy, ProtectedObject
+from repro.corec.reedsolomon import RSCode, Shard
+from repro.corec.replication import ReplicationScheme
+
+__all__ = [
+    "GF256",
+    "HybridPolicy",
+    "ProtectedObject",
+    "RSCode",
+    "Shard",
+    "ReplicationScheme",
+]

@@ -1,0 +1,130 @@
+"""Systematic Reed–Solomon erasure coding RS(k, m).
+
+CoREC protects staged data against server loss with erasure coding. We
+implement a systematic RS code: ``k`` data shards pass through unchanged and
+``m`` parity shards are Vandermonde combinations, so any ``k`` surviving
+shards reconstruct the original. Encoding/decoding is vectorised GF(256)
+matrix algebra over whole shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corec.gf256 import GF256
+from repro.errors import DecodingError, EncodingError
+
+__all__ = ["RSCode", "Shard"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One erasure-code shard: its index in the codeword and its bytes."""
+
+    index: int
+    data: np.ndarray  # uint8, all shards the same length
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+class RSCode:
+    """A systematic RS(k, m) erasure code over GF(256).
+
+    Parameters
+    ----------
+    k:
+        Number of data shards.
+    m:
+        Number of parity shards; the code tolerates any ``m`` erasures.
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if k <= 0 or m < 0:
+            raise EncodingError(f"invalid RS parameters k={k}, m={m}")
+        if k + m > 255:
+            raise EncodingError(f"k+m={k + m} exceeds GF(256) limit of 255")
+        self.k = k
+        self.m = m
+        # Encoding matrix: identity on top (systematic), Vandermonde parity
+        # rows below. Rows of the parity block use generators k+1 .. k+m.
+        vand = GF256.vandermonde(k + m, k)
+        ident = np.eye(k, dtype=np.uint8)
+        self.matrix = np.concatenate([ident, vand[k:, :]], axis=0)
+
+    # -------------------------------------------------------------- encode
+
+    def shard_length(self, nbytes: int) -> int:
+        """Length of each shard for a payload of ``nbytes``."""
+        return (nbytes + self.k - 1) // self.k
+
+    def encode(self, payload: bytes | np.ndarray) -> list[Shard]:
+        """Split ``payload`` into k data shards and compute m parity shards.
+
+        The payload is zero-padded to a multiple of k; callers must remember
+        the original length to strip padding after decode.
+        """
+        buf = np.frombuffer(bytes(payload), dtype=np.uint8) if isinstance(
+            payload, (bytes, bytearray)
+        ) else np.ascontiguousarray(payload, dtype=np.uint8).reshape(-1)
+        if buf.size == 0:
+            raise EncodingError("cannot encode empty payload")
+        shard_len = self.shard_length(buf.size)
+        padded = np.zeros(shard_len * self.k, dtype=np.uint8)
+        padded[: buf.size] = buf
+        data_matrix = padded.reshape(self.k, shard_len)
+        coded = GF256.matmul(self.matrix, data_matrix)  # (k+m, shard_len)
+        return [Shard(index=i, data=coded[i].copy()) for i in range(self.k + self.m)]
+
+    # -------------------------------------------------------------- decode
+
+    def decode(self, shards: list[Shard], nbytes: int) -> bytes:
+        """Reconstruct the original ``nbytes`` payload from >= k shards.
+
+        Accepts any subset of the codeword; raises :class:`DecodingError`
+        when fewer than k distinct shards survive.
+        """
+        seen: dict[int, Shard] = {}
+        for s in shards:
+            if not (0 <= s.index < self.k + self.m):
+                raise DecodingError(f"shard index {s.index} out of range")
+            seen.setdefault(s.index, s)
+        if len(seen) < self.k:
+            raise DecodingError(
+                f"need {self.k} shards to decode, only {len(seen)} distinct survive"
+            )
+        use = sorted(seen.values(), key=lambda s: s.index)[: self.k]
+        shard_len = use[0].data.size
+        if any(s.data.size != shard_len for s in use):
+            raise DecodingError("surviving shards have inconsistent lengths")
+        expect_len = self.shard_length(nbytes)
+        if shard_len != expect_len:
+            raise DecodingError(
+                f"shard length {shard_len} inconsistent with payload {nbytes} B "
+                f"(expected {expect_len})"
+            )
+
+        rows = [s.index for s in use]
+        if rows == list(range(self.k)):
+            # All data shards survived: no matrix solve needed.
+            data_matrix = np.stack([s.data for s in use])
+        else:
+            sub = self.matrix[rows, :]
+            inv = GF256.mat_inverse(sub)
+            coded = np.stack([s.data for s in use])
+            data_matrix = GF256.matmul(inv, coded)
+        out = data_matrix.reshape(-1)[:nbytes]
+        return out.tobytes()
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage fraction, m/k (e.g. RS(4,2) -> 0.5)."""
+        return self.m / self.k
+
+    def __repr__(self) -> str:
+        return f"RSCode(k={self.k}, m={self.m})"

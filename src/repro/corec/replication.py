@@ -1,0 +1,90 @@
+"""N-way replication for staged fragments.
+
+The simpler of CoREC's two protection mechanisms: every fragment written to
+its home server is mirrored onto ``n_replicas - 1`` buddy servers. Fast to
+write and to recover, but with (n_replicas - 1)x storage overhead — exactly
+the trade-off CoREC's hybrid policy balances against erasure coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import ConfigError, ObjectNotFound
+from repro.staging.server import StagingServer
+
+__all__ = ["ReplicationScheme"]
+
+
+@dataclass(frozen=True)
+class ReplicationScheme:
+    """Buddy replication across a server group.
+
+    Parameters
+    ----------
+    n_replicas:
+        Total copies per fragment (1 = no protection). Replicas are placed on
+        the ``n_replicas - 1`` servers following the home server cyclically,
+        which both spreads load and guarantees replicas never share a server
+        with the primary.
+    """
+
+    n_replicas: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ConfigError(f"n_replicas must be >= 1, got {self.n_replicas}")
+
+    def replica_servers(self, home: int, num_servers: int) -> list[int]:
+        """Server ids for all copies, primary first."""
+        if self.n_replicas > num_servers:
+            raise ConfigError(
+                f"cannot place {self.n_replicas} replicas on {num_servers} servers"
+            )
+        return [(home + i) % num_servers for i in range(self.n_replicas)]
+
+    def put(
+        self,
+        servers: list[StagingServer],
+        home: int,
+        desc: ObjectDescriptor,
+        data: np.ndarray,
+    ) -> list[int]:
+        """Write the fragment to the primary and each buddy server."""
+        placed = self.replica_servers(home, len(servers))
+        for sid in placed:
+            servers[sid].put(desc, data)
+        return placed
+
+    def get(
+        self,
+        servers: list[StagingServer],
+        home: int,
+        desc: ObjectDescriptor,
+        failed: set[int] | None = None,
+    ) -> np.ndarray:
+        """Read from the first live replica; raise if all copies are lost."""
+        failed = failed or set()
+        last_err: Exception | None = None
+        for sid in self.replica_servers(home, len(servers)):
+            if sid in failed:
+                continue
+            try:
+                return servers[sid].get(desc)
+            except ObjectNotFound as err:  # replica absent on this server
+                last_err = err
+        raise ObjectNotFound(
+            f"all {self.n_replicas} replicas of {desc} unavailable"
+        ) from last_err
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage fraction relative to unprotected data."""
+        return float(self.n_replicas - 1)
+
+    def tolerates(self, failures: int) -> bool:
+        """True when the scheme survives ``failures`` simultaneous server losses."""
+        return failures <= self.n_replicas - 1

@@ -1,0 +1,5 @@
+"""Object descriptors: the geometric identity of staged data."""
+
+from repro.descriptors.odsc import ObjectDescriptor
+
+__all__ = ["ObjectDescriptor"]

@@ -1,0 +1,78 @@
+"""Object descriptors (ODSC).
+
+DataSpaces identifies every staged datum by an *object descriptor*: variable
+name, version (the coupling time step), the bounding box of the region, and
+the element type. Descriptors are immutable, hashable, and ordered by
+(name, version) so event logs have a stable canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BBox
+
+__all__ = ["ObjectDescriptor"]
+
+
+@dataclass(frozen=True, order=True)
+class ObjectDescriptor:
+    """Identity and geometry of one staged data object.
+
+    ``version`` is the application coupling step that produced the data; the
+    paper's consistency algorithm is entirely phrased in terms of which
+    version of a named variable a component reads or writes.
+    """
+
+    name: str
+    version: int
+    bbox: BBox = field(compare=False)
+    dtype: str = field(default="float64", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("descriptor name must be non-empty")
+        if self.version < 0:
+            raise ValueError(f"version must be >= 0, got {self.version}")
+        # Validate the dtype string eagerly so errors surface at creation.
+        np.dtype(self.dtype)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size in bytes."""
+        return self.bbox.volume * self.itemsize
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """The (name, version) identity used by logs and indexes."""
+        return (self.name, self.version)
+
+    def with_version(self, version: int) -> "ObjectDescriptor":
+        """A copy of this descriptor at a different version."""
+        return ObjectDescriptor(self.name, version, self.bbox, self.dtype)
+
+    def with_bbox(self, bbox: BBox) -> "ObjectDescriptor":
+        """A copy of this descriptor covering a different region."""
+        if bbox.ndim != self.bbox.ndim:
+            raise GeometryError(
+                f"bbox rank {bbox.ndim} != descriptor rank {self.bbox.ndim}"
+            )
+        return ObjectDescriptor(self.name, self.version, bbox, self.dtype)
+
+    def restrict(self, region: BBox) -> "ObjectDescriptor | None":
+        """This descriptor clipped to ``region``, or None when disjoint."""
+        overlap = self.bbox.intersect(region)
+        if overlap is None:
+            return None
+        return self.with_bbox(overlap)
+
+    def __str__(self) -> str:
+        return f"{self.name}@v{self.version}{self.bbox}:{self.dtype}"

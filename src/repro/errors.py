@@ -1,0 +1,104 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors. Subsystems
+raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "StagingError",
+    "ObjectNotFound",
+    "VersionConflict",
+    "EncodingError",
+    "DecodingError",
+    "ConsistencyError",
+    "ReplayError",
+    "CheckpointError",
+    "ProcessFailure",
+    "CommunicatorRevoked",
+    "SimulationError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GeometryError(ReproError):
+    """Invalid bounding box or domain-decomposition operation."""
+
+
+class StagingError(ReproError):
+    """Generic staging-area failure."""
+
+
+class ObjectNotFound(StagingError):
+    """A get/query referenced a (name, version, region) not present in staging."""
+
+
+class VersionConflict(StagingError):
+    """A put would overwrite an existing version with different payload."""
+
+
+class EncodingError(ReproError):
+    """Erasure-coding encode failed (bad parameters or shard layout)."""
+
+
+class DecodingError(ReproError):
+    """Erasure-coding decode failed (too many erasures or corrupt shards)."""
+
+
+class ConsistencyError(ReproError):
+    """A crash-consistency invariant was violated.
+
+    Raised by the consistency checker when a component observes a different
+    (version, payload) than it did during its initial execution — exactly the
+    failure mode the paper's data-logging mechanism exists to prevent.
+    """
+
+
+class ReplayError(ReproError):
+    """Event replay could not honour the logged history."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint capture or restore failed."""
+
+
+class ProcessFailure(ReproError):
+    """A simulated fail-stop failure (used as control flow by ULFM).
+
+    ``kind="node"`` means the whole node died, taking any node-local
+    checkpoint copies with it (multi-level checkpointing falls back to the
+    last durable tier).
+    """
+
+    def __init__(
+        self, rank: int, component: str = "", at_step: int = -1, kind: str = "process"
+    ):
+        self.rank = rank
+        self.component = component
+        self.at_step = at_step
+        self.kind = kind
+        super().__init__(
+            f"fail-stop {kind} failure of rank {rank}"
+            + (f" in component {component!r}" if component else "")
+            + (f" at step {at_step}" if at_step >= 0 else "")
+        )
+
+
+class CommunicatorRevoked(ReproError):
+    """The communicator was revoked after a peer failure (ULFM semantics)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """An experiment configuration is invalid or internally inconsistent."""

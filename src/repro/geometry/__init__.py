@@ -1,0 +1,23 @@
+"""Geometric substrate: N-d boxes, domain decomposition, space-filling curves."""
+
+from repro.geometry.bbox import BBox
+from repro.geometry.domain import Domain, balanced_process_grid, grid_decompose
+from repro.geometry.sfc import (
+    bits_for_extent,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+__all__ = [
+    "BBox",
+    "Domain",
+    "balanced_process_grid",
+    "grid_decompose",
+    "bits_for_extent",
+    "hilbert_decode",
+    "hilbert_encode",
+    "morton_decode",
+    "morton_encode",
+]

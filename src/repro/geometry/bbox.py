@@ -1,0 +1,167 @@
+"""N-dimensional integer bounding boxes.
+
+DataSpaces addresses staged data by geometric descriptors over a discrete
+global domain; a :class:`BBox` is the half-open box ``[lo, hi)`` in each
+dimension. Boxes are immutable and hashable so they can key spatial indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import GeometryError
+
+__all__ = ["BBox"]
+
+
+@dataclass(frozen=True)
+class BBox:
+    """A half-open axis-aligned box ``[lo[i], hi[i])`` per dimension.
+
+    Empty boxes (any ``hi[i] <= lo[i]``) are rejected at construction; use
+    :meth:`BBox.intersect` (which may return ``None``) to express emptiness.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise GeometryError(f"rank mismatch: lo={self.lo} hi={self.hi}")
+        if not self.lo:
+            raise GeometryError("zero-dimensional box")
+        for a, b in zip(self.lo, self.hi):
+            if b <= a:
+                raise GeometryError(f"empty extent [{a}, {b}) in {self.lo}->{self.hi}")
+        # Normalise to plain int tuples so hashing is stable across numpy ints.
+        object.__setattr__(self, "lo", tuple(int(x) for x in self.lo))
+        object.__setattr__(self, "hi", tuple(int(x) for x in self.hi))
+
+    @classmethod
+    def from_shape(cls, shape: Sequence[int], origin: Sequence[int] | None = None) -> "BBox":
+        """Box of the given ``shape`` anchored at ``origin`` (default zeros)."""
+        origin = tuple(origin) if origin is not None else (0,) * len(shape)
+        return cls(tuple(origin), tuple(o + s for o, s in zip(origin, shape)))
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Extent per dimension."""
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of cells covered."""
+        v = 1
+        for s in self.shape:
+            v *= s
+        return v
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """True if ``point`` lies inside the half-open box."""
+        if len(point) != self.ndim:
+            raise GeometryError(f"point rank {len(point)} != box rank {self.ndim}")
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains(self, other: "BBox") -> bool:
+        """True if ``other`` is entirely inside this box."""
+        self._check_rank(other)
+        return all(sl <= ol and oh <= sh for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi))
+
+    def intersects(self, other: "BBox") -> bool:
+        """True if the boxes share at least one cell."""
+        self._check_rank(other)
+        return all(max(al, bl) < min(ah, bh) for al, bl, ah, bh in zip(self.lo, other.lo, self.hi, other.hi))
+
+    def intersect(self, other: "BBox") -> "BBox | None":
+        """The overlapping box, or ``None`` when disjoint."""
+        self._check_rank(other)
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(h <= l for l, h in zip(lo, hi)):
+            return None
+        return BBox(lo, hi)
+
+    def union_bounds(self, other: "BBox") -> "BBox":
+        """The smallest box covering both (not a set union)."""
+        self._check_rank(other)
+        return BBox(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def translate(self, offset: Sequence[int]) -> "BBox":
+        """Shift the box by ``offset`` per dimension."""
+        if len(offset) != self.ndim:
+            raise GeometryError(f"offset rank {len(offset)} != box rank {self.ndim}")
+        return BBox(
+            tuple(l + o for l, o in zip(self.lo, offset)),
+            tuple(h + o for h, o in zip(self.hi, offset)),
+        )
+
+    def slices(self, within: "BBox | None" = None) -> tuple[slice, ...]:
+        """NumPy slices selecting this box out of an array covering ``within``.
+
+        With ``within`` omitted the box is assumed to be expressed in array
+        coordinates already (origin at zero).
+        """
+        if within is None:
+            return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+        if not within.contains(self):
+            raise GeometryError(f"{self} not contained in {within}")
+        return tuple(
+            slice(l - wl, h - wl) for l, h, wl in zip(self.lo, self.hi, within.lo)
+        )
+
+    def corners(self) -> Iterator[tuple[int, ...]]:
+        """Iterate the 2^ndim corner points (hi corners are inclusive-1)."""
+        n = self.ndim
+        for mask in range(1 << n):
+            yield tuple(
+                (self.hi[d] - 1) if (mask >> d) & 1 else self.lo[d] for d in range(n)
+            )
+
+    def split(self, dim: int, at: int) -> tuple["BBox", "BBox"]:
+        """Split along ``dim`` at absolute coordinate ``at`` (strictly inside)."""
+        if not (self.lo[dim] < at < self.hi[dim]):
+            raise GeometryError(f"split point {at} outside ({self.lo[dim]}, {self.hi[dim]})")
+        left_hi = list(self.hi)
+        left_hi[dim] = at
+        right_lo = list(self.lo)
+        right_lo[dim] = at
+        return BBox(self.lo, tuple(left_hi)), BBox(tuple(right_lo), self.hi)
+
+    def subtract(self, other: "BBox") -> list["BBox"]:
+        """This box minus ``other`` as a list of disjoint boxes.
+
+        The classic axis-by-axis decomposition: at most ``2 * ndim`` pieces.
+        Returns ``[self]`` when the boxes are disjoint and ``[]`` when
+        ``other`` covers ``self``.
+        """
+        overlap = self.intersect(other)
+        if overlap is None:
+            return [self]
+        pieces: list[BBox] = []
+        remaining = self
+        for d in range(self.ndim):
+            if remaining.lo[d] < overlap.lo[d]:
+                low, remaining = remaining.split(d, overlap.lo[d])
+                pieces.append(low)
+            if overlap.hi[d] < remaining.hi[d]:
+                remaining, high = remaining.split(d, overlap.hi[d])
+                pieces.append(high)
+        # `remaining` is now exactly `overlap` and is discarded.
+        return pieces
+
+    def _check_rank(self, other: "BBox") -> None:
+        if other.ndim != self.ndim:
+            raise GeometryError(f"rank mismatch: {self.ndim} vs {other.ndim}")
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
+        return f"BBox[{dims}]"

@@ -1,0 +1,139 @@
+"""Global domain and block decompositions.
+
+A :class:`Domain` is the global index space a coupled workflow exchanges
+(e.g. the paper's 512x512x256 volume). Producers write per-rank blocks of it;
+staging shards it into fixed-size distribution blocks for DHT placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BBox
+
+__all__ = ["Domain", "grid_decompose", "balanced_process_grid"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A global N-d index space ``[0, shape[i])``."""
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise GeometryError("zero-dimensional domain")
+        if any(s <= 0 for s in self.shape):
+            raise GeometryError(f"non-positive extent in {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def bbox(self) -> BBox:
+        """The whole domain as a box anchored at the origin."""
+        return BBox.from_shape(self.shape)
+
+    @property
+    def volume(self) -> int:
+        return math.prod(self.shape)
+
+    def subset(self, fraction: float) -> BBox:
+        """A box covering ``fraction`` of the domain volume.
+
+        Used by the paper's Case 1 ("write different subsets of the entire
+        data domain"): shrink the slowest-varying dimension so the box volume
+        is (as close as integer extents allow) ``fraction`` of the total.
+        """
+        if not (0.0 < fraction <= 1.0):
+            raise GeometryError(f"fraction must be in (0, 1], got {fraction}")
+        first = max(1, round(self.shape[0] * fraction))
+        return BBox.from_shape((first,) + self.shape[1:])
+
+
+def balanced_process_grid(nprocs: int, ndim: int) -> tuple[int, ...]:
+    """Factor ``nprocs`` into an ``ndim``-way grid as close to cubic as possible.
+
+    Mirrors ``MPI_Dims_create``: repeatedly assign the largest prime factor to
+    the currently-smallest grid dimension.
+    """
+    if nprocs <= 0:
+        raise GeometryError(f"nprocs must be positive, got {nprocs}")
+    if ndim <= 0:
+        raise GeometryError(f"ndim must be positive, got {ndim}")
+    dims = [1] * ndim
+    # Prime-factorise nprocs, largest factors first.
+    factors: list[int] = []
+    n = nprocs
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return tuple(sorted(dims, reverse=True))
+
+
+def grid_decompose(box: BBox, grid: Sequence[int]) -> list[BBox]:
+    """Split ``box`` into a regular grid of ``prod(grid)`` near-equal blocks.
+
+    Remainder cells are distributed one-per-block from the low end of each
+    dimension, exactly like a block-distributed HPC domain decomposition.
+    Blocks are returned in row-major rank order.
+    """
+    if len(grid) != box.ndim:
+        raise GeometryError(f"grid rank {len(grid)} != box rank {box.ndim}")
+    for g, s in zip(grid, box.shape):
+        if g <= 0:
+            raise GeometryError(f"non-positive grid extent {g}")
+        if g > s:
+            raise GeometryError(f"grid extent {g} exceeds domain extent {s}")
+
+    # Per-dimension cut points.
+    cuts: list[list[tuple[int, int]]] = []
+    for d, g in enumerate(grid):
+        size, rem = divmod(box.shape[d], g)
+        edges: list[tuple[int, int]] = []
+        lo = box.lo[d]
+        for i in range(g):
+            extent = size + (1 if i < rem else 0)
+            edges.append((lo, lo + extent))
+            lo += extent
+        cuts.append(edges)
+
+    blocks: list[BBox] = []
+
+    def rec(d: int, lo: list[int], hi: list[int]) -> None:
+        if d == box.ndim:
+            blocks.append(BBox(tuple(lo), tuple(hi)))
+            return
+        for a, b in cuts[d]:
+            lo[d], hi[d] = a, b
+            rec(d + 1, lo, hi)
+
+    rec(0, [0] * box.ndim, [0] * box.ndim)
+    return blocks
+
+
+def iter_block_coords(grid: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Row-major iteration of grid coordinates, matching grid_decompose order."""
+    ndim = len(grid)
+    coord = [0] * ndim
+
+    total = math.prod(grid)
+    for _ in range(total):
+        yield tuple(coord)
+        for d in range(ndim - 1, -1, -1):
+            coord[d] += 1
+            if coord[d] < grid[d]:
+                break
+            coord[d] = 0

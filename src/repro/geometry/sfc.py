@@ -1,0 +1,133 @@
+"""Space-filling curves for DHT placement.
+
+DataSpaces maps regions of the global domain onto staging servers with a
+Hilbert space-filling curve so that spatially adjacent data lands on the same
+or nearby servers. We implement Morton (Z-order) and Hilbert codes for
+arbitrary dimension and bit depth; placement uses Hilbert by default because
+its locality is what makes range queries cheap, but Morton is kept both as a
+comparison baseline and because it is the fallback DataSpaces uses for
+domains whose extent is not a power of two.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "bits_for_extent",
+]
+
+
+def bits_for_extent(extent: int) -> int:
+    """Number of bits needed to index coordinates in ``[0, extent)``."""
+    if extent <= 0:
+        raise ValueError(f"extent must be positive, got {extent}")
+    return max(1, (extent - 1).bit_length())
+
+
+def _check_coords(coords: Sequence[int], bits: int) -> None:
+    limit = 1 << bits
+    for c in coords:
+        if not (0 <= c < limit):
+            raise ValueError(f"coordinate {c} out of range [0, {limit}) for {bits} bits")
+
+
+def morton_encode(coords: Sequence[int], bits: int) -> int:
+    """Interleave ``ndim`` coordinates of ``bits`` bits into a Z-order code."""
+    _check_coords(coords, bits)
+    code = 0
+    n = len(coords)
+    for b in range(bits):
+        for d, c in enumerate(coords):
+            code |= ((c >> b) & 1) << (b * n + d)
+    return code
+
+
+def morton_decode(code: int, ndim: int, bits: int) -> tuple[int, ...]:
+    """Inverse of :func:`morton_encode`."""
+    if code < 0 or code >= 1 << (ndim * bits):
+        raise ValueError(f"code {code} out of range for {ndim}x{bits} bits")
+    coords = [0] * ndim
+    for b in range(bits):
+        for d in range(ndim):
+            coords[d] |= ((code >> (b * ndim + d)) & 1) << b
+    return tuple(coords)
+
+
+def hilbert_encode(coords: Sequence[int], bits: int) -> int:
+    """Encode coordinates to their index along an N-d Hilbert curve.
+
+    Implements Skilling's transform (AIP Conf. Proc. 707, 2004): first map the
+    point to its "transposed" Hilbert representation in place, then collect
+    the bits into a single integer, most significant bit plane first.
+    """
+    _check_coords(coords, bits)
+    x = list(coords)
+    n = len(x)
+    m = 1 << (bits - 1)
+    # Inverse undo excess work.
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(n):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, n):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[n - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(n):
+        x[i] ^= t
+    # Interleave bit planes: plane (bits-1) is most significant.
+    code = 0
+    for b in range(bits - 1, -1, -1):
+        for i in range(n):
+            code = (code << 1) | ((x[i] >> b) & 1)
+    return code
+
+
+def hilbert_decode(code: int, ndim: int, bits: int) -> tuple[int, ...]:
+    """Inverse of :func:`hilbert_encode`."""
+    if code < 0 or code >= 1 << (ndim * bits):
+        raise ValueError(f"code {code} out of range for {ndim}x{bits} bits")
+    # De-interleave bit planes into the transposed representation.
+    x = [0] * ndim
+    pos = ndim * bits
+    for b in range(bits - 1, -1, -1):
+        for i in range(ndim):
+            pos -= 1
+            x[i] |= ((code >> pos) & 1) << b
+    n = ndim
+    m = 2 << (bits - 1)
+    # Gray decode by H ^ (H/2).
+    t = x[n - 1] >> 1
+    for i in range(n - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work.
+    q = 2
+    while q != m:
+        p = q - 1
+        for i in range(n - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return tuple(x)

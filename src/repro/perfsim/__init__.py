@@ -1,0 +1,61 @@
+"""Discrete-event performance simulator: a calibrated Cori/XC40 model that
+reproduces the paper's Figures 9 and 10 (write response time, staging memory,
+and total workflow execution time under failures, at up to 11264 cores)."""
+
+from repro.perfsim.config import (
+    CORI,
+    TABLE2,
+    TABLE3_MTBF,
+    TABLE3_SCALES,
+    MachineParams,
+    WorkflowConfig,
+    table2_config,
+    table3_config,
+)
+from repro.perfsim.engine import Engine, Interrupt, Process, SimEvent, Timeout, all_of
+from repro.perfsim.extensions import MultiLevelScheme, ProactiveScheme
+from repro.perfsim.metrics import ComponentMetrics, SimResult
+from repro.perfsim.pfs import ParallelFileSystem
+from repro.perfsim.resources import FifoResource, SimBarrier, TokenPool, VersionBoard
+from repro.perfsim.staging import StagingModel
+from repro.perfsim.workflow import (
+    CONSUMER,
+    PRODUCER,
+    SIM_SCHEMES,
+    SimFailure,
+    sample_failures,
+    simulate,
+)
+
+__all__ = [
+    "CORI",
+    "TABLE2",
+    "TABLE3_MTBF",
+    "TABLE3_SCALES",
+    "MachineParams",
+    "WorkflowConfig",
+    "table2_config",
+    "table3_config",
+    "Engine",
+    "Interrupt",
+    "MultiLevelScheme",
+    "ProactiveScheme",
+    "Process",
+    "SimEvent",
+    "Timeout",
+    "all_of",
+    "ComponentMetrics",
+    "SimResult",
+    "ParallelFileSystem",
+    "FifoResource",
+    "SimBarrier",
+    "TokenPool",
+    "VersionBoard",
+    "StagingModel",
+    "CONSUMER",
+    "PRODUCER",
+    "SIM_SCHEMES",
+    "SimFailure",
+    "sample_failures",
+    "simulate",
+]

@@ -1,0 +1,257 @@
+"""Simulated application components (producer/consumer) for the DES.
+
+Each component is one DES process modelling an SPMD application in
+aggregate: compute phases are fixed durations (weak scaling), staged I/O
+phases go through :class:`~repro.perfsim.staging.StagingModel`'s server
+queues, and coupling order is enforced by version boards. Fault-tolerance
+behaviour is delegated to the scheme object (:mod:`repro.perfsim.ft`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import ConfigError
+from repro.perfsim.config import WorkflowConfig
+from repro.perfsim.engine import Engine, Interrupt, Process
+from repro.perfsim.resources import VersionBoard
+from repro.perfsim.staging import StagingModel
+from repro.util.timeline import Counter
+
+__all__ = ["PhaseTimes", "SimComponent", "SimProducer", "SimConsumer"]
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock (virtual) seconds a component spent per phase."""
+
+    compute: float = 0.0
+    staging_io: float = 0.0
+    coupling_wait: float = 0.0
+    checkpoint: float = 0.0
+    recovery: float = 0.0
+
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.staging_io
+            + self.coupling_wait
+            + self.checkpoint
+            + self.recovery
+        )
+
+
+class SimComponent:
+    """Common machinery: the step loop with failure/rollback handling."""
+
+    kind = "base"
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        config: WorkflowConfig,
+        staging: StagingModel,
+        board: VersionBoard,
+        consumed: VersionBoard,
+        scheme,
+        cores: int,
+        nodes: int,
+        compute_time: float,
+        checkpoint_period: int,
+        state_bytes: int,
+        failure_steps: list[tuple[int, str]] | None = None,
+        max_ahead: int = 2,
+    ) -> None:
+        if compute_time < 0:
+            raise ConfigError(f"negative compute time {compute_time}")
+        self.name = name
+        self.engine = engine
+        self.config = config
+        self.staging = staging
+        self.board = board
+        self.consumed = consumed
+        self.scheme = scheme
+        self.cores = cores
+        self.nodes = nodes
+        self.compute_time = compute_time
+        self.checkpoint_period = checkpoint_period
+        self.state_bytes = state_bytes
+        self.max_ahead = max_ahead
+        # (step, kind) pairs, fired in step order; kind "node" additionally
+        # destroys node-local checkpoints (multi-level extension).
+        self.pending_failures = sorted(failure_steps or [])
+        self.pending_node_failure = False
+
+        self.step = 0
+        self.frontier = 0  # highest step ever completed (replay boundary)
+        self.restore_step = 0  # where the latest checkpoint restarts us
+        self.interruptible = False
+        self.rollback_flag = False
+        self.done = False
+        self.finish_time: float | None = None
+        self.phases = PhaseTimes()
+        self.recoveries = Counter(f"{name}_recoveries")
+        self.checkpoints = Counter(f"{name}_checkpoints")
+        self.steps_run = Counter(f"{name}_steps")
+        self.process: Process | None = None
+        staging.register(name)
+
+    # ----------------------------------------------------------- utilities
+
+    def _timed(self, attr: str):
+        """Context helper: returns start time; caller adds elapsed to phase."""
+        return self.engine.now
+
+    def _account(self, attr: str, start: float) -> None:
+        setattr(self.phases, attr, getattr(self.phases, attr) + self.engine.now - start)
+
+    def descriptor(self, var: str, step: int) -> ObjectDescriptor:
+        # Case 1 subsets are cell-strided selections spread uniformly over
+        # the domain; geometrically the descriptor covers the full box and
+        # the staging model scales per-server bytes by the fraction.
+        return ObjectDescriptor(var, step, self.config.domain.bbox, self.config.dtype)
+
+    def _failure_due(self) -> bool:
+        return bool(self.pending_failures) and self.step >= self.pending_failures[0][0]
+
+    def _consume_failure(self) -> int:
+        step, kind = self.pending_failures.pop(0)
+        self.pending_node_failure = kind == "node"
+        return step
+
+    @property
+    def replaying(self) -> bool:
+        """True while re-executing steps already completed before a failure."""
+        return self.step < self.frontier
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self):
+        """The component's DES process body."""
+        while self.step < self.config.num_steps:
+            try:
+                if self.rollback_flag:
+                    self.rollback_flag = False
+                    start = self.engine.now
+                    yield from self.scheme.global_restore(self)
+                    self._account("recovery", start)
+                    continue
+                # Prediction-triggered checkpoints happen before the failure
+                # fires: the predictor's whole value is saving state ahead
+                # of the crash it anticipated.
+                yield from self.scheme.pre_step(self)
+                if self._failure_due():
+                    at_step = self.step
+                    self._consume_failure()
+                    start = self.engine.now
+                    yield from self.scheme.recover(self, at_step)
+                    self._account("recovery", start)
+                    self.recoveries.add(1)
+                    continue
+                was_replaying = self.replaying
+                yield from self.execute_step(self.step)
+                self.steps_run.add(1)
+                self.step += 1
+                if was_replaying and not self.replaying:
+                    # Caught up with the pre-failure frontier: replay over.
+                    self.staging.replay_done(self.name)
+                self.frontier = max(self.frontier, self.step)
+                if (
+                    self.step % self.checkpoint_period == 0
+                    and self.step < self.config.num_steps
+                    and self.scheme.checkpoints_component(self)
+                ):
+                    start = self.engine.now
+                    yield from self.scheme.checkpoint(self)
+                    self._account("checkpoint", start)
+                    self.checkpoints.add(1)
+            except Interrupt:
+                # A peer's failure forced a global rollback while we were in
+                # an interruptible wait (coordinated scheme only).
+                self.interruptible = False
+                start = self.engine.now
+                yield from self.scheme.global_restore(self)
+                self._account("recovery", start)
+        self.done = True
+        self.finish_time = self.engine.now
+        yield from self.scheme.component_finished(self)
+
+    def execute_step(self, step: int):
+        raise NotImplementedError
+
+    # Compute fragments are the interruptible sections: a crash elsewhere in
+    # the machine can pre-empt a computing or waiting component instantly,
+    # while I/O sections complete first (they hold server queue slots).
+    def _interruptible_wait(self, event):
+        self.interruptible = True
+        try:
+            yield event
+        finally:
+            self.interruptible = False
+
+
+class SimProducer(SimComponent):
+    """The simulation: compute, then write the coupled region."""
+
+    kind = "producer"
+
+    def execute_step(self, step: int):
+        # Flow control: stay at most max_ahead versions ahead of consumers.
+        gate = step - self.max_ahead
+        if gate >= 0 and self.config.variables:
+            start = self.engine.now
+            for var in self.config.variables:
+                yield from self._interruptible_wait(
+                    self.consumed.wait_for(var, gate)
+                )
+            self._account("coupling_wait", start)
+
+        start = self.engine.now
+        yield from self._interruptible_wait(self.engine.timeout(self.compute_time))
+        self._account("compute", start)
+
+        start = self.engine.now
+        suppressed = self.replaying and self.scheme.suppresses_replayed_puts
+        for var in self.config.variables:
+            yield from self.staging.put(
+                self.name,
+                self.descriptor(var, step),
+                suppressed=suppressed,
+                fraction=self.config.subset_fraction,
+                ranks=self.cores,
+            )
+            self.board.publish(var, step)
+        self._account("staging_io", start)
+
+
+class SimConsumer(SimComponent):
+    """The analytic: read the coupled region right after the write."""
+
+    kind = "consumer"
+
+    def execute_step(self, step: int):
+        replay_read = self.replaying and self.scheme.serves_replayed_gets
+        stale_read = self.replaying and not self.scheme.serves_replayed_gets
+        if not (replay_read or stale_read):
+            start = self.engine.now
+            for var in self.config.variables:
+                yield from self._interruptible_wait(self.board.wait_for(var, step))
+            self._account("coupling_wait", start)
+
+        start = self.engine.now
+        for var in self.config.variables:
+            yield from self.staging.get(
+                self.name,
+                self.descriptor(var, step),
+                replayed=replay_read,
+                fraction=self.config.subset_fraction,
+                ranks=self.cores,
+            )
+            self.consumed.publish(var, step)
+        self._account("staging_io", start)
+
+        start = self.engine.now
+        yield from self._interruptible_wait(self.engine.timeout(self.compute_time))
+        self._account("compute", start)

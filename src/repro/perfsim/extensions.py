@@ -1,0 +1,120 @@
+"""Extensions beyond the paper's evaluation (its §VI future work).
+
+* :class:`ProactiveScheme` — uncoordinated C/R + data logging, augmented
+  with a failure predictor (Bouguerra et al., IPDPS'13): when a failure is
+  predicted for the next step, the component checkpoints immediately, so the
+  rollback loses at most the mispredicted remainder. Predictor quality is
+  modelled by recall (fraction of failures predicted) and lead time.
+
+* :class:`MultiLevelScheme` — uncoordinated C/R + data logging with two
+  checkpoint tiers (Moody et al., SC'10): fast node-local checkpoints every
+  period, a PFS-level checkpoint every ``pfs_interval``-th time. Process
+  failures restore from the node-local tier (cheap); *node* failures destroy
+  the node-local copy and fall back to the last PFS checkpoint (more lost
+  work) — which is why the PFS tier exists at all.
+
+Both compose with the paper's logging/replay machinery unchanged: staging
+consistency is orthogonal to where and when application state is saved,
+which is exactly the decoupling the paper argues for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.perfsim.apps import SimComponent
+from repro.perfsim.ft import UncoordinatedScheme
+
+__all__ = ["ProactiveScheme", "MultiLevelScheme"]
+
+
+class ProactiveScheme(UncoordinatedScheme):
+    """Uncoordinated C/R with prediction-triggered extra checkpoints."""
+
+    name = "proactive"
+
+    def __init__(self, *args, recall: float = 1.0, **kw) -> None:
+        super().__init__(*args, **kw)
+        if not (0.0 <= recall <= 1.0):
+            raise ConfigError(f"recall must be in [0, 1], got {recall}")
+        self.recall = recall
+        # component name -> set of steps at which a failure is predicted.
+        self.predictions: dict[str, set[int]] = {}
+        self.proactive_checkpoints = 0
+
+    def load_predictions(self, failures, rng=None) -> None:
+        """Derive per-component predicted steps from the failure schedule.
+
+        With ``recall < 1`` a deterministic subsample is kept (every k-th
+        prediction dropped) so experiments stay reproducible.
+        """
+        kept: dict[str, set[int]] = {}
+        for i, failure in enumerate(sorted(failures, key=lambda f: (f.step, f.component))):
+            if self.recall >= 1.0 or (i + 1) * self.recall >= len(kept.get(failure.component, ())) + 1:
+                kept.setdefault(failure.component, set()).add(failure.step)
+        self.predictions = kept
+
+    def pre_step(self, comp: SimComponent):
+        """Checkpoint right before a predicted failure step."""
+        predicted = self.predictions.get(comp.name, ())
+        if comp.step in predicted and comp.restore_step != comp.step:
+            yield from self.checkpoint(comp)
+            comp.checkpoints.add(1)
+            self.proactive_checkpoints += 1
+
+
+class MultiLevelScheme(UncoordinatedScheme):
+    """Uncoordinated C/R with node-local + PFS checkpoint tiers."""
+
+    name = "multilevel"
+
+    def __init__(
+        self,
+        *args,
+        pfs_interval: int = 4,
+        node_local_bandwidth: float = 5.0e9,
+        **kw,
+    ) -> None:
+        super().__init__(*args, **kw)
+        if pfs_interval < 1:
+            raise ConfigError(f"pfs_interval must be >= 1, got {pfs_interval}")
+        if node_local_bandwidth <= 0:
+            raise ConfigError("node_local_bandwidth must be positive")
+        self.pfs_interval = pfs_interval
+        self.node_local_bandwidth = node_local_bandwidth
+        self._ckpt_counter: dict[str, int] = {}
+        # component -> restore step of its last PFS-level checkpoint.
+        self._pfs_restore_step: dict[str, int] = {}
+        self.node_local_checkpoints = 0
+        self.pfs_checkpoints = 0
+
+    def _node_local_time(self, comp: SimComponent) -> float:
+        # All nodes write their local shard concurrently to NVRAM/SSD.
+        return comp.state_bytes / (comp.nodes * self.node_local_bandwidth)
+
+    def checkpoint(self, comp: SimComponent):
+        count = self._ckpt_counter.get(comp.name, 0)
+        self._ckpt_counter[comp.name] = count + 1
+        if count % self.pfs_interval == self.pfs_interval - 1:
+            # PFS-level checkpoint: survives node loss.
+            yield from self.pfs.write(comp.state_bytes, comp.nodes)
+            self._pfs_restore_step[comp.name] = comp.step
+            self.pfs_checkpoints += 1
+        else:
+            yield self.engine.timeout(self._node_local_time(comp))
+            self.node_local_checkpoints += 1
+        yield from self.staging.workflow_check(comp.name, comp.step)
+        comp.restore_step = comp.step
+
+    def recover(self, comp: SimComponent, at_step: int):
+        yield self.engine.timeout(self.machine.failure_detection_delay)
+        yield self.engine.timeout(self.machine.ulfm_recovery_time)
+        node_failure = getattr(comp, "pending_node_failure", False)
+        if node_failure:
+            # The node-local tier died with the node: fall back to PFS.
+            comp.pending_node_failure = False
+            comp.restore_step = self._pfs_restore_step.get(comp.name, 0)
+            yield from self.pfs.read(comp.state_bytes, comp.nodes)
+        else:
+            yield self.engine.timeout(self._node_local_time(comp))
+        yield from self.staging.workflow_restart(comp.name, comp.restore_step)
+        comp.step = comp.restore_step

@@ -1,0 +1,302 @@
+"""Fault-tolerance schemes for the performance simulator.
+
+Each scheme implements the same four hooks used by the component step loop:
+
+* ``checkpoint(comp)`` — what taking one checkpoint costs;
+* ``recover(comp, at_step)`` — what the *failed* component does;
+* ``global_restore(comp)`` — what a *healthy* component does when dragged
+  into a global rollback (coordinated scheme only; no-op elsewhere);
+* ``component_finished(comp)`` — end-of-run bookkeeping.
+
+Costs follow the paper's recovery anatomy (Fig. 7b): failure detection, ULFM
+process recovery from the spare pool, data recovery from the PFS checkpoint,
+and staging client recovery with the recovery-event notification.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.perfsim.apps import SimComponent
+from repro.perfsim.config import MachineParams
+from repro.perfsim.engine import Engine
+from repro.perfsim.pfs import ParallelFileSystem
+from repro.perfsim.resources import SimBarrier, VersionBoard
+from repro.perfsim.staging import StagingModel
+
+__all__ = [
+    "SchemeBase",
+    "DsScheme",
+    "UncoordinatedScheme",
+    "IndividualScheme",
+    "HybridScheme",
+    "CoordinatedScheme",
+    "make_scheme",
+]
+
+
+class SchemeBase:
+    """Shared plumbing for all schemes."""
+
+    name = "base"
+    logging_enabled = True
+    suppresses_replayed_puts = True  # staging omits redundant re-writes
+    serves_replayed_gets = True  # staging replays logged reads (no re-wait)
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: MachineParams,
+        pfs: ParallelFileSystem,
+        staging: StagingModel,
+        board: VersionBoard,
+        consumed: VersionBoard,
+    ) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.pfs = pfs
+        self.staging = staging
+        self.board = board
+        self.consumed = consumed
+        self.components: list[SimComponent] = []
+
+    def attach(self, comp: SimComponent) -> None:
+        self.components.append(comp)
+
+    def checkpoints_component(self, comp: SimComponent) -> bool:
+        """Whether this scheme checkpoints ``comp`` at all."""
+        return True
+
+    def pre_step(self, comp: SimComponent):
+        """Hook run at every step start (proactive schemes override)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------- defaults
+
+    def checkpoint(self, comp: SimComponent):
+        """Independent checkpoint: save state to PFS, notify staging."""
+        yield from self.pfs.write(comp.state_bytes, comp.nodes)
+        yield from self.staging.workflow_check(comp.name, comp.step)
+        comp.restore_step = comp.step
+
+    def recover(self, comp: SimComponent, at_step: int):
+        """The paper's four-step local recovery."""
+        yield self.engine.timeout(self.machine.failure_detection_delay)
+        yield self.engine.timeout(self.machine.ulfm_recovery_time)
+        yield from self.pfs.read(comp.state_bytes, comp.nodes)
+        yield from self.staging.workflow_restart(comp.name, comp.restore_step)
+        comp.step = comp.restore_step
+
+    def global_restore(self, comp: SimComponent):
+        """Healthy components are untouched outside the coordinated scheme."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def component_finished(self, comp: SimComponent):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class DsScheme(SchemeBase):
+    """Original data staging: no logging, no checkpoints, failure-free."""
+
+    name = "ds"
+    logging_enabled = False
+    suppresses_replayed_puts = False
+    serves_replayed_gets = False
+
+    def checkpoints_component(self, comp: SimComponent) -> bool:
+        # No fault tolerance at all: checkpoints are skipped entirely.
+        return False
+
+    def checkpoint(self, comp: SimComponent):
+        raise ConfigError("DsScheme takes no checkpoints")
+        yield  # pragma: no cover
+
+    def recover(self, comp: SimComponent, at_step: int):
+        raise ConfigError("DsScheme cannot recover from failures")
+        yield  # pragma: no cover
+
+
+class UncoordinatedScheme(SchemeBase):
+    """The paper's framework: independent C/R + data logging + replay."""
+
+    name = "uncoordinated"
+    logging_enabled = True
+    suppresses_replayed_puts = True
+    serves_replayed_gets = True
+
+
+class IndividualScheme(SchemeBase):
+    """Independent C/R without logging: the consistency-unsafe lower bound.
+
+    Redundant re-writes are stored again at full cost (paper Fig. 2 case 2)
+    and rollback re-reads are served whatever staging currently holds — a
+    plain read with no waiting (stale data, Fig. 2 case 1), which is why this
+    scheme bounds execution time from below while producing wrong results.
+    """
+
+    name = "individual"
+    logging_enabled = False
+    suppresses_replayed_puts = False
+    serves_replayed_gets = False
+
+
+class HybridScheme(SchemeBase):
+    """Producer uses C/R with logging; consumers use process replication."""
+
+    name = "hybrid"
+    logging_enabled = True
+    suppresses_replayed_puts = True
+    serves_replayed_gets = True
+
+    def checkpoints_component(self, comp: SimComponent) -> bool:
+        # Replicated components do not checkpoint; replication's cost is
+        # paid in cores (the replica), not in time.
+        return comp.kind != "consumer"
+
+    def recover(self, comp: SimComponent, at_step: int):
+        if comp.kind == "consumer":
+            # Replica failover: switch the task to the duplicate process.
+            # No rollback, no staging recovery phase (paper §III-B).
+            yield self.engine.timeout(self.machine.replica_failover_time)
+            return
+        yield from super().recover(comp, at_step)
+
+
+class CoordinatedScheme(SchemeBase):
+    """Global coordinated C/R: barriers + storms + whole-workflow rollback."""
+
+    name = "coordinated"
+    logging_enabled = False
+    suppresses_replayed_puts = False
+    serves_replayed_gets = False
+
+    def __init__(self, *args, **kw) -> None:
+        super().__init__(*args, **kw)
+        self._ckpt_barrier: SimBarrier | None = None
+        self._restore_barrier: SimBarrier | None = None
+        self.global_restore_step = 0
+        self.global_rollbacks = 0
+        self._snapshot_staged_bytes = 0
+
+    def _barriers(self) -> tuple[SimBarrier, SimBarrier]:
+        if self._ckpt_barrier is None:
+            n = len(self.components)
+            self._ckpt_barrier = SimBarrier(self.engine, n, "co-ckpt")
+            self._restore_barrier = SimBarrier(self.engine, n, "co-restore")
+        assert self._restore_barrier is not None
+        return self._ckpt_barrier, self._restore_barrier
+
+    @property
+    def total_ranks(self) -> int:
+        return sum(c.cores for c in self.components)
+
+    def checkpoint(self, comp: SimComponent):
+        """Barrier, write state (PFS storm serializes), snapshot, barrier.
+
+        The global snapshot must include the staging servers: their contents
+        are workflow state, and a coordinated rollback restores them. The
+        paper's uncoordinated scheme never pays this — data logging plus
+        independent application checkpoints make persisted staging state
+        unnecessary — which is a key reason its advantage grows with scale
+        (staged volume grows with the job, PFS bandwidth does not).
+        """
+        ckpt_barrier, _ = self._barriers()
+        yield self.engine.timeout(self.machine.barrier_time(self.total_ranks))
+        yield from comp._interruptible_wait(ckpt_barrier.arrive())
+        yield from self.pfs.write(comp.state_bytes, comp.nodes)
+        if comp is self.components[0]:
+            # One party accounts the staging-servers snapshot. The local
+            # capture is synchronous (the barrier waits for a consistent
+            # image); draining it to the PFS proceeds asynchronously, SCR
+            # style, but still occupies the shared PFS channel.
+            yield self.engine.timeout(self.staging.snapshot_time())
+            staged = self.staging.total_bytes
+            if staged:
+                self.engine.process(
+                    self.pfs.write(staged, self.staging.config.staging_nodes),
+                    name="staging-snapshot-drain",
+                )
+        yield self.engine.timeout(self.machine.barrier_time(self.total_ranks))
+        yield from comp._interruptible_wait(ckpt_barrier.arrive())
+        comp.restore_step = comp.step
+        self.global_restore_step = comp.step
+        self._snapshot_staged_bytes = self.staging.total_bytes
+
+    def recover(self, comp: SimComponent, at_step: int):
+        """The failed component: detect, trigger everyone, then join them."""
+        yield self.engine.timeout(self.machine.failure_detection_delay)
+        yield self.engine.timeout(self.machine.ulfm_recovery_time)
+        self._trigger_rollback(exclude=comp)
+        yield from self.global_restore(comp)
+
+    def _trigger_rollback(self, exclude: SimComponent) -> None:
+        self.global_rollbacks += 1
+        ckpt_barrier, _ = self._barriers()
+        ckpt_barrier.reset()  # abandon any half-gathered checkpoint round
+        # Rewind staging and coupling state to the snapshot *now*, before any
+        # component resumes (zero virtual time).
+        restored_version = self.global_restore_step - 1
+        self.staging.rollback_retention(restored_version)
+        for var in self.components[0].config.variables:
+            self.board.unpublish_from(var, self.global_restore_step)
+            self.consumed.unpublish_from(var, self.global_restore_step)
+        for other in self.components:
+            if other is exclude:
+                continue
+            if other.interruptible and other.process is not None:
+                other.process.interrupt("global-rollback")
+            else:
+                other.rollback_flag = True
+
+    def global_restore(self, comp: SimComponent):
+        """Every component: rendezvous, restore storm, rewind, re-execute."""
+        _, restore_barrier = self._barriers()
+        yield restore_barrier.arrive()
+        yield from self.pfs.read(comp.state_bytes, comp.nodes)
+        if comp is self.components[0]:
+            # One party accounts re-loading the staging snapshot from PFS.
+            staged = getattr(self, "_snapshot_staged_bytes", 0)
+            if staged:
+                yield from self.pfs.read(staged, self.staging.config.staging_nodes)
+        comp.step = self.global_restore_step
+        # Full re-execution: coordinated rollback has no replay shortcut.
+        comp.frontier = self.global_restore_step
+        comp.rollback_flag = False
+
+    def component_finished(self, comp: SimComponent):
+        """Finished components would block future barriers; shrink them."""
+        ckpt_barrier, restore_barrier = self._barriers()
+        remaining = sum(1 for c in self.components if not c.done)
+        if remaining > 0:
+            ckpt_barrier.set_parties(remaining)
+            restore_barrier.set_parties(remaining)
+        return
+        yield  # pragma: no cover
+
+
+_SCHEMES = {
+    "ds": DsScheme,
+    "uncoordinated": UncoordinatedScheme,
+    "individual": IndividualScheme,
+    "hybrid": HybridScheme,
+    "coordinated": CoordinatedScheme,
+}
+
+
+def make_scheme(
+    name: str,
+    engine: Engine,
+    machine: MachineParams,
+    pfs: ParallelFileSystem,
+    staging: StagingModel,
+    board: VersionBoard,
+    consumed: VersionBoard,
+) -> SchemeBase:
+    """Instantiate a scheme by its paper abbreviation-ish name."""
+    try:
+        cls = _SCHEMES[name]
+    except KeyError:
+        raise ConfigError(f"unknown scheme {name!r}; choose from {sorted(_SCHEMES)}")
+    return cls(engine, machine, pfs, staging, board, consumed)

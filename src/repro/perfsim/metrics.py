@@ -1,0 +1,72 @@
+"""Result containers for simulated workflow runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfsim.apps import PhaseTimes
+from repro.util.timeline import Timeline
+
+__all__ = ["ComponentMetrics", "SimResult"]
+
+
+@dataclass(frozen=True)
+class ComponentMetrics:
+    """Per-component outcome of one simulated run."""
+
+    name: str
+    kind: str
+    finish_time: float
+    steps_run: int
+    checkpoints: int
+    recoveries: int
+    phases: PhaseTimes
+
+
+@dataclass
+class SimResult:
+    """Everything one simulated workflow run produced."""
+
+    scheme: str
+    config_name: str
+    total_time: float
+    components: dict[str, ComponentMetrics]
+    # Figure 9(a)/(b): cumulative data write response time.
+    cumulative_write_response: float
+    write_count: int
+    cumulative_read_response: float
+    # Figure 9(c)/(d): staging memory (bytes over time).
+    memory: Timeline
+    failures_injected: int
+    gc_bytes_freed: float = 0.0
+    suppressed_requests: int = 0
+    pfs_utilization: float = 0.0
+    events_processed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def mean_write_response(self) -> float:
+        """Average service time of one write request."""
+        if self.write_count == 0:
+            return 0.0
+        return self.cumulative_write_response / self.write_count
+
+    @property
+    def peak_memory(self) -> float:
+        return self.memory.peak
+
+    @property
+    def mean_memory(self) -> float:
+        return self.memory.time_weighted_mean()
+
+    def summary(self) -> dict:
+        """Flat dict for report tables."""
+        return {
+            "scheme": self.scheme,
+            "config": self.config_name,
+            "total_time_s": round(self.total_time, 3),
+            "cum_write_response_s": round(self.cumulative_write_response, 4),
+            "peak_memory_bytes": int(self.peak_memory),
+            "mean_memory_bytes": int(self.mean_memory),
+            "failures": self.failures_injected,
+        }

@@ -1,0 +1,74 @@
+"""Parallel file system (Lustre-like) bandwidth model.
+
+Checkpoint and restore traffic flows through a shared PFS. Jobs queue FIFO
+for the aggregate bandwidth; each job's service time is bounded both by the
+aggregate share and by the per-node bandwidth cap of the writing component.
+Serialized FIFO access is what makes coordinated checkpoint/restore *storms*
+expensive: when every component writes at once the storm's makespan is the
+sum of the transfers, which is exactly the contention effect the paper's
+uncoordinated scheme avoids by staggering checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ConfigError
+from repro.perfsim.config import MachineParams
+from repro.perfsim.engine import Engine
+from repro.perfsim.resources import FifoResource
+from repro.util.timeline import Counter
+
+__all__ = ["ParallelFileSystem"]
+
+
+class ParallelFileSystem:
+    """FIFO-scheduled shared storage with per-node bandwidth caps."""
+
+    def __init__(self, engine: Engine, machine: MachineParams) -> None:
+        self.engine = engine
+        self.machine = machine
+        self._channel = FifoResource(engine, capacity=1, name="pfs")
+        self.bytes_written = Counter("pfs_bytes_written")
+        self.bytes_read = Counter("pfs_bytes_read")
+        self.write_time = Counter("pfs_write_time")
+        self.read_time = Counter("pfs_read_time")
+
+    # ----------------------------------------------------------- internals
+
+    def _transfer_time(self, nbytes: int, nodes: int) -> float:
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size {nbytes}")
+        if nodes <= 0:
+            raise ConfigError(f"transfer needs >= 1 node, got {nodes}")
+        bandwidth = min(
+            self.machine.pfs_aggregate_bandwidth,
+            nodes * self.machine.pfs_node_bandwidth,
+        )
+        return nbytes / bandwidth
+
+    # ----------------------------------------------------------------- api
+
+    def write(self, nbytes: int, nodes: int) -> Generator:
+        """Process fragment: write ``nbytes`` from ``nodes`` compute nodes."""
+        duration = self._transfer_time(nbytes, nodes)
+        start = self.engine.now
+        yield self._channel.acquire()
+        yield self.engine.timeout(duration)
+        self._channel.release()
+        self.bytes_written.add(nbytes)
+        self.write_time.add(self.engine.now - start)
+
+    def read(self, nbytes: int, nodes: int) -> Generator:
+        """Process fragment: read ``nbytes`` into ``nodes`` compute nodes."""
+        duration = self._transfer_time(nbytes, nodes)
+        start = self.engine.now
+        yield self._channel.acquire()
+        yield self.engine.timeout(duration)
+        self._channel.release()
+        self.bytes_read.add(nbytes)
+        self.read_time.add(self.engine.now - start)
+
+    def utilization(self) -> float:
+        """Busy fraction of the PFS channel so far."""
+        return self._channel.utilization()

@@ -1,0 +1,184 @@
+"""Queued resources for the DES: FIFO servers, token pools, and barriers."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.perfsim.engine import Engine, SimEvent
+
+__all__ = ["FifoResource", "TokenPool", "SimBarrier", "VersionBoard"]
+
+
+class FifoResource:
+    """A server pool with FIFO queueing.
+
+    ``acquire()`` returns an event firing when a server slot is granted;
+    ``release()`` hands the slot to the next waiter. The standard pattern::
+
+        grant = resource.acquire()
+        yield grant
+        yield engine.timeout(service_time)
+        resource.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[SimEvent] = deque()
+        # Saturation metrics.
+        self.total_waits = 0
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    def acquire(self) -> SimEvent:
+        """Request a slot; the returned event fires on grant."""
+        ev = SimEvent(self.engine)
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self.total_waits += 1
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free a slot, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._account()
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def service(self, duration: float) -> Generator:
+        """Convenience process fragment: acquire, hold, release."""
+        yield self.acquire()
+        yield self.engine.timeout(duration)
+        self.release()
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self.busy_time += self._in_use / self.capacity * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self) -> float:
+        """Fraction of capacity-time spent busy so far."""
+        self._account()
+        if self.engine.now <= 0:
+            return 0.0
+        return self.busy_time / self.engine.now
+
+
+class TokenPool:
+    """A counted pool (e.g. spare processes) with blocking acquisition."""
+
+    def __init__(self, engine: Engine, tokens: int, name: str = "") -> None:
+        if tokens < 0:
+            raise SimulationError(f"token count must be >= 0, got {tokens}")
+        self.engine = engine
+        self.tokens = tokens
+        self.name = name
+        self._waiters: deque[tuple[int, SimEvent]] = deque()
+
+    def acquire(self, n: int = 1) -> SimEvent:
+        ev = SimEvent(self.engine)
+        if self.tokens >= n and not self._waiters:
+            self.tokens -= n
+            ev.succeed()
+        else:
+            self._waiters.append((n, ev))
+        return ev
+
+    def release(self, n: int = 1) -> None:
+        self.tokens += n
+        while self._waiters and self._waiters[0][0] <= self.tokens:
+            need, ev = self._waiters.popleft()
+            self.tokens -= need
+            ev.succeed()
+
+
+class SimBarrier:
+    """An N-party reusable barrier in virtual time."""
+
+    def __init__(self, engine: Engine, parties: int, name: str = "") -> None:
+        if parties <= 0:
+            raise SimulationError(f"barrier parties must be positive, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._arrived: list[SimEvent] = []
+        self.cycles = 0
+
+    def arrive(self) -> SimEvent:
+        """Returns an event firing when all parties of this cycle arrived."""
+        ev = SimEvent(self.engine)
+        self._arrived.append(ev)
+        if len(self._arrived) == self.parties:
+            batch, self._arrived = self._arrived, []
+            self.cycles += 1
+            for waiter in batch:
+                waiter.succeed()
+        return ev
+
+    def reset(self) -> None:
+        """Discard arrivals of an abandoned cycle (waiters were interrupted
+        and detached; their grant events are dead)."""
+        self._arrived.clear()
+
+    def set_parties(self, parties: int) -> None:
+        """Adjust party count (components leaving a coordinated protocol)."""
+        if parties <= 0:
+            raise SimulationError("barrier must keep at least one party")
+        self.parties = parties
+        if len(self._arrived) >= self.parties:
+            batch, self._arrived = self._arrived, []
+            self.cycles += 1
+            for waiter in batch:
+                waiter.succeed()
+
+
+class VersionBoard:
+    """Publish/subscribe on (name, version) availability.
+
+    Producers announce versions; consumers wait on them. This models
+    DataSpaces' metadata notification without simulating each message.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._published: set[tuple[str, int]] = set()
+        self._waiters: dict[tuple[str, int], list[SimEvent]] = {}
+
+    def publish(self, name: str, version: int) -> None:
+        key = (name, version)
+        if key in self._published:
+            return
+        self._published.add(key)
+        for waiter in self._waiters.pop(key, ()):  # wake subscribers
+            waiter.succeed()
+
+    def unpublish_from(self, name: str, version: int) -> None:
+        """Retract versions >= ``version`` (global rollback rewinds staging)."""
+        doomed = [k for k in self._published if k[0] == name and k[1] >= version]
+        for k in doomed:
+            self._published.discard(k)
+
+    def available(self, name: str, version: int) -> bool:
+        return (name, version) in self._published
+
+    def wait_for(self, name: str, version: int) -> SimEvent:
+        ev = SimEvent(self.engine)
+        key = (name, version)
+        if key in self._published:
+            ev.succeed()
+        else:
+            self._waiters.setdefault(key, []).append(ev)
+        return ev

@@ -1,0 +1,203 @@
+"""Simulated workflow runner: wire up one experiment and execute it.
+
+``simulate(config, scheme, failures)`` builds the machine (PFS, staging
+servers, version boards), the producer and consumer components, the chosen
+fault-tolerance scheme, injects the failure schedule, runs the DES to
+completion, and returns a :class:`~repro.perfsim.metrics.SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SimulationError
+from repro.perfsim.apps import SimConsumer, SimProducer
+from repro.perfsim.config import TABLE3_MTBF, WorkflowConfig
+from repro.perfsim.engine import Engine
+from repro.perfsim.ft import make_scheme
+from repro.perfsim.metrics import ComponentMetrics, SimResult
+from repro.perfsim.pfs import ParallelFileSystem
+from repro.perfsim.resources import VersionBoard
+from repro.perfsim.staging import StagingModel
+from repro.util.rng import RngRegistry
+
+__all__ = ["SimFailure", "simulate", "sample_failures", "SIM_SCHEMES"]
+
+SIM_SCHEMES = (
+    "ds",
+    "coordinated",
+    "uncoordinated",
+    "hybrid",
+    "individual",
+    "proactive",
+    "multilevel",
+)
+
+PRODUCER = "simulation"
+CONSUMER = "analytic"
+
+
+@dataclass(frozen=True)
+class SimFailure:
+    """One injected failure: which component, at which step, what kind.
+
+    ``kind="process"`` is the paper's fail-stop process failure;
+    ``kind="node"`` additionally destroys node-local checkpoint copies
+    (relevant to the multi-level extension only).
+    """
+
+    component: str
+    step: int
+    kind: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.component not in (PRODUCER, CONSUMER):
+            raise ConfigError(
+                f"failure component must be {PRODUCER!r} or {CONSUMER!r}, "
+                f"got {self.component!r}"
+            )
+        if self.step < 0:
+            raise ConfigError(f"failure step must be >= 0, got {self.step}")
+        if self.kind not in ("process", "node"):
+            raise ConfigError(f"failure kind must be process|node, got {self.kind!r}")
+
+
+def sample_failures(
+    config: WorkflowConfig, count: int, seed: int | None = None
+) -> list[SimFailure]:
+    """The paper's injection model: ``count`` random fail-stop failures.
+
+    The failed process is uniform over application processes, so the victim
+    component is drawn weighted by core count; the step is uniform within
+    the run. The count->MTBF mapping follows Table III (600/300/200 s).
+    """
+    if count < 0:
+        raise ConfigError(f"failure count must be >= 0, got {count}")
+    rng = RngRegistry(seed if seed is not None else config.seed)
+    app_cores = config.sim_cores + config.analytic_cores
+    failures = []
+    for i in range(count):
+        roll = rng.integers(f"failure-victim-{i}", 0, app_cores)
+        component = PRODUCER if roll < config.sim_cores else CONSUMER
+        step = rng.integers(f"failure-step-{i}", 1, config.num_steps)
+        failures.append(SimFailure(component=component, step=step))
+    return sorted(failures, key=lambda f: f.step)
+
+
+def mtbf_for(count: int) -> float:
+    """Table III's MTBF corresponding to an injected failure count."""
+    return TABLE3_MTBF.get(count, 600.0 / max(count, 1))
+
+
+def simulate(
+    config: WorkflowConfig,
+    scheme: str,
+    failures: list[SimFailure] | None = None,
+    max_ahead: int = 2,
+    ds_keep_versions: int = 2,
+) -> SimResult:
+    """Run one simulated workflow and return its metrics."""
+    if scheme not in SIM_SCHEMES:
+        raise ConfigError(f"unknown scheme {scheme!r}; choose from {SIM_SCHEMES}")
+    failures = list(failures or [])
+    if scheme == "ds" and failures:
+        raise ConfigError("the ds baseline is failure-free by definition")
+
+    engine = Engine()
+    pfs = ParallelFileSystem(engine, config.machine)
+    logging_enabled = scheme in ("uncoordinated", "hybrid", "proactive", "multilevel")
+    staging = StagingModel(
+        engine, config, logging_enabled=logging_enabled, ds_keep_versions=ds_keep_versions
+    )
+    board = VersionBoard(engine)
+    consumed = VersionBoard(engine)
+    if scheme in ("proactive", "multilevel"):
+        from repro.perfsim.extensions import MultiLevelScheme, ProactiveScheme
+
+        cls = ProactiveScheme if scheme == "proactive" else MultiLevelScheme
+        ft = cls(engine, config.machine, pfs, staging, board, consumed)
+        if scheme == "proactive":
+            ft.load_predictions(failures)
+    else:
+        ft = make_scheme(scheme, engine, config.machine, pfs, staging, board, consumed)
+
+    producer = SimProducer(
+        name=PRODUCER,
+        engine=engine,
+        config=config,
+        staging=staging,
+        board=board,
+        consumed=consumed,
+        scheme=ft,
+        cores=config.sim_cores,
+        nodes=config.sim_nodes,
+        compute_time=config.sim_compute_time,
+        checkpoint_period=(
+            config.coordinated_checkpoint_period
+            if scheme == "coordinated"
+            else config.sim_checkpoint_period
+        ),
+        state_bytes=config.sim_state_bytes,
+        failure_steps=[(f.step, f.kind) for f in failures if f.component == PRODUCER],
+        max_ahead=max_ahead,
+    )
+    consumer = SimConsumer(
+        name=CONSUMER,
+        engine=engine,
+        config=config,
+        staging=staging,
+        board=board,
+        consumed=consumed,
+        scheme=ft,
+        cores=config.analytic_cores,
+        nodes=config.analytic_nodes,
+        compute_time=config.analytic_compute_time,
+        checkpoint_period=(
+            config.coordinated_checkpoint_period
+            if scheme == "coordinated"
+            else config.analytic_checkpoint_period
+        ),
+        state_bytes=config.analytic_state_bytes,
+        failure_steps=[(f.step, f.kind) for f in failures if f.component == CONSUMER],
+        max_ahead=max_ahead,
+    )
+    for comp in (producer, consumer):
+        ft.attach(comp)
+    for comp in (producer, consumer):
+        comp.process = engine.process(comp.run(), name=comp.name)
+
+    engine.run()
+    for comp in (producer, consumer):
+        if not comp.done:
+            raise SimulationError(
+                f"component {comp.name!r} stalled at step {comp.step} "
+                f"(scheme {scheme!r}, config {config.name!r})"
+            )
+
+    components = {
+        comp.name: ComponentMetrics(
+            name=comp.name,
+            kind=comp.kind,
+            finish_time=comp.finish_time or 0.0,
+            steps_run=comp.steps_run.count,
+            checkpoints=comp.checkpoints.count,
+            recoveries=comp.recoveries.count,
+            phases=comp.phases,
+        )
+        for comp in (producer, consumer)
+    }
+    return SimResult(
+        scheme=scheme,
+        config_name=config.name,
+        total_time=engine.now,
+        components=components,
+        cumulative_write_response=staging.write_response.total,
+        write_count=staging.write_response.count,
+        cumulative_read_response=staging.read_response.total,
+        memory=staging.memory,
+        failures_injected=len(failures),
+        gc_bytes_freed=staging.gc_bytes_freed.total,
+        suppressed_requests=staging.suppressed_requests.count,
+        pfs_utilization=pfs.utilization(),
+        events_processed=engine.events_processed,
+    )

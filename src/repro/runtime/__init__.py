@@ -1,0 +1,54 @@
+"""Threaded execution substrate: application components run as real threads
+exchanging real payloads through a synchronized staging service, with
+fail-stop failure injection, ULFM-style process recovery, checkpoint capture,
+and the five fault-tolerance schemes of the paper (Ds/Co/Un/Hy/In)."""
+
+from repro.runtime.app import (
+    AppComponent,
+    ComponentSpec,
+    ConsumerComponent,
+    ProducerComponent,
+    RollbackSignal,
+    synthetic_field,
+)
+from repro.runtime.checkpoint import Checkpoint, CheckpointStore, CheckpointTier
+from repro.runtime.comm import BarrierBroken, Mailbox, PhaseBarrier
+from repro.runtime.failures import FailureInjector, FailurePlan, mtbf_failure_steps
+from repro.runtime.staging_service import SynchronizedStaging, WaitInterrupted
+from repro.runtime.ulfm import Communicator, FailureDetector, RankState, SparePool
+from repro.runtime.workflow import (
+    SCHEMES,
+    CoordinatedProtocol,
+    ThreadedWorkflow,
+    WorkflowResult,
+    run_with_reference,
+)
+
+__all__ = [
+    "AppComponent",
+    "ComponentSpec",
+    "ConsumerComponent",
+    "ProducerComponent",
+    "RollbackSignal",
+    "synthetic_field",
+    "Checkpoint",
+    "CheckpointStore",
+    "CheckpointTier",
+    "BarrierBroken",
+    "Mailbox",
+    "PhaseBarrier",
+    "FailureInjector",
+    "FailurePlan",
+    "mtbf_failure_steps",
+    "SynchronizedStaging",
+    "WaitInterrupted",
+    "Communicator",
+    "FailureDetector",
+    "RankState",
+    "SparePool",
+    "SCHEMES",
+    "CoordinatedProtocol",
+    "ThreadedWorkflow",
+    "WorkflowResult",
+    "run_with_reference",
+]

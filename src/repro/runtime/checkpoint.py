@@ -1,0 +1,119 @@
+"""Application checkpoint capture and restore.
+
+Models the paper's Figure 7(a): a component saves process state and
+user-level data to reliable storage (parallel file system, node-local
+NVRAM/SSD, or burst buffer) before calling ``workflow_check()``. Here the
+"reliable storage" is an in-memory store with deep-copied state — checkpoints
+must be immune to later mutation of the live state, which the tests verify.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import pickle
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointTier", "Checkpoint", "CheckpointStore"]
+
+
+class CheckpointTier(enum.Enum):
+    """Where a checkpoint is stored (cost model differs per tier)."""
+
+    PFS = "pfs"  # centralized parallel file system, assumed fault-free
+    NODE_LOCAL = "node_local"  # NVRAM / SSD on the compute node
+    BURST_BUFFER = "burst_buffer"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One immutable state snapshot of a component."""
+
+    component: str
+    counter: int
+    step: int
+    tier: CheckpointTier
+    payload: bytes = field(repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def load_state(self) -> dict:
+        """Deserialize the captured state (a fresh object every call)."""
+        return pickle.loads(self.payload)
+
+
+class CheckpointStore:
+    """Reliable checkpoint storage shared by workflow components.
+
+    Keeps every checkpoint by default; ``keep_last`` bounds retention per
+    component (multi-level schemes keep e.g. 1 PFS + k node-local).
+    """
+
+    def __init__(self, keep_last: int | None = None) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise CheckpointError(f"keep_last must be >= 1, got {keep_last}")
+        self.keep_last = keep_last
+        self._by_component: dict[str, list[Checkpoint]] = {}
+        self._counters: dict[str, int] = {}
+        self.bytes_written = 0
+
+    def save(
+        self,
+        component: str,
+        step: int,
+        state: dict,
+        tier: CheckpointTier = CheckpointTier.PFS,
+    ) -> Checkpoint:
+        """Capture ``state`` (deep-copied via pickling) at ``step``."""
+        counter = self._counters.get(component, 0)
+        self._counters[component] = counter + 1
+        try:
+            payload = pickle.dumps(copy.deepcopy(state), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as err:  # unpicklable user state
+            raise CheckpointError(f"cannot serialize state of {component!r}: {err}") from err
+        chk = Checkpoint(
+            component=component, counter=counter, step=step, tier=tier, payload=payload
+        )
+        chks = self._by_component.setdefault(component, [])
+        chks.append(chk)
+        self.bytes_written += chk.nbytes
+        if self.keep_last is not None and len(chks) > self.keep_last:
+            del chks[: len(chks) - self.keep_last]
+        return chk
+
+    def latest(self, component: str) -> Checkpoint | None:
+        """Most recent checkpoint of ``component`` (None if never saved)."""
+        chks = self._by_component.get(component)
+        return chks[-1] if chks else None
+
+    def get(self, component: str, counter: int) -> Checkpoint:
+        """Fetch a specific checkpoint by its per-component counter."""
+        for chk in self._by_component.get(component, ()):
+            if chk.counter == counter:
+                return chk
+        raise CheckpointError(f"no checkpoint #{counter} for {component!r}")
+
+    def drop_tier(self, component: str, tier: CheckpointTier) -> int:
+        """Discard every checkpoint of ``component`` stored on ``tier``.
+
+        Models a node failure destroying node-local checkpoint copies;
+        returns the number of checkpoints lost.
+        """
+        chks = self._by_component.get(component)
+        if not chks:
+            return 0
+        survivors = [c for c in chks if c.tier is not tier]
+        lost = len(chks) - len(survivors)
+        self._by_component[component] = survivors
+        return lost
+
+    def count(self, component: str) -> int:
+        """Number of retained checkpoints for ``component``."""
+        return len(self._by_component.get(component, ()))
+
+    def components(self) -> list[str]:
+        return sorted(self._by_component)

@@ -1,0 +1,80 @@
+"""Inter-component synchronization primitives for the threaded runtime.
+
+The coordinated checkpoint baseline needs exactly what the paper describes:
+"a couple of synchronizing MPI barriers ... before and after taking the
+process checkpoints". :class:`PhaseBarrier` provides a reusable barrier with
+a leader action (the thread-release hook that restores staging snapshots),
+and :class:`Mailbox` provides point-to-point control messages.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["PhaseBarrier", "Mailbox", "BarrierBroken"]
+
+
+class BarrierBroken(SimulationError):
+    """The barrier was aborted (a participant died or timed out)."""
+
+
+class PhaseBarrier:
+    """Reusable N-party barrier with an optional once-per-cycle action.
+
+    A thin wrapper over :class:`threading.Barrier` that converts breakage
+    into the library's error type and exposes abort for teardown paths.
+    """
+
+    def __init__(self, parties: int, action: Callable[[], None] | None = None) -> None:
+        if parties <= 0:
+            raise SimulationError(f"barrier needs >= 1 party, got {parties}")
+        self.parties = parties
+        self._barrier = threading.Barrier(parties, action=action)
+
+    def wait(self, timeout: float | None = 30.0) -> int:
+        """Block until all parties arrive; returns this thread's arrival index."""
+        try:
+            return self._barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as err:
+            raise BarrierBroken(f"barrier of {self.parties} broken") from err
+
+    def abort(self) -> None:
+        """Break the barrier, releasing waiters with BarrierBroken."""
+        self._barrier.abort()
+
+    def reset(self) -> None:
+        """Restore an aborted barrier for reuse."""
+        self._barrier.reset()
+
+
+class Mailbox:
+    """An unbounded point-to-point message queue between components."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: queue.Queue[Any] = queue.Queue()
+
+    def send(self, message: Any) -> None:
+        """Enqueue a message (never blocks)."""
+        self._queue.put(message)
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """Dequeue the next message, waiting up to ``timeout`` seconds."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty as err:
+            raise TimeoutError(f"mailbox {self.name!r}: no message within {timeout}s") from err
+
+    def try_recv(self) -> Any | None:
+        """Dequeue without waiting; None when empty."""
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def __len__(self) -> int:
+        return self._queue.qsize()

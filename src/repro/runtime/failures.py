@@ -1,0 +1,118 @@
+"""Failure injection for the threaded runtime.
+
+Failures are fail-stop process crashes injected at step boundaries, either
+from an explicit schedule (deterministic tests) or drawn from an exponential
+MTBF model mapped onto steps (the paper injects "a failure randomly ... into
+the application process within 40 time steps, which corresponds to
+MTBF = 10 min").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.rng import RngRegistry
+
+__all__ = ["FailurePlan", "FailureInjector", "mtbf_failure_steps"]
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """One planned crash: which component, step, rank, and failure kind.
+
+    ``kind="process"`` is a fail-stop process failure; ``kind="node"``
+    additionally destroys the component's node-local checkpoints
+    (multi-level checkpointing).
+    """
+
+    component: str
+    step: int
+    rank: int = 0
+    kind: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ConfigError(f"failure step must be >= 0, got {self.step}")
+        if self.rank < 0:
+            raise ConfigError(f"failure rank must be >= 0, got {self.rank}")
+        if self.kind not in ("process", "node"):
+            raise ConfigError(f"failure kind must be process|node, got {self.kind!r}")
+
+
+def mtbf_failure_steps(
+    rng: RngRegistry,
+    stream: str,
+    total_steps: int,
+    step_seconds: float,
+    mtbf_seconds: float,
+    max_failures: int | None = None,
+) -> list[int]:
+    """Draw failure steps from an exponential inter-arrival process.
+
+    Arrival times with mean ``mtbf_seconds`` are mapped to the step whose
+    execution window contains them; arrivals past the run end are dropped.
+    """
+    if total_steps <= 0:
+        raise ConfigError(f"total_steps must be positive, got {total_steps}")
+    if step_seconds <= 0 or mtbf_seconds <= 0:
+        raise ConfigError("step_seconds and mtbf_seconds must be positive")
+    horizon = total_steps * step_seconds
+    steps: list[int] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(stream, mtbf_seconds)
+        if t >= horizon:
+            break
+        steps.append(int(t / step_seconds))
+        if max_failures is not None and len(steps) >= max_failures:
+            break
+    return steps
+
+
+class FailureInjector:
+    """Thread-safe one-shot failure delivery.
+
+    Each plan fires exactly once: the first time the target component asks
+    "should I fail?" at (or after) the planned step. Firing after the planned
+    step covers components that skipped the exact step due to rollback
+    re-execution landing elsewhere.
+    """
+
+    def __init__(self, plans: list[FailurePlan] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._pending: list[FailurePlan] = sorted(
+            plans or [], key=lambda p: (p.step, p.component)
+        )
+        self.fired: list[FailurePlan] = []
+
+    def schedule(self, plan: FailurePlan) -> None:
+        """Add one more planned failure."""
+        with self._lock:
+            self._pending.append(plan)
+            self._pending.sort(key=lambda p: (p.step, p.component))
+
+    def poll(self, component: str, step: int) -> FailurePlan | None:
+        """Fire and return the next due plan for ``component``, if any.
+
+        A plan is due when ``step >= plan.step``. Re-executed steps do not
+        re-fire a plan that already fired (fail-stop failures are one-shot).
+        """
+        with self._lock:
+            for i, plan in enumerate(self._pending):
+                if plan.component == component and step >= plan.step:
+                    self.fired.append(plan)
+                    del self._pending[i]
+                    return plan
+            return None
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def pending_for(self, component: str) -> list[FailurePlan]:
+        """Unfired plans targeting ``component``."""
+        with self._lock:
+            return [p for p in self._pending if p.component == component]

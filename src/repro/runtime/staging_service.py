@@ -1,0 +1,272 @@
+"""Thread-safe staging service for the threaded runtime.
+
+Wraps :class:`~repro.core.interface.WorkflowStaging` with a lock (staging
+servers service one request at a time, like a DataSpaces server thread) and
+adds the blocking read DataSpaces clients rely on: a consumer's get waits
+until the producer's version arrives. Waits are interruptible so global
+rollbacks (coordinated scheme) and shutdowns never deadlock.
+
+Also provides whole-staging snapshot/restore — under *global coordinated*
+checkpointing the staging servers are part of the global snapshot and roll
+back together with the applications.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro.core.event_queue import ReplayScript
+from repro.core.events import WChkId
+from repro.core.interface import GetResult, PutResult, WorkflowStaging
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import StagingError
+from repro.staging.client import StagingGroup
+
+__all__ = ["SynchronizedStaging", "WaitInterrupted"]
+
+
+class WaitInterrupted(StagingError):
+    """A blocking get was interrupted (rollback or shutdown)."""
+
+
+class SynchronizedStaging:
+    """Serialized access to a WorkflowStaging plus blocking version waits."""
+
+    def __init__(
+        self,
+        staging: WorkflowStaging,
+        poll_timeout: float = 1.0,
+        max_wait: float = 60.0,
+        max_ahead: int = 2,
+    ) -> None:
+        self.staging = staging
+        self.poll_timeout = poll_timeout
+        self.max_wait = max_wait
+        # Coupling flow control: a producer may run at most this many
+        # versions ahead of the slowest registered consumer. Models the
+        # paper's "write immediately followed by read" coordination
+        # (DataSpaces coupling locks) and bounds staging memory.
+        self.max_ahead = max_ahead
+        self._lock = threading.RLock()
+        self._data_arrived = threading.Condition(self._lock)
+        self._shutdown = False
+        # name -> set of consumer component names (declared couplings).
+        self._flow_consumers: dict[str, set[str]] = {}
+        # (name, component) -> highest version read.
+        self._frontier: dict[tuple[str, str], int] = {}
+        # Finished consumers no longer gate producers.
+        self._retired: set[str] = set()
+        staging.frontier_source = self._unconsumed_floor
+
+    # ------------------------------------------------------------ lifecycle
+
+    def register(self, component: str) -> None:
+        with self._lock:
+            self.staging.register(component)
+
+    def shutdown(self) -> None:
+        """Wake every waiter with WaitInterrupted; used at teardown."""
+        with self._lock:
+            self._shutdown = True
+            self._data_arrived.notify_all()
+
+    # ------------------------------------------------------------------ ops
+
+    def declare_coupling(self, name: str, consumer: str) -> None:
+        """Register that ``consumer`` reads variable ``name``.
+
+        Feeds both flow control (producer pacing) and the data log's
+        GC-protection of unread versions.
+        """
+        with self._lock:
+            self._flow_consumers.setdefault(name, set()).add(consumer)
+            if self.staging.enable_logging:
+                self.staging.declare_coupling(name, consumer)
+
+    def retire_consumer(self, consumer: str) -> None:
+        """Exclude a *finished* consumer from flow control.
+
+        A consumer that has read everything it ever will must not throttle
+        the producer — critical after a coordinated rollback rewinds read
+        frontiers below versions the parked consumer will never re-read.
+        """
+        with self._lock:
+            self._retired.add(consumer)
+            self._data_arrived.notify_all()
+
+    def rejoin_consumer(self, consumer: str) -> None:
+        """Re-admit a consumer dragged back below its final step."""
+        with self._lock:
+            self._retired.discard(consumer)
+
+    def _min_frontier(self, name: str) -> int | None:
+        """Slowest active consumer's read frontier (None: no active consumers)."""
+        consumers = self._flow_consumers.get(name)
+        if not consumers:
+            return None
+        active = [c for c in consumers if c not in self._retired]
+        if not active:
+            return None
+        return min(self._frontier.get((name, c), -1) for c in active)
+
+    def _unconsumed_floor(self, name: str) -> int | None:
+        """Lowest version not yet read by every consumer (retention floor)."""
+        frontier = self._min_frontier(name)
+        return None if frontier is None else frontier + 1
+
+    def put(
+        self,
+        component: str,
+        desc: ObjectDescriptor,
+        data: np.ndarray,
+        step: int,
+        interrupt: Callable[[], bool] | None = None,
+    ) -> PutResult:
+        """Serviced write; wakes any consumer blocked on this version.
+
+        Blocks while the slowest consumer lags more than ``max_ahead``
+        versions behind this write (coupling flow control). Replay-suppressed
+        writes never block: their data already flowed in the initial run.
+        """
+        import time
+
+        deadline = time.monotonic() + self.max_wait
+        with self._lock:
+            while not self.staging.in_replay(component):
+                frontier = self._min_frontier(desc.name)
+                if frontier is None or desc.version - frontier <= self.max_ahead:
+                    break
+                if self._shutdown:
+                    raise WaitInterrupted("staging service shut down")
+                if interrupt is not None and interrupt():
+                    raise WaitInterrupted(f"flow wait for {desc} interrupted")
+                if time.monotonic() > deadline:
+                    raise WaitInterrupted(
+                        f"{component!r}: consumers stalled > {self.max_wait}s "
+                        f"behind {desc}"
+                    )
+                self._data_arrived.wait(timeout=self.poll_timeout)
+            result = self.staging.handle_put(component, desc, data, step)
+            self._data_arrived.notify_all()
+            return result
+
+    def get_blocking(
+        self,
+        component: str,
+        desc: ObjectDescriptor,
+        step: int,
+        interrupt: Callable[[], bool] | None = None,
+    ) -> GetResult:
+        """Read ``desc``, waiting until its data is available.
+
+        ``interrupt`` is polled while waiting; returning True aborts the wait
+        with :class:`WaitInterrupted` (e.g. a coordinated rollback was
+        requested while this consumer waited for a version the rolled-back
+        producer will never write).
+        """
+        import time
+
+        deadline = time.monotonic() + self.max_wait
+        with self._lock:
+            while True:
+                if self._shutdown:
+                    raise WaitInterrupted("staging service shut down")
+                if interrupt is not None and interrupt():
+                    raise WaitInterrupted(f"wait for {desc} interrupted")
+                if time.monotonic() > deadline:
+                    raise WaitInterrupted(
+                        f"{component!r} waited over {self.max_wait}s for {desc}"
+                    )
+                result = None
+                client = self.staging._client
+                if self.staging.in_replay(component):
+                    # Replay never blocks: the log retains everything the
+                    # script will serve.
+                    result = self.staging.handle_get(component, desc, step)
+                elif client.covers(desc):
+                    result = self.staging.handle_get(component, desc, step)
+                elif (
+                    # In non-logged mode a stale-latest fallback may apply,
+                    # but only once *some* newer version exists.
+                    not self.staging.enable_logging
+                    and (latest := client.latest_version(desc.name)) is not None
+                    and latest >= desc.version
+                ):
+                    result = self.staging.handle_get(component, desc, step)
+                if result is not None:
+                    key = (desc.name, component)
+                    self._frontier[key] = max(
+                        self._frontier.get(key, -1), result.served_version
+                    )
+                    # Producers may be blocked on this consumer's progress.
+                    self._data_arrived.notify_all()
+                    return result
+                self._data_arrived.wait(timeout=self.poll_timeout)
+
+    # ---------------------------------------------------- workflow interface
+
+    def workflow_check(self, component: str, step: int, durable: bool = True) -> WChkId:
+        with self._lock:
+            return self.staging.handle_check(component, step, durable=durable)
+
+    def workflow_restart(
+        self, component: str, step: int, durable_only: bool = False
+    ) -> ReplayScript:
+        with self._lock:
+            script = self.staging.handle_restart(
+                component, step, durable_only=durable_only
+            )
+            # A recovering component changes no data, but consumers blocked
+            # on it should re-check their interrupt predicates.
+            self._data_arrived.notify_all()
+            return script
+
+    def in_replay(self, component: str) -> bool:
+        with self._lock:
+            return self.staging.in_replay(component)
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """Capture staging state (global coordinated checkpoint).
+
+        Includes the consumer read frontiers: they are coupling state, and a
+        global rollback must rewind them alongside the stores or retention
+        would evict versions the rolled-back consumers still need.
+        """
+        with self._lock:
+            return {
+                "servers": [srv.store.snapshot() for srv in self.group.servers],
+                "frontier": dict(self._frontier),
+            }
+
+    def restore(self, snap: dict) -> None:
+        """Roll staging back to a captured snapshot."""
+        with self._lock:
+            snaps = snap["servers"]
+            if len(snaps) != len(self.group.servers):
+                raise StagingError(
+                    f"snapshot covers {len(snaps)} servers, group has "
+                    f"{len(self.group.servers)}"
+                )
+            for srv, s in zip(self.group.servers, snaps):
+                srv.store.restore(s)
+            self._frontier = dict(snap["frontier"])
+            self._data_arrived.notify_all()
+
+    # -------------------------------------------------------------- metrics
+
+    @property
+    def group(self) -> StagingGroup:
+        return self.staging.group
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            return self.staging.memory_bytes()
+
+    def logging_overhead(self) -> float:
+        with self._lock:
+            return self.staging.logging_overhead()

@@ -1,0 +1,191 @@
+"""ULFM-style process-group fault handling (paper §III-C, Figure 7(b)).
+
+Implements the recovery sequence the paper builds on the proposed MPI
+User-Level Failure Mitigation extension:
+
+1. *failure detection* — an operation on a communicator with a dead rank
+   raises :class:`~repro.errors.CommunicatorRevoked`;
+2. *process recovery* — ``shrink()`` removes dead ranks, and a
+   :class:`SparePool` refills the group to its original size (the paper's
+   "equal number of spare processes join the old communicator"), or fresh
+   ranks are spawned when the pool is exhausted and spawning is allowed;
+3. the caller then performs *data recovery* (restore from checkpoint) and
+   *staging client recovery* (``workflow_restart``), which live in
+   :mod:`repro.runtime.app`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.errors import CommunicatorRevoked, ConfigError
+
+__all__ = ["RankState", "Communicator", "SparePool", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class RankState:
+    """One logical MPI rank: global process id plus liveness."""
+
+    rank: int
+    proc_id: int
+    alive: bool = True
+
+
+class SparePool:
+    """A pool of pre-allocated spare processes shared by a workflow.
+
+    Thread-safe: concurrent recoveries of different components draw from the
+    same pool, as they would on a real allocation.
+    """
+
+    def __init__(self, size: int, allow_spawn: bool = False) -> None:
+        if size < 0:
+            raise ConfigError(f"spare pool size must be >= 0, got {size}")
+        self._lock = threading.Lock()
+        self._available = size
+        self.allow_spawn = allow_spawn
+        self.spawned = 0
+        self._proc_ids = itertools.count(10_000_000)
+
+    @property
+    def available(self) -> int:
+        """Spare processes currently idle in the pool."""
+        with self._lock:
+            return self._available
+
+    def acquire(self, n: int) -> list[int]:
+        """Take ``n`` spare process ids, spawning beyond the pool if allowed."""
+        if n < 0:
+            raise ConfigError(f"cannot acquire {n} spares")
+        with self._lock:
+            from_pool = min(n, self._available)
+            self._available -= from_pool
+            short = n - from_pool
+            if short > 0:
+                if not self.allow_spawn:
+                    # Return what we took before failing.
+                    self._available += from_pool
+                    raise ConfigError(
+                        f"spare pool exhausted: need {n}, have {from_pool}, "
+                        f"spawning disabled"
+                    )
+                self.spawned += short
+            return [next(self._proc_ids) for _ in range(n)]
+
+
+class Communicator:
+    """A failable process group with ULFM shrink/repair semantics."""
+
+    def __init__(self, name: str, nranks: int, _proc_base: int = 0) -> None:
+        if nranks <= 0:
+            raise ConfigError(f"communicator needs >= 1 rank, got {nranks}")
+        self.name = name
+        self._ranks = [RankState(rank=i, proc_id=_proc_base + i) for i in range(nranks)]
+        self._revoked = False
+        self._epoch = 0
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def epoch(self) -> int:
+        """Incremented every repair; stale handles compare epochs."""
+        return self._epoch
+
+    @property
+    def revoked(self) -> bool:
+        return self._revoked
+
+    def alive_ranks(self) -> list[int]:
+        return [r.rank for r in self._ranks if r.alive]
+
+    def failed_ranks(self) -> list[int]:
+        return [r.rank for r in self._ranks if not r.alive]
+
+    # -------------------------------------------------------------- failure
+
+    def fail(self, rank: int) -> None:
+        """Mark ``rank`` dead and revoke the communicator."""
+        if not (0 <= rank < self.size):
+            raise ConfigError(f"rank {rank} out of range for size {self.size}")
+        state = self._ranks[rank]
+        if state.alive:
+            self._ranks[rank] = RankState(rank=state.rank, proc_id=state.proc_id, alive=False)
+        self._revoked = True
+
+    def check(self) -> None:
+        """Raise when the communicator is unusable (ULFM error semantics)."""
+        if self._revoked:
+            raise CommunicatorRevoked(
+                f"communicator {self.name!r} revoked; failed ranks: {self.failed_ranks()}"
+            )
+
+    def barrier(self) -> None:
+        """A collective that fails on revoked communicators."""
+        self.check()
+
+    # --------------------------------------------------------------- repair
+
+    def shrink(self) -> "Communicator":
+        """New communicator containing only the surviving processes."""
+        survivors = [r for r in self._ranks if r.alive]
+        if not survivors:
+            raise CommunicatorRevoked(f"communicator {self.name!r} has no survivors")
+        new = Communicator(self.name, len(survivors))
+        new._ranks = [
+            RankState(rank=i, proc_id=r.proc_id) for i, r in enumerate(survivors)
+        ]
+        new._epoch = self._epoch + 1
+        return new
+
+    def repair(self, spares: SparePool) -> "Communicator":
+        """Shrink, then refill to the original size from the spare pool.
+
+        This is the paper's full recovery: dead ranks are replaced so the
+        application resumes at its original scale, with rank ids preserved
+        for the survivors' data decomposition.
+        """
+        n_dead = len(self.failed_ranks())
+        if n_dead == 0 and not self._revoked:
+            return self
+        new_procs = spares.acquire(n_dead)
+        new = Communicator(self.name, self.size)
+        fresh = iter(new_procs)
+        new._ranks = [
+            r if r.alive else RankState(rank=r.rank, proc_id=next(fresh))
+            for r in self._ranks
+        ]
+        new._epoch = self._epoch + 1
+        return new
+
+
+class FailureDetector:
+    """Aggregates rank failures observed across a workflow.
+
+    Components report failures here; the workflow driver queries it to decide
+    which recovery protocol to trigger (local for Un/Hy, global for Co).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._failures: list[tuple[str, int, int]] = []  # (component, rank, step)
+
+    def report(self, component: str, rank: int, step: int) -> None:
+        with self._lock:
+            self._failures.append((component, rank, step))
+
+    def failures(self) -> list[tuple[str, int, int]]:
+        with self._lock:
+            return list(self._failures)
+
+    def count(self, component: str | None = None) -> int:
+        with self._lock:
+            if component is None:
+                return len(self._failures)
+            return sum(1 for c, _r, _s in self._failures if c == component)

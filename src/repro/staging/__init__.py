@@ -1,0 +1,19 @@
+"""Staging substrate: versioned object store, spatial index, DHT placement,
+servers and the client-side geometric put/get API."""
+
+from repro.staging.client import StagingClient, StagingGroup
+from repro.staging.hashing import PlacementMap
+from repro.staging.index import IndexEntry, SpatialIndex
+from repro.staging.server import StagingServer
+from repro.staging.store import ObjectStore, StoredObject
+
+__all__ = [
+    "StagingClient",
+    "StagingGroup",
+    "PlacementMap",
+    "IndexEntry",
+    "SpatialIndex",
+    "StagingServer",
+    "ObjectStore",
+    "StoredObject",
+]

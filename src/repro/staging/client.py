@@ -1,0 +1,108 @@
+"""Client-side staging API: shard puts/gets across servers.
+
+``StagingClient`` is the original (non-logging) DataSpaces-style interface:
+``put(desc, array)`` scatters the payload to owning servers, ``get(desc)``
+gathers and assembles it. The paper's logging interface in
+:mod:`repro.core.interface` layers the event queue on top of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import ObjectNotFound
+from repro.geometry.domain import Domain
+from repro.staging.hashing import PlacementMap
+from repro.staging.server import StagingServer
+
+__all__ = ["StagingClient", "StagingGroup"]
+
+
+@dataclass
+class StagingGroup:
+    """A set of staging servers plus the placement map clients use.
+
+    This is the process-group-level object a workflow creates once and hands
+    to every component's client.
+    """
+
+    domain: Domain
+    servers: list[StagingServer]
+    placement: PlacementMap
+
+    @classmethod
+    def create(
+        cls,
+        domain: Domain,
+        num_servers: int,
+        blocks_per_server: int = 4,
+        curve: str = "hilbert",
+    ) -> "StagingGroup":
+        """Construct ``num_servers`` empty servers and their placement map."""
+        placement = PlacementMap(domain, num_servers, blocks_per_server, curve)
+        servers = [StagingServer(i) for i in range(num_servers)]
+        return cls(domain=domain, servers=servers, placement=placement)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes across all servers."""
+        return sum(s.nbytes for s in self.servers)
+
+    def bytes_per_server(self) -> list[int]:
+        """Per-server payload byte occupancy."""
+        return [s.nbytes for s in self.servers]
+
+
+class StagingClient:
+    """Per-component handle for geometric put/get against a StagingGroup."""
+
+    def __init__(self, group: StagingGroup, client_id: str = "client") -> None:
+        self.group = group
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------ put
+
+    def put(self, desc: ObjectDescriptor, data: np.ndarray) -> int:
+        """Scatter ``data`` (covering ``desc.bbox``) to owning servers.
+
+        Returns the number of server shards written.
+        """
+        data = np.asarray(data)
+        shards = self.group.placement.shards(desc.bbox)
+        for server_id, sub in shards:
+            sub_desc = desc.with_bbox(sub)
+            self.group.servers[server_id].put(sub_desc, data[sub.slices(desc.bbox)])
+        return len(shards)
+
+    # ------------------------------------------------------------------ get
+
+    def get(self, desc: ObjectDescriptor) -> np.ndarray:
+        """Gather ``desc.bbox`` from owning servers and assemble it."""
+        shards = self.group.placement.shards(desc.bbox)
+        if not shards:
+            raise ObjectNotFound(f"{desc}: region outside staged domain")
+        out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
+        for server_id, sub in shards:
+            sub_desc = desc.with_bbox(sub)
+            out[sub.slices(desc.bbox)] = self.group.servers[server_id].get(sub_desc)
+        return out
+
+    def covers(self, desc: ObjectDescriptor) -> bool:
+        """True when every owning server can serve its shard of ``desc``."""
+        shards = self.group.placement.shards(desc.bbox)
+        if not shards:
+            return False
+        return all(
+            self.group.servers[server_id].covers(desc.with_bbox(sub))
+            for server_id, sub in shards
+        )
+
+    def latest_version(self, name: str) -> int | None:
+        """Highest version of ``name`` present on any server."""
+        versions: set[int] = set()
+        for server in self.group.servers:
+            versions.update(server.query_versions(name))
+        return max(versions) if versions else None

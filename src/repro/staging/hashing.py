@@ -1,0 +1,133 @@
+"""DHT-style placement of domain regions onto staging servers.
+
+DataSpaces shards the global domain into fixed distribution blocks and maps
+each block to a server through a space-filling curve, giving spatial locality
+(neighbouring blocks usually live on the same server) and balanced load
+(contiguous SFC ranges are split evenly across servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, GeometryError
+from repro.geometry.bbox import BBox
+from repro.geometry.domain import Domain, grid_decompose
+from repro.geometry.sfc import bits_for_extent, hilbert_encode, morton_encode
+
+__all__ = ["PlacementMap"]
+
+
+@dataclass(frozen=True)
+class _Block:
+    bbox: BBox
+    sfc_code: int
+    server: int
+
+
+class PlacementMap:
+    """Maps regions of a :class:`Domain` to staging-server indices.
+
+    Parameters
+    ----------
+    domain:
+        The global index space being staged.
+    num_servers:
+        Number of staging servers to spread data across.
+    blocks_per_server:
+        Average number of distribution blocks per server; more blocks give
+        finer load balance at higher metadata cost. DataSpaces uses a
+        comparable constant factor.
+    curve:
+        ``"hilbert"`` (default, better locality) or ``"morton"``.
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        num_servers: int,
+        blocks_per_server: int = 4,
+        curve: str = "hilbert",
+    ) -> None:
+        if num_servers <= 0:
+            raise ConfigError(f"num_servers must be positive, got {num_servers}")
+        if blocks_per_server <= 0:
+            raise ConfigError(
+                f"blocks_per_server must be positive, got {blocks_per_server}"
+            )
+        if curve not in ("hilbert", "morton"):
+            raise ConfigError(f"unknown curve {curve!r}")
+        self.domain = domain
+        self.num_servers = num_servers
+        self.curve = curve
+
+        # Choose a near-cubic grid with at least num_servers * blocks_per_server
+        # blocks, but never exceeding the domain extent in any dimension.
+        target = num_servers * blocks_per_server
+        per_dim = max(1, round(target ** (1.0 / domain.ndim)))
+        grid = tuple(min(per_dim, s) for s in domain.shape)
+        self.grid = grid
+        blocks = grid_decompose(domain.bbox, grid)
+
+        bits = max(bits_for_extent(g) for g in grid)
+        encode = hilbert_encode if curve == "hilbert" else morton_encode
+
+        def block_coord(b: BBox) -> tuple[int, ...]:
+            # Grid coordinate of the block from its low corner.
+            coord = []
+            for d in range(domain.ndim):
+                size, rem = divmod(domain.shape[d], grid[d])
+                # Invert the remainder-aware cut: first `rem` blocks are size+1.
+                lo = b.lo[d]
+                wide = (size + 1) * rem
+                if lo < wide:
+                    coord.append(lo // (size + 1))
+                else:
+                    coord.append(rem + (lo - wide) // size if size else rem)
+            return tuple(coord)
+
+        coded = sorted(
+            (encode(block_coord(b), bits), b) for b in blocks
+        )
+        n = len(coded)
+        self._blocks: list[_Block] = []
+        for i, (code, bbox) in enumerate(coded):
+            server = min(i * num_servers // n, num_servers - 1)
+            self._blocks.append(_Block(bbox=bbox, sfc_code=code, server=server))
+
+    # ----------------------------------------------------------------- api
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def server_of_point(self, point: tuple[int, ...]) -> int:
+        """Server owning the block containing ``point``."""
+        for blk in self._blocks:
+            if blk.bbox.contains_point(point):
+                return blk.server
+        raise GeometryError(f"point {point} outside domain {self.domain.shape}")
+
+    def shards(self, bbox: BBox) -> list[tuple[int, BBox]]:
+        """Split ``bbox`` into per-server shards.
+
+        Returns ``(server, sub-box)`` pairs covering exactly the intersection
+        of ``bbox`` with the domain; sub-boxes are disjoint.
+        """
+        out: list[tuple[int, BBox]] = []
+        for blk in self._blocks:
+            overlap = blk.bbox.intersect(bbox)
+            if overlap is not None:
+                out.append((blk.server, overlap))
+        return out
+
+    def servers_of(self, bbox: BBox) -> list[int]:
+        """Sorted distinct servers touched by ``bbox``."""
+        return sorted({srv for srv, _ in self.shards(bbox)})
+
+    def load_histogram(self) -> list[int]:
+        """Number of distribution blocks assigned to each server."""
+        hist = [0] * self.num_servers
+        for blk in self._blocks:
+            hist[blk.server] += 1
+        return hist

@@ -1,0 +1,86 @@
+"""Spatial metadata index for a staging server.
+
+Tracks which (name, version) regions a server holds so queries can be
+answered without touching payload bytes. This mirrors the DHT metadata layer
+of DataSpaces: clients first query the index to learn which fragments exist,
+then fetch payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.geometry.bbox import BBox
+
+__all__ = ["SpatialIndex", "IndexEntry"]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One indexed fragment: its descriptor plus bookkeeping."""
+
+    desc: ObjectDescriptor
+    nbytes: int
+    logged: bool = False  # True when retained by the data-logging component
+
+
+@dataclass
+class SpatialIndex:
+    """Per-server metadata index over fragment descriptors.
+
+    A flat per-(name, version) list is sufficient here: server-local fragment
+    counts are small (one per producer rank per step), and correctness — not
+    asymptotics — is what the reproduction must preserve.
+    """
+
+    _entries: dict[tuple[str, int], list[IndexEntry]] = field(default_factory=dict)
+
+    def insert(self, desc: ObjectDescriptor, nbytes: int, logged: bool = False) -> IndexEntry:
+        """Index one fragment; returns the entry created."""
+        entry = IndexEntry(desc=desc, nbytes=nbytes, logged=logged)
+        self._entries.setdefault(desc.key, []).append(entry)
+        return entry
+
+    def remove_version(self, name: str, version: int) -> int:
+        """Drop all entries for (name, version); returns entries removed."""
+        entries = self._entries.pop((name, version), None)
+        return len(entries) if entries else 0
+
+    def query(self, name: str, version: int, region: BBox | None = None) -> list[IndexEntry]:
+        """Entries for (name, version) overlapping ``region`` (or all)."""
+        entries = self._entries.get((name, version), ())
+        if region is None:
+            return list(entries)
+        return [e for e in entries if e.desc.bbox.intersects(region)]
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted versions indexed for ``name``."""
+        return sorted({v for (n, v) in self._entries if n == name})
+
+    def names(self) -> list[str]:
+        """Sorted distinct variable names indexed."""
+        return sorted({n for (n, _v) in self._entries})
+
+    def covered(self, name: str, version: int, region: BBox) -> bool:
+        """True when indexed fragments fully cover ``region``."""
+        uncovered = [region]
+        for entry in self._entries.get((name, version), ()):
+            uncovered = [
+                piece for box in uncovered for piece in box.subtract(entry.desc.bbox)
+            ]
+            if not uncovered:
+                return True
+        return not uncovered
+
+    def nbytes(self, logged_only: bool = False) -> int:
+        """Total indexed payload bytes (optionally only logged entries)."""
+        total = 0
+        for entries in self._entries.values():
+            for e in entries:
+                if not logged_only or e.logged:
+                    total += e.nbytes
+        return total
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())

@@ -1,0 +1,206 @@
+"""Versioned object store (one staging server's local storage).
+
+Stores immutable payload fragments keyed by their descriptors. The store
+tracks exact byte occupancy (the quantity behind the paper's Figure 9(c)/(d)
+memory plots) and exposes assembly of a requested region from the fragments
+that cover it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import ObjectNotFound, StagingError, VersionConflict
+from repro.geometry.bbox import BBox
+
+__all__ = ["StoredObject", "ObjectStore"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One immutable payload fragment with its descriptor."""
+
+    desc: ObjectDescriptor
+    data: np.ndarray = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if tuple(self.data.shape) != self.desc.bbox.shape:
+            raise StagingError(
+                f"payload shape {self.data.shape} != descriptor box "
+                f"shape {self.desc.bbox.shape}"
+            )
+        if self.data.dtype != np.dtype(self.desc.dtype):
+            raise StagingError(
+                f"payload dtype {self.data.dtype} != descriptor dtype {self.desc.dtype}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+class ObjectStore:
+    """Fragments of named, versioned variables with exact byte accounting.
+
+    Multiple fragments of the same (name, version) may coexist when different
+    producer ranks wrote different sub-regions; overlapping re-puts of the
+    same region must carry identical bytes (write-idempotence) or they raise
+    :class:`VersionConflict`.
+    """
+
+    def __init__(self) -> None:
+        # (name, version) -> list of fragments.
+        self._objects: dict[tuple[str, int], list[StoredObject]] = {}
+        self._bytes = 0
+
+    # ------------------------------------------------------------------ put
+
+    def put(self, desc: ObjectDescriptor, data: np.ndarray) -> StoredObject:
+        """Store one fragment; returns the stored (copied) object.
+
+        The payload is copied so later mutation by the producer cannot alter
+        staged state — matching RDMA semantics where the staging server owns
+        its buffer.
+        """
+        arr = np.ascontiguousarray(data, dtype=np.dtype(desc.dtype))
+        obj = StoredObject(desc, arr.copy())
+        frags = self._objects.setdefault(desc.key, [])
+        for existing in frags:
+            overlap = existing.desc.bbox.intersect(desc.bbox)
+            if overlap is None:
+                continue
+            mine = obj.data[overlap.slices(desc.bbox)]
+            theirs = existing.data[overlap.slices(existing.desc.bbox)]
+            if not np.array_equal(mine, theirs):
+                raise VersionConflict(
+                    f"conflicting re-put of {desc}: overlap {overlap} differs "
+                    f"from fragment {existing.desc}"
+                )
+            if existing.desc.bbox.contains(desc.bbox):
+                # Fully redundant write; keep the store unchanged.
+                return existing
+        frags.append(obj)
+        self._bytes += obj.nbytes
+        return obj
+
+    # ------------------------------------------------------------------ get
+
+    def get(self, desc: ObjectDescriptor) -> np.ndarray:
+        """Assemble the requested region from stored fragments.
+
+        Raises :class:`ObjectNotFound` unless stored fragments fully cover
+        ``desc.bbox`` at ``desc.version``.
+        """
+        frags = self._objects.get(desc.key)
+        if not frags:
+            raise ObjectNotFound(f"no data for {desc.name!r} v{desc.version}")
+        out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
+        # Track uncovered regions as a list of boxes, carving out each fragment.
+        uncovered: list[BBox] = [desc.bbox]
+        for frag in frags:
+            overlap = frag.desc.bbox.intersect(desc.bbox)
+            if overlap is None:
+                continue
+            out[overlap.slices(desc.bbox)] = frag.data[overlap.slices(frag.desc.bbox)]
+            uncovered = [
+                piece for box in uncovered for piece in box.subtract(frag.desc.bbox)
+            ]
+            if not uncovered:
+                break
+        if uncovered:
+            raise ObjectNotFound(
+                f"{desc} only partially covered; missing {len(uncovered)} "
+                f"region(s), e.g. {uncovered[0]}"
+            )
+        return out
+
+    def covers(self, desc: ObjectDescriptor) -> bool:
+        """True if :meth:`get` for ``desc`` would succeed."""
+        frags = self._objects.get(desc.key)
+        if not frags:
+            return False
+        uncovered: list[BBox] = [desc.bbox]
+        for frag in frags:
+            uncovered = [
+                piece for box in uncovered for piece in box.subtract(frag.desc.bbox)
+            ]
+            if not uncovered:
+                return True
+        return not uncovered
+
+    # ---------------------------------------------------------------- query
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted versions present (possibly partially) for ``name``."""
+        return sorted({v for (n, v) in self._objects if n == name})
+
+    def latest_version(self, name: str) -> int | None:
+        """Highest version present for ``name``, or None."""
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    def fragments(self, name: str, version: int) -> list[StoredObject]:
+        """All fragments stored for (name, version)."""
+        return list(self._objects.get((name, version), ()))
+
+    def keys(self) -> list[tuple[str, int]]:
+        """All (name, version) pairs with at least one fragment."""
+        return list(self._objects)
+
+    # ------------------------------------------------------------- eviction
+
+    def evict(self, name: str, version: int) -> int:
+        """Drop every fragment of (name, version); returns bytes freed."""
+        frags = self._objects.pop((name, version), None)
+        if not frags:
+            return 0
+        freed = sum(f.nbytes for f in frags)
+        self._bytes -= freed
+        return freed
+
+    def evict_older_than(self, name: str, version: int) -> int:
+        """Drop all versions of ``name`` strictly below ``version``."""
+        freed = 0
+        for v in self.versions(name):
+            if v < version:
+                freed += self.evict(name, v)
+        return freed
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """Capture the store's state for global coordinated checkpointing.
+
+        Fragment payloads are immutable once stored, so the snapshot only
+        copies the container structure, not the bytes — matching how a real
+        coordinated protocol would checkpoint staging servers in place.
+        """
+        return {
+            "objects": {k: list(v) for k, v in self._objects.items()},
+            "bytes": self._bytes,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll the store back to a previously captured snapshot."""
+        self._objects = {k: list(v) for k, v in snap["objects"].items()}
+        self._bytes = snap["bytes"]
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes of payload currently held."""
+        return self._bytes
+
+    @property
+    def object_count(self) -> int:
+        """Number of fragments currently held."""
+        return sum(len(v) for v in self._objects.values())
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._objects.clear()
+        self._bytes = 0

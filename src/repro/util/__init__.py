@@ -1,0 +1,39 @@
+"""Shared utilities: seeded RNG streams, units, and metric timelines."""
+
+from repro.util.rng import RngRegistry, stream_seed
+from repro.util.timeline import Counter, Timeline
+from repro.util.units import (
+    GB,
+    GIB,
+    HOUR,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MINUTE,
+    MS,
+    TIB,
+    US,
+    fmt_bytes,
+    fmt_time,
+)
+
+__all__ = [
+    "RngRegistry",
+    "stream_seed",
+    "Counter",
+    "Timeline",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "MINUTE",
+    "HOUR",
+    "fmt_bytes",
+    "fmt_time",
+]

@@ -1,0 +1,94 @@
+"""Time-series collection for simulation metrics.
+
+A :class:`Timeline` records (time, value) samples for a named quantity
+(e.g. staging memory in bytes) and supports the aggregations the paper's
+figures need: peaks, means, and time-weighted averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timeline", "Counter"]
+
+
+@dataclass
+class Timeline:
+    """An append-only series of (time, value) samples.
+
+    Samples must be appended in non-decreasing time order; this is asserted
+    because a mis-ordered metric almost always indicates a simulator bug.
+    """
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample at ``time``."""
+        if self.times and time < self.times[-1] - 1e-12:
+            raise ValueError(
+                f"timeline {self.name!r}: sample at t={time} precedes last "
+                f"sample at t={self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> float:
+        """The most recent value (0.0 if empty)."""
+        return self.values[-1] if self.values else 0.0
+
+    @property
+    def peak(self) -> float:
+        """The maximum value observed (0.0 if empty)."""
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sampled values (0.0 if empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def time_weighted_mean(self) -> float:
+        """Mean value weighted by how long each sample was in effect.
+
+        The final sample is given zero weight since its holding interval is
+        unknown; with a single sample this degrades to that sample's value.
+        """
+        if not self.values:
+            return 0.0
+        if len(self.values) == 1:
+            return self.values[0]
+        total = 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        for i in range(len(self.values) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        return total / span
+
+
+@dataclass
+class Counter:
+    """A monotonically accumulating scalar with an event count."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, amount: float) -> None:
+        """Accumulate ``amount`` and bump the event count."""
+        self.total += float(amount)
+        self.count += 1
+
+    def mean(self) -> float:
+        """Average contribution per event (0.0 if no events)."""
+        return self.total / self.count if self.count else 0.0

@@ -1,0 +1,67 @@
+"""Size and time unit helpers.
+
+All byte quantities in the library are plain ``int`` bytes and all times are
+``float`` seconds; these helpers exist so configuration code can say
+``40 * GIB`` or ``fmt_bytes(n)`` instead of sprinkling magic constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "MINUTE",
+    "HOUR",
+    "fmt_bytes",
+    "fmt_time",
+]
+
+# Binary byte units (the paper's "GB" figures are treated as GiB).
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+# Decimal byte units, for link bandwidths quoted in vendor GB/s.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# Time units, in seconds.
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def fmt_bytes(n: int | float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``20.0 GiB``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, suffix in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``3.2 ms`` or ``2.1 h``."""
+    s = abs(seconds)
+    sign = "-" if seconds < 0 else ""
+    if s >= HOUR:
+        return f"{sign}{s / HOUR:.2f} h"
+    if s >= MINUTE:
+        return f"{sign}{s / MINUTE:.2f} min"
+    if s >= 1.0:
+        return f"{sign}{s:.3f} s"
+    if s >= MS:
+        return f"{sign}{s / MS:.3f} ms"
+    return f"{sign}{s / US:.3f} us"

@@ -1,0 +1,21 @@
+"""Synthetic workload builders and access patterns (paper §IV)."""
+
+from repro.workloads.patterns import AccessPattern, WRITE_THEN_READ, s3d_field_set
+from repro.workloads.synthetic import (
+    RUNTIME_DOMAIN,
+    case1_specs,
+    case2_specs,
+    coupled_specs,
+    s3d_specs,
+)
+
+__all__ = [
+    "AccessPattern",
+    "WRITE_THEN_READ",
+    "s3d_field_set",
+    "RUNTIME_DOMAIN",
+    "case1_specs",
+    "case2_specs",
+    "coupled_specs",
+    "s3d_specs",
+]

@@ -1,0 +1,115 @@
+"""Synthetic workload builders.
+
+Two views of the same experiments:
+
+* ``*_specs`` builders return :class:`~repro.runtime.app.ComponentSpec` lists
+  for the *threaded runtime* — real execution at laptop scale (the domain is
+  shrunk, the structure is identical), used by functional tests and examples;
+* the perfsim configurations for the paper's actual scales live in
+  :mod:`repro.perfsim.config` (Tables II/III) and are driven directly by the
+  benchmark harness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.geometry.domain import Domain
+from repro.runtime.app import ComponentSpec
+from repro.workloads.patterns import AccessPattern, WRITE_THEN_READ, s3d_field_set
+
+__all__ = [
+    "RUNTIME_DOMAIN",
+    "coupled_specs",
+    "case1_specs",
+    "case2_specs",
+    "s3d_specs",
+]
+
+# Laptop-scale stand-in for the paper's 512x512x256 volume: same rank
+# (3-D), same producer/consumer structure, ~256 KiB per step.
+RUNTIME_DOMAIN = Domain((32, 32, 32))
+
+
+def coupled_specs(
+    num_steps: int = 12,
+    sim_period: int = 4,
+    analytic_period: int = 5,
+    variables: list[str] | None = None,
+    domain: Domain = RUNTIME_DOMAIN,
+    subset_fraction: float = 1.0,
+    sim_ranks: int = 8,
+    analytic_ranks: int = 4,
+) -> list[ComponentSpec]:
+    """The paper's two-component coupled workflow at runtime scale."""
+    if num_steps <= 0:
+        raise ConfigError("num_steps must be positive")
+    variables = variables or ["field"]
+    return [
+        ComponentSpec(
+            name="simulation",
+            kind="producer",
+            nranks=sim_ranks,
+            num_steps=num_steps,
+            checkpoint_period=sim_period,
+            variables=list(variables),
+            domain=domain,
+            subset_fraction=subset_fraction,
+        ),
+        ComponentSpec(
+            name="analytic",
+            kind="consumer",
+            nranks=analytic_ranks,
+            num_steps=num_steps,
+            checkpoint_period=analytic_period,
+            variables=list(variables),
+            domain=domain,
+            subset_fraction=subset_fraction,
+        ),
+    ]
+
+
+def case1_specs(subset_fraction: float, num_steps: int = 12) -> list[ComponentSpec]:
+    """Case 1: write different subsets of the data domain each step."""
+    return coupled_specs(
+        num_steps=num_steps,
+        sim_period=4,
+        analytic_period=5,
+        subset_fraction=subset_fraction,
+    )
+
+
+def case2_specs(checkpoint_period: int, num_steps: int = 12) -> list[ComponentSpec]:
+    """Case 2: full domain, varying checkpoint frequency (paper: 2-6 ts)."""
+    if checkpoint_period <= 0:
+        raise ConfigError("checkpoint_period must be positive")
+    return coupled_specs(
+        num_steps=num_steps,
+        sim_period=checkpoint_period,
+        analytic_period=checkpoint_period + 1,
+    )
+
+
+def s3d_specs(
+    num_steps: int = 8,
+    pattern: AccessPattern | None = None,
+    domain: Domain = RUNTIME_DOMAIN,
+) -> list[ComponentSpec]:
+    """An S3D-like DNS + visualization workflow (multi-field coupling).
+
+    The threaded runtime exchanges every variable every step (the pattern's
+    lower-frequency fields are exercised by the perfsim harness); this spec
+    keeps the full field set so replay covers many variables per step.
+    """
+    pattern = pattern or s3d_field_set()
+    specs = coupled_specs(
+        num_steps=num_steps,
+        sim_period=4,
+        analytic_period=5,
+        variables=pattern.variables,
+        domain=domain,
+        sim_ranks=16,
+        analytic_ranks=8,
+    )
+    specs[0].name = "s3d-dns"
+    specs[1].name = "s3d-viz"
+    return specs

@@ -1,0 +1,51 @@
+"""Tests for report formatting and the paper's reported data."""
+
+from repro.analysis import ComparisonRow, banner, comparison_table, format_table
+from repro.analysis import paper
+
+
+class TestPaperData:
+    def test_fig9a_keys(self):
+        assert sorted(paper.FIG9A_WRITE_OVERHEAD_PCT) == [20, 40, 60, 80, 100]
+
+    def test_fig9d_monotonic(self):
+        vals = [paper.FIG9D_MEMORY_OVERHEAD_PCT[p] for p in (2, 3, 4, 5, 6)]
+        assert vals == sorted(vals)
+
+    def test_fig10_scales(self):
+        assert sorted(paper.FIG10_MAX_IMPROVEMENT_PCT) == [704, 1408, 2816, 5632, 11264]
+        assert paper.FIG10_MAX_IMPROVEMENT_PCT[11264] == 13.48
+
+    def test_table3_core_sums(self):
+        for total, row in paper.TABLE3_SETUP.items():
+            assert row["sim"] + row["staging"] + row["analytic"] == total
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+
+    def test_banner(self):
+        out = banner("Title")
+        assert out.splitlines()[1] == "Title"
+
+    def test_comparison_row_cells(self):
+        row = ComparisonRow("20%", 10.0, 10.2)
+        cells = row.cells()
+        assert cells[0] == "20%"
+        assert "+10.00%" in cells[1]
+        assert "+0.20" in cells[3]
+
+    def test_comparison_row_no_paper_value(self):
+        row = ComparisonRow("x", None, 5.0)
+        assert row.delta is None
+        assert row.cells()[1] == "—"
+
+    def test_comparison_table_renders(self):
+        out = comparison_table("Fig", [ComparisonRow("a", 1.0, 2.0)])
+        assert "Fig" in out
+        assert "measured" in out

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox, Domain
+from repro.staging import StagingClient, StagingGroup
+
+
+@pytest.fixture
+def domain() -> Domain:
+    """A small 3-D domain, cheap enough for exhaustive checks."""
+    return Domain((16, 16, 8))
+
+
+@pytest.fixture
+def domain2d() -> Domain:
+    return Domain((32, 32))
+
+
+@pytest.fixture
+def group(domain) -> StagingGroup:
+    """Four empty staging servers over the small domain."""
+    return StagingGroup.create(domain, num_servers=4)
+
+
+@pytest.fixture
+def client(group) -> StagingClient:
+    return StagingClient(group, client_id="test")
+
+
+def make_payload(desc: ObjectDescriptor, seed: int = 0) -> np.ndarray:
+    """Deterministic payload for a descriptor (distinct per name/version)."""
+    rng = np.random.default_rng(abs(hash((desc.name, desc.version, seed))) % 2**32)
+    return rng.standard_normal(desc.bbox.shape).astype(desc.dtype)
+
+
+@pytest.fixture
+def payload_factory():
+    return make_payload
+
+
+def full_desc(domain: Domain, name: str = "field", version: int = 0) -> ObjectDescriptor:
+    return ObjectDescriptor(name, version, domain.bbox)
+
+
+@pytest.fixture
+def desc(domain) -> ObjectDescriptor:
+    return full_desc(domain)
+
+
+@pytest.fixture
+def subbox() -> BBox:
+    return BBox((2, 3, 1), (10, 12, 6))

@@ -1,0 +1,80 @@
+"""Tests for the crash-consistency checker."""
+
+import pytest
+
+from repro.core.consistency import ObservationLog, verify_read_stability
+from repro.errors import ConsistencyError
+
+
+def reference_log():
+    log = ObservationLog()
+    for step in range(3):
+        log.begin_step("ana", step)
+        log.record("ana", step, "x", step, f"digest{step}")
+    return log
+
+
+class TestObservationLog:
+    def test_history_order(self):
+        log = reference_log()
+        hist = log.history("ana")
+        assert [o.version for o in hist] == [0, 1, 2]
+
+    def test_multiple_reads_per_step_ordinal(self):
+        log = ObservationLog()
+        log.begin_step("c", 0)
+        log.record("c", 0, "a", 0, "d1")
+        log.record("c", 0, "b", 0, "d2")
+        hist = log.history("c")
+        assert [o.name for o in hist] == ["a", "b"]
+
+    def test_reexecution_overwrites_slot(self):
+        log = ObservationLog()
+        log.begin_step("c", 0)
+        log.record("c", 0, "x", 0, "first")
+        log.begin_step("c", 0)  # rollback re-execution
+        log.record("c", 0, "x", 0, "second")
+        hist = log.history("c")
+        assert len(hist) == 1
+        assert hist[0].digest == "second"
+
+    def test_components(self):
+        log = reference_log()
+        assert log.components() == ["ana"]
+
+
+class TestVerify:
+    def test_identical_passes(self):
+        verify_read_stability(reference_log(), reference_log())
+
+    def test_wrong_version_detected(self):
+        run = ObservationLog()
+        for step in range(3):
+            run.begin_step("ana", step)
+            version = step if step != 1 else 2  # stale read at step 1
+            run.record("ana", step, "x", version, f"digest{version}")
+        with pytest.raises(ConsistencyError, match="stale/wrong version"):
+            verify_read_stability(reference_log(), run)
+
+    def test_wrong_payload_detected(self):
+        run = ObservationLog()
+        for step in range(3):
+            run.begin_step("ana", step)
+            digest = f"digest{step}" if step != 2 else "corrupt"
+            run.record("ana", step, "x", step, digest)
+        with pytest.raises(ConsistencyError, match="payload"):
+            verify_read_stability(reference_log(), run)
+
+    def test_missing_reads_detected(self):
+        run = ObservationLog()
+        run.begin_step("ana", 0)
+        run.record("ana", 0, "x", 0, "digest0")
+        with pytest.raises(ConsistencyError, match="reads"):
+            verify_read_stability(reference_log(), run)
+
+    def test_unknown_component_detected(self):
+        run = reference_log()
+        run.begin_step("ghost", 0)
+        run.record("ghost", 0, "x", 0, "d")
+        with pytest.raises(ConsistencyError, match="unknown components"):
+            verify_read_stability(reference_log(), run)

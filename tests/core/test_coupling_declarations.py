@@ -1,0 +1,82 @@
+"""Tests for pre-declared couplings (GC protection of unread versions).
+
+Regression tests for a real race: a producer that writes and checkpoints
+before the consumer's first read must not let the GC collect versions the
+consumer has yet to read.
+"""
+
+import pytest
+
+from repro.core import WorkflowStaging
+from repro.descriptors import ObjectDescriptor
+from repro.staging import StagingGroup
+
+from tests.conftest import make_payload
+
+
+@pytest.fixture
+def staging(group):
+    return WorkflowStaging(group, enable_logging=True)
+
+
+class TestDeclaredCouplings:
+    def test_undeclared_consumer_loses_unread_versions(self, staging, domain):
+        # Without a declaration the GC treats the variable as consumerless.
+        sim = staging.register("sim")
+        for ts in range(3):
+            sim.set_step(ts)
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            sim.dspaces_put_with_log(d, make_payload(d))
+        sim.workflow_check()  # GC fires with no known consumer
+        assert staging.log.logged_versions("field") == [2]
+
+    def test_declared_consumer_keeps_unread_versions(self, staging, domain):
+        sim = staging.register("sim")
+        staging.register("ana")
+        staging.declare_coupling("field", "ana")
+        for ts in range(3):
+            sim.set_step(ts)
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            sim.dspaces_put_with_log(d, make_payload(d))
+        sim.workflow_check()
+        # All versions retained: ana has read nothing yet (frontier -1).
+        assert staging.log.logged_versions("field") == [0, 1, 2]
+
+    def test_declaration_does_not_override_real_frontier(self, staging, domain):
+        sim = staging.register("sim")
+        ana = staging.register("ana")
+        staging.declare_coupling("field", "ana")
+        for ts in range(4):
+            sim.set_step(ts)
+            ana.set_step(ts)
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            sim.dspaces_put_with_log(d, make_payload(d))
+            ana.dspaces_get_with_log(d)
+        ana.workflow_check()
+        sim.workflow_check()
+        # Everything consumed and checkpointed: only the latest survives.
+        assert staging.log.logged_versions("field") == [3]
+
+    def test_register_consumer_idempotent(self, staging):
+        staging.log.register_consumer("x", "ana")
+        staging.log.record_get("x", "ana", 5)
+        staging.log.register_consumer("x", "ana")  # must not reset frontier
+        assert staging.log.read_frontier("x", "ana") == 5
+
+    def test_declared_consumer_readable_after_late_join(self, staging, domain):
+        # The consumer starts reading long after the producer began; every
+        # version it needs is still there.
+        sim = staging.register("sim")
+        ana = staging.register("ana")
+        staging.declare_coupling("field", "ana")
+        for ts in range(5):
+            sim.set_step(ts)
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            sim.dspaces_put_with_log(d, make_payload(d))
+            if ts % 2 == 1:
+                sim.workflow_check()
+        for ts in range(5):
+            ana.set_step(ts)
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            r = ana.dspaces_get_with_log(d)
+            assert r.served_version == ts

@@ -1,0 +1,95 @@
+"""Tests for the Data Logging Component."""
+
+import numpy as np
+import pytest
+
+from repro.core.data_log import DataLog
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ObjectNotFound
+from repro.staging import StagingClient, StagingGroup
+
+from tests.conftest import make_payload
+
+
+@pytest.fixture
+def log(group):
+    return DataLog(group=group)
+
+
+def put_version(group, log, version, nbytes=None):
+    d = ObjectDescriptor("x", version, group.domain.bbox)
+    StagingClient(group).put(d, make_payload(d))
+    log.record_put("x", version, d.nbytes, producer="sim", step=version)
+    return d
+
+
+class TestRecording:
+    def test_record_put(self, group, log):
+        put_version(group, log, 0)
+        assert log.logged_versions("x") == [0]
+        assert log.latest_logged("x") == 0
+
+    def test_record_get_frontier(self, log):
+        log.record_get("x", "ana", 3)
+        log.record_get("x", "ana", 1)  # regression must not lower frontier
+        assert log.read_frontier("x", "ana") == 3
+
+    def test_frontier_unknown(self, log):
+        assert log.read_frontier("x", "nobody") == -1
+
+    def test_consumers_of(self, log):
+        log.record_get("x", "ana", 0)
+        log.record_get("x", "viz", 0)
+        assert log.consumers_of("x") == {"ana", "viz"}
+        assert log.consumers_of("y") == set()
+
+    def test_names(self, group, log):
+        put_version(group, log, 0)
+        log.record_put("y", 0, 10, producer="sim", step=0)
+        assert log.names() == ["x", "y"]
+
+
+class TestEviction:
+    def test_evict_frees_group_bytes(self, group, log):
+        d = put_version(group, log, 0)
+        before = group.total_bytes
+        freed = log.evict("x", 0)
+        assert freed == d.nbytes == before - group.total_bytes
+
+    def test_evict_unlogged_raises(self, log):
+        with pytest.raises(ObjectNotFound):
+            log.evict("x", 99)
+
+    def test_evict_removes_record(self, group, log):
+        put_version(group, log, 0)
+        log.evict("x", 0)
+        assert log.logged_versions("x") == []
+
+
+class TestAccounting:
+    def test_logged_bytes(self, group, log):
+        d0 = put_version(group, log, 0)
+        d1 = put_version(group, log, 1)
+        assert log.logged_bytes() == d0.nbytes + d1.nbytes
+
+    def test_baseline_is_latest_only(self, group, log):
+        put_version(group, log, 0)
+        d1 = put_version(group, log, 1)
+        assert log.baseline_bytes() == d1.nbytes
+
+    def test_baseline_multiple_names(self, group, log):
+        put_version(group, log, 0)
+        log.record_put("y", 0, 100, producer="sim", step=0)
+        assert log.baseline_bytes() == log.logged_bytes()
+
+    def test_overhead_zero_when_single_version(self, group, log):
+        put_version(group, log, 0)
+        assert log.logging_overhead() == 0.0
+
+    def test_overhead_grows_with_versions(self, group, log):
+        for v in range(4):
+            put_version(group, log, v)
+        assert log.logging_overhead() == pytest.approx(3.0)
+
+    def test_overhead_empty(self, log):
+        assert log.logging_overhead() == 0.0

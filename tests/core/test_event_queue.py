@@ -1,0 +1,142 @@
+"""Tests for the per-component event queue (the paper's core algorithm)."""
+
+import pytest
+
+from repro.core.event_queue import EventQueue
+from repro.core.events import EventKind
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ReplayError
+from repro.geometry import BBox
+
+
+def desc(name="x", version=0):
+    return ObjectDescriptor(name, version, BBox((0,), (8,)))
+
+
+def filled_queue():
+    """Queue with: put v0, get v0, CHK#0, get v1, get v2."""
+    q = EventQueue(component="ana")
+    q.record_data(EventKind.PUT, desc(version=0), "d0", step=0)
+    q.record_data(EventKind.GET, desc(version=0), "d0", step=0)
+    q.record_checkpoint(step=0)
+    q.record_data(EventKind.GET, desc(version=1), "d1", step=1)
+    q.record_data(EventKind.GET, desc(version=2), "d2", step=2)
+    return q
+
+
+class TestRecording:
+    def test_sequence_numbers_monotonic(self):
+        q = filled_queue()
+        seqs = [ev.seq for ev in q.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_checkpoint_ids_unique_per_component(self):
+        q = EventQueue(component="c")
+        a = q.record_checkpoint(step=0)
+        b = q.record_checkpoint(step=4)
+        assert a.chk_id != b.chk_id
+        assert a.chk_id.component == "c"
+
+    def test_latest_checkpoint(self):
+        q = filled_queue()
+        chk = q.latest_checkpoint()
+        assert chk is not None
+        assert chk.step == 0
+
+    def test_latest_checkpoint_none(self):
+        assert EventQueue(component="c").latest_checkpoint() is None
+
+    def test_data_events_filter(self):
+        q = filled_queue()
+        assert len(q.data_events()) == 4
+        assert len(q) == 5
+
+
+class TestReplayScript:
+    def test_script_covers_after_checkpoint(self):
+        q = filled_queue()
+        script = q.build_replay_script()
+        assert [e.desc.version for e in script.events] == [1, 2]
+        assert script.restored_chk is not None
+
+    def test_script_without_checkpoint_covers_all(self):
+        q = EventQueue(component="c")
+        q.record_data(EventKind.GET, desc(version=0), "d", step=0)
+        script = q.build_replay_script()
+        assert script.restored_chk is None
+        assert len(script.events) == 1
+
+    def test_cursor_progression(self):
+        script = filled_queue().build_replay_script()
+        assert script.remaining == 2
+        assert not script.exhausted
+        first = script.advance()
+        assert first.desc.version == 1
+        script.advance()
+        assert script.exhausted
+        with pytest.raises(ReplayError):
+            script.peek()
+
+    def test_recovery_event_not_in_script(self):
+        q = filled_queue()
+        q.record_recovery(step=1, restored=None)
+        script = q.build_replay_script()
+        assert all(ev.kind in (EventKind.PUT, EventKind.GET) for ev in script.events)
+
+
+class TestTrim:
+    def test_trimmable_horizon(self):
+        q = filled_queue()
+        chk = q.latest_checkpoint()
+        assert q.trimmable_horizon() == chk.seq
+
+    def test_trimmable_horizon_no_checkpoint(self):
+        assert EventQueue(component="c").trimmable_horizon() == 0
+
+    def test_trim_before(self):
+        q = filled_queue()
+        dropped = q.trim_before(q.trimmable_horizon())
+        assert len(dropped) == 2  # put v0, get v0
+        assert len(q) == 3
+
+    def test_trim_preserves_replay(self):
+        q = filled_queue()
+        q.trim_before(q.trimmable_horizon())
+        script = q.build_replay_script()
+        assert [e.desc.version for e in script.events] == [1, 2]
+
+    def test_trim_nothing(self):
+        q = filled_queue()
+        assert q.trim_before(0) == []
+
+
+class TestVersionFloor:
+    def test_floor_after_checkpoint(self):
+        q = filled_queue()
+        assert q.version_floor("x") == 1
+
+    def test_floor_no_reads_after_checkpoint(self):
+        q = EventQueue(component="c")
+        q.record_data(EventKind.GET, desc(version=0), "d", step=0)
+        q.record_checkpoint(step=0)
+        assert q.version_floor("x") is None
+
+    def test_floor_never_checkpointed(self):
+        q = EventQueue(component="c")
+        q.record_data(EventKind.GET, desc(version=3), "d", step=3)
+        q.record_data(EventKind.GET, desc(version=5), "d", step=5)
+        assert q.version_floor("x") == 3
+
+    def test_floor_ignores_puts(self):
+        q = EventQueue(component="c")
+        q.record_data(EventKind.PUT, desc(version=0), "d", step=0)
+        assert q.version_floor("x") is None
+
+    def test_floor_per_name(self):
+        q = EventQueue(component="c")
+        q.record_data(EventKind.GET, desc(name="a", version=2), "d", step=2)
+        q.record_data(EventKind.GET, desc(name="b", version=7), "d", step=7)
+        assert q.version_floor("a") == 2
+        assert q.version_floor("b") == 7
+        assert q.version_floor("zzz") is None

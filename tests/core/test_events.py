@@ -1,0 +1,89 @@
+"""Tests for the workflow event model."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import (
+    CheckpointEvent,
+    DataEvent,
+    EventKind,
+    RecoveryEvent,
+    WChkId,
+    payload_digest,
+)
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox
+
+
+def desc(name="x", version=0):
+    return ObjectDescriptor(name, version, BBox((0,), (8,)))
+
+
+class TestPayloadDigest:
+    def test_deterministic(self):
+        a = np.arange(10.0)
+        assert payload_digest(a) == payload_digest(a.copy())
+
+    def test_sensitive_to_content(self):
+        assert payload_digest(np.zeros(4)) != payload_digest(np.ones(4))
+
+    def test_accepts_bytes(self):
+        assert payload_digest(b"abc") == payload_digest(b"abc")
+
+    def test_noncontiguous_array(self):
+        base = np.arange(16.0).reshape(4, 4)
+        view = base[:, ::2]
+        assert payload_digest(view) == payload_digest(np.ascontiguousarray(view))
+
+
+class TestWChkId:
+    def test_ordering(self):
+        assert WChkId("a", 0) < WChkId("a", 1) < WChkId("b", 0)
+
+    def test_str(self):
+        assert str(WChkId("sim", 3)) == "W_Chk[sim#3]"
+
+
+class TestDataEvent:
+    def test_kind(self):
+        ev = DataEvent(component="c", seq=0, step=0, op=EventKind.PUT, desc=desc(), digest="d")
+        assert ev.kind is EventKind.PUT
+
+    def test_rejects_non_data_op(self):
+        with pytest.raises(ValueError):
+            DataEvent(component="c", seq=0, step=0, op=EventKind.CHECKPOINT, desc=desc())
+
+    def test_requires_descriptor(self):
+        with pytest.raises(ValueError):
+            DataEvent(component="c", seq=0, step=0, op=EventKind.GET, desc=None)
+
+    def test_matches_request(self):
+        ev = DataEvent(component="c", seq=0, step=0, op=EventKind.GET, desc=desc(), digest="")
+        assert ev.matches_request(EventKind.GET, desc())
+        assert not ev.matches_request(EventKind.PUT, desc())
+        assert not ev.matches_request(EventKind.GET, desc(version=1))
+        assert not ev.matches_request(EventKind.GET, desc(name="y"))
+
+    def test_matches_request_bbox_sensitive(self):
+        ev = DataEvent(component="c", seq=0, step=0, op=EventKind.GET, desc=desc(), digest="")
+        other = ObjectDescriptor("x", 0, BBox((0,), (4,)))
+        assert not ev.matches_request(EventKind.GET, other)
+
+
+class TestControlEvents:
+    def test_checkpoint_event(self):
+        ev = CheckpointEvent(component="c", seq=1, step=4, chk_id=WChkId("c", 0))
+        assert ev.kind is EventKind.CHECKPOINT
+        assert "W_Chk[c#0]" in str(ev)
+
+    def test_checkpoint_requires_id(self):
+        with pytest.raises(ValueError):
+            CheckpointEvent(component="c", seq=1, step=4, chk_id=None)
+
+    def test_recovery_event(self):
+        ev = RecoveryEvent(component="c", seq=2, step=4, restored_chk=WChkId("c", 0))
+        assert ev.kind is EventKind.RECOVERY
+
+    def test_recovery_from_start(self):
+        ev = RecoveryEvent(component="c", seq=2, step=0, restored_chk=None)
+        assert ev.restored_chk is None

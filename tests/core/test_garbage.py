@@ -1,0 +1,145 @@
+"""Tests for the Garbage Collection Component."""
+
+import pytest
+
+from repro.core.data_log import DataLog
+from repro.core.event_queue import EventQueue
+from repro.core.events import EventKind
+from repro.core.garbage import GarbageCollector, GCReport
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox
+from repro.staging import StagingClient, StagingGroup
+
+from tests.conftest import make_payload
+
+
+def desc(version, domain):
+    return ObjectDescriptor("x", version, domain.bbox)
+
+
+@pytest.fixture
+def setup(group):
+    """Log + queues + gc with a producer 'sim' and consumer 'ana'."""
+    log = DataLog(group=group)
+    queues = {"sim": EventQueue(component="sim"), "ana": EventQueue(component="ana")}
+    gc = GarbageCollector(log=log, queues=queues)
+    client = StagingClient(group)
+
+    def write(version):
+        d = desc(version, group.domain)
+        client.put(d, make_payload(d))
+        log.record_put("x", version, d.nbytes, producer="sim", step=version)
+        queues["sim"].record_data(EventKind.PUT, d, "", step=version)
+
+    def read(version):
+        d = desc(version, group.domain)
+        log.record_get("x", "ana", version)
+        queues["ana"].record_data(EventKind.GET, d, "", step=version)
+
+    return log, queues, gc, write, read
+
+
+class TestFloors:
+    def test_no_consumers_floor_none(self, setup):
+        log, queues, gc, write, read = setup
+        write(0)
+        write(1)
+        assert gc.version_floor("x") is None
+
+    def test_consumer_rollback_floor(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(4):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=3)
+        # Reads after the checkpoint constrain the rollback floor.
+        write(4)
+        read(4)
+        assert gc.version_floor("x") == 4
+
+    def test_frontier_floor_protects_unread(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(5):
+            write(v)
+        read(0)  # consumer far behind
+        # Never checkpointed: a rollback could re-read v0 (replay floor 0).
+        assert gc.version_floor("x") == 0
+        # Checkpointing after the v0 read moves the rollback floor past it,
+        # but the unread versions 1..4 are still protected by the frontier.
+        queues["ana"].record_checkpoint(step=0)
+        assert gc.version_floor("x") == 1
+        gc.collect()
+        assert log.logged_versions("x") == [1, 2, 3, 4]
+
+
+class TestCollect:
+    def test_collects_consumed_pre_checkpoint_versions(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(5):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=3)  # rollback floor: reads after
+        read(4)  # re-read v4 after ckpt -> floor 4
+        report = gc.collect()
+        assert log.logged_versions("x") == [4]
+        assert report.versions_collected == 4
+        assert report.bytes_freed > 0
+
+    def test_never_collects_latest(self, setup):
+        log, queues, gc, write, read = setup
+        write(0)
+        write(1)
+        read(0)
+        read(1)
+        queues["ana"].record_checkpoint(step=9)
+        gc.collect()
+        assert 1 in log.logged_versions("x")
+
+    def test_replay_pins_protect_versions(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(4):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=9)
+        gc.pin_replay("ana", {("x", 1)})
+        gc.collect()
+        assert 1 in log.logged_versions("x")
+        gc.unpin_replay("ana")
+        gc.collect()
+        assert log.logged_versions("x") == [3]
+
+    def test_queue_trim(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(3):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=2)
+        before = len(queues["ana"])
+        report = gc.collect()
+        assert report.events_trimmed > 0
+        assert len(queues["ana"]) < before
+
+    def test_replaying_queue_never_trimmed(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(3):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=2)
+        gc.pin_replay("ana", set())
+        before = len(queues["ana"])
+        gc.collect()
+        assert len(queues["ana"]) == before
+
+    def test_single_version_not_collected(self, setup):
+        log, queues, gc, write, read = setup
+        write(0)
+        read(0)
+        report = gc.collect()
+        assert report.versions_collected == 0
+        assert log.logged_versions("x") == [0]
+
+
+class TestGCReport:
+    def test_report_addition(self):
+        total = GCReport(1, 100, 2) + GCReport(3, 50, 1)
+        assert total == GCReport(4, 150, 3)

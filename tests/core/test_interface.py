@@ -1,0 +1,244 @@
+"""Tests for the global user interface (Table I of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkflowStaging, payload_digest
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ObjectNotFound, ReplayError, StagingError
+from repro.geometry import BBox
+
+from tests.conftest import make_payload
+
+
+@pytest.fixture
+def staging(group):
+    return WorkflowStaging(group, enable_logging=True)
+
+
+@pytest.fixture
+def clients(staging):
+    return staging.register("sim"), staging.register("ana")
+
+
+def run_steps(staging, sim, ana, domain, steps, ana_ckpt_at=None):
+    """Drive the write-then-read workload; returns observed digests."""
+    digests = []
+    for ts in steps:
+        sim.set_step(ts)
+        ana.set_step(ts)
+        d = ObjectDescriptor("field", ts, domain.bbox)
+        sim.dspaces_put_with_log(d, make_payload(d))
+        if ana_ckpt_at is not None and ts == ana_ckpt_at:
+            ana.workflow_check()
+        r = ana.dspaces_get_with_log(d)
+        digests.append(r.digest)
+    return digests
+
+
+class TestPut:
+    def test_put_stores(self, staging, clients, domain):
+        sim, _ = clients
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        result = sim.dspaces_put_with_log(d, make_payload(d))
+        assert result.stored and not result.suppressed
+        assert result.shards > 0
+
+    def test_put_shape_mismatch(self, staging, clients, domain):
+        sim, _ = clients
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        with pytest.raises(StagingError):
+            sim.dspaces_put_with_log(d, np.zeros((2, 2)))
+
+    def test_put_records_event_and_log(self, staging, clients, domain):
+        sim, _ = clients
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        sim.dspaces_put_with_log(d, make_payload(d))
+        assert len(staging.queues["sim"]) == 1
+        assert staging.log.logged_versions("field") == [0]
+
+
+class TestGet:
+    def test_get_roundtrip(self, staging, clients, domain):
+        sim, ana = clients
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        data = make_payload(d)
+        sim.dspaces_put_with_log(d, data)
+        r = ana.dspaces_get_with_log(d)
+        assert np.array_equal(r.data, data)
+        assert r.served_version == 0
+        assert not r.replayed
+
+    def test_get_missing_version_raises_with_logging(self, staging, clients, domain):
+        _, ana = clients
+        with pytest.raises(ObjectNotFound):
+            ana.dspaces_get_with_log(ObjectDescriptor("field", 5, domain.bbox))
+
+    def test_get_registers_consumer(self, staging, clients, domain):
+        sim, ana = clients
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        sim.dspaces_put_with_log(d, make_payload(d))
+        ana.dspaces_get_with_log(d)
+        assert staging.log.consumers_of("field") == {"ana"}
+
+
+class TestCheckpointAndGC:
+    def test_check_returns_unique_ids(self, staging, clients):
+        sim, _ = clients
+        a = sim.workflow_check()
+        b = sim.workflow_check()
+        assert a != b
+
+    def test_gc_runs_on_check(self, staging, clients, domain):
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(4))
+        assert staging.gc_reports == []
+        sim.workflow_check()
+        ana.workflow_check()
+        assert len(staging.gc_reports) == 2
+        # Everything consumed and checkpointed: only latest survives.
+        assert staging.log.logged_versions("field") == [3]
+
+    def test_check_during_replay_rejected(self, staging, clients, domain):
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(3), ana_ckpt_at=0)
+        ana.set_step(1)
+        ana.workflow_restart()
+        assert ana.in_replay
+        with pytest.raises(ReplayError):
+            ana.workflow_check()
+
+
+class TestReplay:
+    def test_consumer_replay_serves_identical_bytes(self, staging, clients, domain):
+        sim, ana = clients
+        digests = run_steps(staging, sim, ana, domain, range(5), ana_ckpt_at=2)
+        # ana fails; rolls back to its checkpoint (before step-2 read).
+        ana.set_step(2)
+        script = ana.workflow_restart()
+        assert script.remaining == 3
+        for ts in (2, 3, 4):
+            ana.set_step(ts)
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            r = ana.dspaces_get_with_log(d)
+            assert r.replayed
+            assert r.digest == digests[ts]
+        assert not ana.in_replay
+
+    def test_producer_replay_suppresses_puts(self, staging, clients, domain):
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(3))
+        sim.workflow_check()  # producer ckpt after step 2
+        sim.set_step(3)
+        d3 = ObjectDescriptor("field", 3, domain.bbox)
+        sim.dspaces_put_with_log(d3, make_payload(d3))
+        # producer fails, rolls back to checkpoint: re-puts step 3.
+        sim.workflow_restart()
+        assert sim.in_replay
+        result = sim.dspaces_put_with_log(d3, make_payload(d3))
+        assert result.suppressed and not result.stored
+        assert not sim.in_replay
+
+    def test_replay_wrong_request_rejected(self, staging, clients, domain):
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(3), ana_ckpt_at=0)
+        ana.set_step(1)
+        ana.workflow_restart()
+        wrong = ObjectDescriptor("field", 2, domain.bbox)  # expected v0 get
+        with pytest.raises(ReplayError):
+            ana.dspaces_get_with_log(wrong)
+
+    def test_replay_nondeterministic_put_rejected(self, staging, clients, domain):
+        sim, _ = clients
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        sim.dspaces_put_with_log(d, make_payload(d))
+        sim.workflow_restart()
+        with pytest.raises(ReplayError, match="different bytes"):
+            sim.dspaces_put_with_log(d, make_payload(d) + 1.0)
+
+    def test_empty_script_no_replay_mode(self, staging, clients):
+        sim, _ = clients
+        sim.workflow_check()
+        script = sim.workflow_restart()
+        assert script.exhausted
+        assert not sim.in_replay
+
+    def test_restart_during_replay_rebuilds_script(self, staging, clients, domain):
+        # A second failure mid-replay discards the half-consumed script and
+        # restarts the window from the checkpoint.
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(3), ana_ckpt_at=0)
+        first = ana.workflow_restart()
+        assert first.remaining == 3  # checkpoint preceded the step-0 read
+        ana.set_step(0)
+        ana.dspaces_get_with_log(ObjectDescriptor("field", 0, domain.bbox))
+        assert staging.replay_script("ana").remaining == 2
+        second = ana.workflow_restart()  # fails again mid-replay
+        assert second.remaining == len(first.events)
+        # The rebuilt script replays the same window from the start.
+        for ts in (0, 1, 2):
+            ana.set_step(ts)
+            r = ana.dspaces_get_with_log(ObjectDescriptor("field", ts, domain.bbox))
+            assert r.replayed
+        assert not ana.in_replay
+
+    def test_gc_defers_to_replay_pins(self, staging, clients, domain):
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(4), ana_ckpt_at=1)
+        ana.set_step(1)
+        ana.workflow_restart()  # pins versions 1..3
+        sim.workflow_check()  # triggers GC
+        for v in (1, 2, 3):
+            assert v in staging.log.logged_versions("field")
+
+
+class TestNonLoggingMode:
+    def test_ds_keeps_latest_only(self, group, domain):
+        ws = WorkflowStaging(group, enable_logging=False)
+        sim = ws.register("sim")
+        for ts in range(3):
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            sim.dspaces_put_with_log(d, make_payload(d))
+        versions = {
+            v for srv in group.servers for v in srv.query_versions("field")
+        }
+        assert versions == {2}
+
+    def test_stale_latest_fallback(self, group, domain):
+        # The paper's Fig. 2 case 1: a rolled-back reader gets the wrong
+        # (latest) version because old versions were dropped.
+        ws = WorkflowStaging(group, enable_logging=False)
+        sim = ws.register("sim")
+        ana = ws.register("ana")
+        for ts in range(3):
+            d = ObjectDescriptor("field", ts, domain.bbox)
+            sim.dspaces_put_with_log(d, make_payload(d))
+        r = ana.dspaces_get_with_log(ObjectDescriptor("field", 0, domain.bbox))
+        assert r.served_version == 2  # wrong version, silently
+
+    def test_restart_is_noop(self, group):
+        ws = WorkflowStaging(group, enable_logging=False)
+        sim = ws.register("sim")
+        script = sim.workflow_restart()
+        assert script.exhausted
+        assert not sim.in_replay
+
+    def test_check_is_accepted(self, group):
+        ws = WorkflowStaging(group, enable_logging=False)
+        sim = ws.register("sim")
+        chk = sim.workflow_check()
+        assert chk.counter == -1
+
+
+class TestMetrics:
+    def test_memory_and_overhead(self, staging, clients, domain):
+        sim, ana = clients
+        run_steps(staging, sim, ana, domain, range(4))
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        assert staging.memory_bytes() == 4 * d.nbytes
+        assert staging.logging_overhead() == pytest.approx(3.0)
+
+    def test_unregistered_component_rejected(self, staging, domain):
+        d = ObjectDescriptor("field", 0, domain.bbox)
+        with pytest.raises(StagingError):
+            staging.handle_put("ghost", d, make_payload(d), 0)

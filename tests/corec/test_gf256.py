@@ -1,0 +1,124 @@
+"""Tests for GF(2^8) arithmetic, including field-law property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corec.gf256 import GF256
+
+byte = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert GF256.add(0b1010, 0b0110) == 0b1100
+
+    def test_sub_equals_add(self):
+        assert GF256.sub(7, 3) == GF256.add(7, 3)
+
+    def test_mul_identity(self):
+        a = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(GF256.mul(a, 1), a)
+
+    def test_mul_zero(self):
+        a = np.arange(256, dtype=np.uint8)
+        assert np.all(GF256.mul(a, 0) == 0)
+
+    def test_div_by_zero_scalar(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+
+    def test_div_by_zero_array(self):
+        with pytest.raises(ValueError):
+            GF256.div(np.array([1, 2], np.uint8), np.array([1, 0], np.uint8))
+
+    def test_inverse(self):
+        a = np.arange(1, 256, dtype=np.uint8)
+        assert np.all(GF256.mul(a, GF256.inv(a)) == 1)
+
+    def test_pow(self):
+        assert GF256.pow(2, 0) == 1
+        assert GF256.pow(2, 1) == 2
+        assert GF256.pow(0, 5) == 0
+        assert GF256.pow(0, 0) == 1
+
+    def test_pow_negative_zero_base(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -1)
+
+    def test_generator_order(self):
+        # 2 is primitive for 0x11d: its order is 255.
+        seen = set()
+        x = 1
+        for _ in range(255):
+            seen.add(x)
+            x = int(GF256.mul(x, 2))
+        assert len(seen) == 255
+
+
+class TestFieldLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(byte, byte, byte)
+    def test_mul_associative(self, a, b, c):
+        assert int(GF256.mul(GF256.mul(a, b), c)) == int(GF256.mul(a, GF256.mul(b, c)))
+
+    @settings(max_examples=200, deadline=None)
+    @given(byte, byte)
+    def test_mul_commutative(self, a, b):
+        assert int(GF256.mul(a, b)) == int(GF256.mul(b, a))
+
+    @settings(max_examples=200, deadline=None)
+    @given(byte, byte, byte)
+    def test_distributive(self, a, b, c):
+        left = int(GF256.mul(a, GF256.add(b, c)))
+        right = int(GF256.add(GF256.mul(a, b), GF256.mul(a, c)))
+        assert left == right
+
+    @settings(max_examples=200, deadline=None)
+    @given(byte, nonzero)
+    def test_div_inverts_mul(self, a, b):
+        assert int(GF256.div(GF256.mul(a, b), b)) == a
+
+
+class TestMatrixOps:
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 256, (5, 5), dtype=np.uint8)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(GF256.matmul(m, eye), m)
+        assert np.array_equal(GF256.matmul(eye, m), m)
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(ValueError):
+            GF256.matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+    def test_mat_inverse_roundtrip(self):
+        v = GF256.vandermonde(6, 4)
+        sub = v[[0, 2, 3, 5], :]
+        inv = GF256.mat_inverse(sub)
+        assert np.array_equal(GF256.matmul(inv, sub), np.eye(4, dtype=np.uint8))
+
+    def test_mat_inverse_singular(self):
+        singular = np.zeros((3, 3), np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            GF256.mat_inverse(singular)
+
+    def test_mat_inverse_shape_check(self):
+        with pytest.raises(ValueError):
+            GF256.mat_inverse(np.zeros((2, 3), np.uint8))
+
+    def test_vandermonde_any_k_rows_invertible(self):
+        import itertools
+
+        v = GF256.vandermonde(6, 3)
+        for rows in itertools.combinations(range(6), 3):
+            inv = GF256.mat_inverse(v[list(rows), :])
+            assert np.array_equal(
+                GF256.matmul(inv, v[list(rows), :]), np.eye(3, dtype=np.uint8)
+            )
+
+    def test_vandermonde_row_limit(self):
+        with pytest.raises(ValueError):
+            GF256.vandermonde(256, 2)

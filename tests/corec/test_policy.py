@@ -1,0 +1,118 @@
+"""Tests for the CoREC hybrid hot/cold protection policy."""
+
+import numpy as np
+import pytest
+
+from repro.corec.policy import HybridPolicy
+from repro.corec.reedsolomon import RSCode
+from repro.corec.replication import ReplicationScheme
+from repro.errors import ConfigError, ObjectNotFound
+
+
+def arr(v, n=64):
+    return np.arange(n, dtype=np.float64) + v
+
+
+class TestLifecycle:
+    def test_new_version_is_replicated(self):
+        hp = HybridPolicy()
+        obj = hp.protect("x", 0, arr(0))
+        assert obj.mode == "replicated"
+        assert len(obj.copies) == 2
+
+    def test_aged_version_demoted(self):
+        hp = HybridPolicy(hot_versions=1)
+        hp.protect("x", 0, arr(0))
+        hp.protect("x", 1, arr(1))
+        modes = hp.modes()
+        assert modes[("x", 0)] == "encoded"
+        assert modes[("x", 1)] == "replicated"
+
+    def test_hot_window_respected(self):
+        hp = HybridPolicy(hot_versions=3)
+        for v in range(4):
+            hp.protect("x", v, arr(v))
+        modes = hp.modes()
+        assert modes[("x", 0)] == "encoded"
+        assert modes[("x", 1)] == "replicated"
+        assert modes[("x", 3)] == "replicated"
+
+    def test_rejects_bad_hot_window(self):
+        with pytest.raises(ConfigError):
+            HybridPolicy(hot_versions=0)
+
+    def test_demote_idempotent(self):
+        hp = HybridPolicy()
+        hp.protect("x", 0, arr(0))
+        hp.demote("x", 0)
+        obj = hp.demote("x", 0)
+        assert obj.mode == "encoded"
+
+    def test_demote_missing(self):
+        with pytest.raises(ObjectNotFound):
+            HybridPolicy().demote("x", 0)
+
+    def test_names_independent(self):
+        hp = HybridPolicy(hot_versions=1)
+        hp.protect("x", 0, arr(0))
+        hp.protect("y", 5, arr(5))
+        # y's arrival must not demote x (different variable).
+        assert hp.modes()[("x", 0)] == "replicated"
+
+
+class TestRecovery:
+    def test_recover_replicated(self):
+        hp = HybridPolicy()
+        hp.protect("x", 0, arr(0))
+        out = np.frombuffer(hp.recover("x", 0), np.float64)
+        assert np.array_equal(out, arr(0))
+
+    def test_recover_replicated_with_loss(self):
+        hp = HybridPolicy(replication=ReplicationScheme(n_replicas=3))
+        hp.protect("x", 0, arr(0))
+        out = np.frombuffer(hp.recover("x", 0, lost_copies=2), np.float64)
+        assert np.array_equal(out, arr(0))
+
+    def test_recover_all_copies_lost(self):
+        hp = HybridPolicy()
+        hp.protect("x", 0, arr(0))
+        with pytest.raises(ObjectNotFound):
+            hp.recover("x", 0, lost_copies=2)
+
+    def test_recover_encoded_with_erasures(self):
+        hp = HybridPolicy(code=RSCode(4, 2), hot_versions=1)
+        hp.protect("x", 0, arr(0))
+        hp.protect("x", 1, arr(1))  # demotes v0
+        out = np.frombuffer(hp.recover("x", 0, lost_shards=2), np.float64)
+        assert np.array_equal(out, arr(0))
+
+    def test_recover_missing(self):
+        with pytest.raises(ObjectNotFound):
+            HybridPolicy().recover("nope", 0)
+
+
+class TestAccounting:
+    def test_overhead_between_rs_and_replication(self):
+        hp = HybridPolicy(
+            replication=ReplicationScheme(2), code=RSCode(4, 2), hot_versions=1
+        )
+        for v in range(6):
+            hp.protect("x", v, arr(v))
+        # Mostly cold (RS 0.5 overhead) with one hot (1.0 overhead).
+        assert 0.5 < hp.overhead() < 1.0
+
+    def test_evict(self):
+        hp = HybridPolicy()
+        hp.protect("x", 0, arr(0))
+        freed = hp.evict("x", 0)
+        assert freed == 2 * arr(0).nbytes
+        assert hp.stored_bytes() == 0
+
+    def test_evict_missing(self):
+        assert HybridPolicy().evict("x", 9) == 0
+
+    def test_logical_bytes(self):
+        hp = HybridPolicy()
+        hp.protect("x", 0, arr(0))
+        hp.protect("x", 1, arr(1))
+        assert hp.logical_bytes() == 2 * arr(0).nbytes

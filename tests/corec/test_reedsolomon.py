@@ -1,0 +1,129 @@
+"""Tests for systematic Reed-Solomon erasure coding."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corec.reedsolomon import RSCode, Shard
+from repro.errors import DecodingError, EncodingError
+
+
+def payload(n=1000, seed=0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class TestConstruction:
+    def test_basic(self):
+        rs = RSCode(4, 2)
+        assert rs.k == 4
+        assert rs.m == 2
+        assert rs.storage_overhead == 0.5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(EncodingError):
+            RSCode(0, 2)
+        with pytest.raises(EncodingError):
+            RSCode(4, -1)
+        with pytest.raises(EncodingError):
+            RSCode(200, 60)
+
+    def test_zero_parity_allowed(self):
+        rs = RSCode(4, 0)
+        data = payload(64)
+        assert rs.decode(rs.encode(data), 64) == data
+
+
+class TestEncode:
+    def test_shard_count_and_length(self):
+        rs = RSCode(4, 2)
+        shards = rs.encode(payload(1000))
+        assert len(shards) == 6
+        assert all(s.data.size == rs.shard_length(1000) for s in shards)
+
+    def test_systematic_prefix(self):
+        rs = RSCode(4, 2)
+        data = payload(1024)
+        shards = rs.encode(data)
+        recon = b"".join(s.data.tobytes() for s in shards[:4])
+        assert recon[:1024] == data
+
+    def test_rejects_empty(self):
+        with pytest.raises(EncodingError):
+            RSCode(2, 1).encode(b"")
+
+    def test_accepts_ndarray(self):
+        rs = RSCode(3, 2)
+        arr = np.arange(300, dtype=np.uint8)
+        assert rs.decode(rs.encode(arr), 300) == arr.tobytes()
+
+
+class TestDecode:
+    def test_all_erasure_patterns(self):
+        rs = RSCode(4, 2)
+        data = payload(997)  # non-multiple of k exercises padding
+        shards = rs.encode(data)
+        for lost in itertools.combinations(range(6), 2):
+            keep = [s for s in shards if s.index not in lost]
+            assert rs.decode(keep, 997) == data
+
+    def test_too_many_erasures(self):
+        rs = RSCode(4, 2)
+        shards = rs.encode(payload(100))
+        with pytest.raises(DecodingError):
+            rs.decode(shards[:3], 100)
+
+    def test_duplicate_shards_not_counted_twice(self):
+        rs = RSCode(3, 1)
+        shards = rs.encode(payload(99))
+        with pytest.raises(DecodingError):
+            rs.decode([shards[0], shards[0], shards[1]], 99)
+
+    def test_bad_index_rejected(self):
+        rs = RSCode(2, 1)
+        with pytest.raises(DecodingError):
+            rs.decode([Shard(index=9, data=np.zeros(4, np.uint8))], 8)
+
+    def test_inconsistent_lengths_rejected(self):
+        rs = RSCode(2, 1)
+        shards = rs.encode(payload(100))
+        bad = [shards[0], Shard(index=1, data=np.zeros(1, np.uint8))]
+        with pytest.raises(DecodingError):
+            rs.decode(bad, 100)
+
+    def test_wrong_nbytes_rejected(self):
+        rs = RSCode(2, 1)
+        shards = rs.encode(payload(100))
+        with pytest.raises(DecodingError):
+            rs.decode(shards, 400)
+
+    def test_parity_only_reconstruction(self):
+        # Lose ALL data shards; decode purely from parity.
+        rs = RSCode(2, 2)
+        data = payload(256)
+        shards = rs.encode(data)
+        assert rs.decode(shards[2:], 256) == data
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=512),
+        st.integers(2, 6),
+        st.integers(1, 3),
+    )
+    def test_roundtrip_random_erasures(self, data, k, m):
+        rs = RSCode(k, m)
+        shards = rs.encode(data)
+        # Drop the first m shards (worst case for systematic codes).
+        assert rs.decode(shards[m:], len(data)) == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=256))
+    def test_overhead_bytes(self, data):
+        rs = RSCode(4, 2)
+        shards = rs.encode(data)
+        total = sum(s.nbytes for s in shards)
+        assert total == rs.shard_length(len(data)) * 6

@@ -1,0 +1,84 @@
+"""Tests for buddy replication across staging servers."""
+
+import numpy as np
+import pytest
+
+from repro.corec.replication import ReplicationScheme
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ConfigError, ObjectNotFound
+from repro.geometry import BBox
+from repro.staging import StagingServer
+
+
+def servers(n=4):
+    return [StagingServer(i) for i in range(n)]
+
+
+def desc(version=0):
+    return ObjectDescriptor("x", version, BBox((0,), (16,)))
+
+
+class TestPlacement:
+    def test_replica_servers_cyclic(self):
+        rep = ReplicationScheme(n_replicas=3)
+        assert rep.replica_servers(2, 4) == [2, 3, 0]
+
+    def test_single_copy(self):
+        rep = ReplicationScheme(n_replicas=1)
+        assert rep.replica_servers(1, 4) == [1]
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ConfigError):
+            ReplicationScheme(n_replicas=0)
+
+    def test_rejects_more_replicas_than_servers(self):
+        rep = ReplicationScheme(n_replicas=5)
+        with pytest.raises(ConfigError):
+            rep.replica_servers(0, 4)
+
+    def test_overhead(self):
+        assert ReplicationScheme(n_replicas=2).storage_overhead == 1.0
+        assert ReplicationScheme(n_replicas=3).storage_overhead == 2.0
+
+    def test_tolerates(self):
+        rep = ReplicationScheme(n_replicas=2)
+        assert rep.tolerates(1)
+        assert not rep.tolerates(2)
+
+
+class TestPutGet:
+    def test_put_places_all_copies(self):
+        srvs = servers()
+        rep = ReplicationScheme(n_replicas=2)
+        data = np.arange(16, dtype=np.float64)
+        placed = rep.put(srvs, 1, desc(), data)
+        assert placed == [1, 2]
+        assert srvs[1].nbytes == srvs[2].nbytes == data.nbytes
+        assert srvs[0].nbytes == 0
+
+    def test_get_from_primary(self):
+        srvs = servers()
+        rep = ReplicationScheme(n_replicas=2)
+        data = np.arange(16, dtype=np.float64)
+        rep.put(srvs, 0, desc(), data)
+        assert np.array_equal(rep.get(srvs, 0, desc()), data)
+
+    def test_get_survives_primary_failure(self):
+        srvs = servers()
+        rep = ReplicationScheme(n_replicas=2)
+        data = np.arange(16, dtype=np.float64)
+        rep.put(srvs, 0, desc(), data)
+        assert np.array_equal(rep.get(srvs, 0, desc(), failed={0}), data)
+
+    def test_get_all_replicas_lost(self):
+        srvs = servers()
+        rep = ReplicationScheme(n_replicas=2)
+        rep.put(srvs, 0, desc(), np.zeros(16))
+        with pytest.raises(ObjectNotFound):
+            rep.get(srvs, 0, desc(), failed={0, 1})
+
+    def test_get_missing_data(self):
+        srvs = servers()
+        rep = ReplicationScheme(n_replicas=2)
+        with pytest.raises(ObjectNotFound):
+            rep.get(srvs, 0, desc())

@@ -1,0 +1,81 @@
+"""Tests for object descriptors."""
+
+import pytest
+
+from repro.descriptors import ObjectDescriptor
+from repro.errors import GeometryError
+from repro.geometry import BBox
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = ObjectDescriptor("rho", 3, BBox((0, 0), (4, 4)))
+        assert d.name == "rho"
+        assert d.version == 3
+        assert d.dtype == "float64"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ObjectDescriptor("", 0, BBox((0,), (1,)))
+
+    def test_rejects_negative_version(self):
+        with pytest.raises(ValueError):
+            ObjectDescriptor("x", -1, BBox((0,), (1,)))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            ObjectDescriptor("x", 0, BBox((0,), (1,)), dtype="notadtype")
+
+    def test_nbytes(self):
+        d = ObjectDescriptor("x", 0, BBox((0, 0), (4, 8)), dtype="float32")
+        assert d.itemsize == 4
+        assert d.nbytes == 4 * 8 * 4
+
+    def test_key(self):
+        d = ObjectDescriptor("x", 7, BBox((0,), (2,)))
+        assert d.key == ("x", 7)
+
+    def test_ordering_by_name_then_version(self):
+        a = ObjectDescriptor("a", 5, BBox((0,), (1,)))
+        b = ObjectDescriptor("b", 0, BBox((0,), (1,)))
+        c = ObjectDescriptor("a", 6, BBox((0,), (9,)))
+        assert sorted([c, b, a]) == [a, c, b]
+
+    def test_equality_ignores_bbox(self):
+        a = ObjectDescriptor("x", 1, BBox((0,), (4,)))
+        b = ObjectDescriptor("x", 1, BBox((1,), (3,)))
+        assert a == b  # same (name, version) identity
+
+
+class TestDerivation:
+    def test_with_version(self):
+        d = ObjectDescriptor("x", 0, BBox((0,), (4,)))
+        d2 = d.with_version(9)
+        assert d2.version == 9
+        assert d2.bbox == d.bbox
+
+    def test_with_bbox(self):
+        d = ObjectDescriptor("x", 0, BBox((0,), (4,)))
+        d2 = d.with_bbox(BBox((1,), (2,)))
+        assert d2.bbox == BBox((1,), (2,))
+        assert d2.version == 0
+
+    def test_with_bbox_rank_check(self):
+        d = ObjectDescriptor("x", 0, BBox((0,), (4,)))
+        with pytest.raises(GeometryError):
+            d.with_bbox(BBox((0, 0), (1, 1)))
+
+    def test_restrict_overlapping(self):
+        d = ObjectDescriptor("x", 0, BBox((0, 0), (8, 8)))
+        r = d.restrict(BBox((4, 4), (12, 12)))
+        assert r is not None
+        assert r.bbox == BBox((4, 4), (8, 8))
+
+    def test_restrict_disjoint(self):
+        d = ObjectDescriptor("x", 0, BBox((0,), (4,)))
+        assert d.restrict(BBox((4,), (8,))) is None
+
+    def test_str(self):
+        d = ObjectDescriptor("rho", 2, BBox((0,), (4,)), dtype="int32")
+        assert "rho@v2" in str(d)
+        assert "int32" in str(d)

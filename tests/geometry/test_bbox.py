@@ -1,0 +1,195 @@
+"""Tests for N-d bounding boxes, including property-based ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BBox
+
+
+def boxes(ndim=3, lo=0, hi=24):
+    """Hypothesis strategy for valid ndim boxes within [lo, hi)."""
+
+    def build(draw):
+        coords = []
+        for _ in range(ndim):
+            a = draw(st.integers(lo, hi - 1))
+            b = draw(st.integers(a + 1, hi))
+            coords.append((a, b))
+        return BBox(tuple(c[0] for c in coords), tuple(c[1] for c in coords))
+
+    return st.composite(lambda draw: build(draw))()
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = BBox((0, 0), (4, 5))
+        assert b.shape == (4, 5)
+        assert b.volume == 20
+        assert b.ndim == 2
+
+    def test_from_shape(self):
+        b = BBox.from_shape((3, 4, 5))
+        assert b.lo == (0, 0, 0)
+        assert b.hi == (3, 4, 5)
+
+    def test_from_shape_with_origin(self):
+        b = BBox.from_shape((2, 2), origin=(5, 6))
+        assert b.lo == (5, 6)
+        assert b.hi == (7, 8)
+
+    def test_rejects_empty_extent(self):
+        with pytest.raises(GeometryError):
+            BBox((0, 0), (0, 4))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            BBox((3,), (1,))
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(GeometryError):
+            BBox((0, 0), (1,))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(GeometryError):
+            BBox((), ())
+
+    def test_numpy_ints_normalised(self):
+        b = BBox(tuple(np.int64([0, 0])), tuple(np.int64([2, 2])))
+        assert isinstance(b.lo[0], int)
+        assert hash(b) == hash(BBox((0, 0), (2, 2)))
+
+    def test_hashable_and_equal(self):
+        assert BBox((0,), (5,)) == BBox((0,), (5,))
+        assert len({BBox((0,), (5,)), BBox((0,), (5,))}) == 1
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        b = BBox((1, 1), (4, 4))
+        assert b.contains_point((1, 1))
+        assert b.contains_point((3, 3))
+        assert not b.contains_point((4, 3))  # hi is exclusive
+
+    def test_contains_point_rank_check(self):
+        with pytest.raises(GeometryError):
+            BBox((0,), (2,)).contains_point((0, 0))
+
+    def test_contains_box(self):
+        outer = BBox((0, 0), (10, 10))
+        assert outer.contains(BBox((2, 2), (5, 5)))
+        assert outer.contains(outer)
+        assert not outer.contains(BBox((5, 5), (11, 9)))
+
+    def test_intersects(self):
+        a = BBox((0, 0), (5, 5))
+        assert a.intersects(BBox((4, 4), (8, 8)))
+        assert not a.intersects(BBox((5, 0), (8, 5)))  # touching edge: disjoint
+
+    def test_intersect_result(self):
+        a = BBox((0, 0), (5, 5))
+        b = BBox((3, 2), (8, 4))
+        assert a.intersect(b) == BBox((3, 2), (5, 4))
+
+    def test_intersect_disjoint_none(self):
+        assert BBox((0,), (2,)).intersect(BBox((2,), (4,))) is None
+
+    def test_union_bounds(self):
+        a = BBox((0, 4), (2, 6))
+        b = BBox((1, 0), (5, 2))
+        assert a.union_bounds(b) == BBox((0, 0), (5, 6))
+
+
+class TestOperations:
+    def test_translate(self):
+        b = BBox((1, 1), (3, 3)).translate((10, -1))
+        assert b == BBox((11, 0), (13, 2))
+
+    def test_translate_rank_check(self):
+        with pytest.raises(GeometryError):
+            BBox((0,), (1,)).translate((1, 2))
+
+    def test_slices_absolute(self):
+        arr = np.arange(100).reshape(10, 10)
+        b = BBox((2, 3), (5, 7))
+        assert np.array_equal(arr[b.slices()], arr[2:5, 3:7])
+
+    def test_slices_within(self):
+        outer = BBox((2, 2), (8, 8))
+        inner = BBox((3, 4), (5, 6))
+        assert inner.slices(outer) == (slice(1, 3), slice(2, 4))
+
+    def test_slices_within_requires_containment(self):
+        with pytest.raises(GeometryError):
+            BBox((0, 0), (4, 4)).slices(BBox((1, 1), (3, 3)))
+
+    def test_corners_count(self):
+        corners = list(BBox((0, 0, 0), (2, 3, 4)).corners())
+        assert len(corners) == 8
+        assert (0, 0, 0) in corners
+        assert (1, 2, 3) in corners
+
+    def test_split(self):
+        left, right = BBox((0,), (10,)).split(0, 4)
+        assert left == BBox((0,), (4,))
+        assert right == BBox((4,), (10,))
+
+    def test_split_requires_interior_point(self):
+        with pytest.raises(GeometryError):
+            BBox((0,), (10,)).split(0, 0)
+        with pytest.raises(GeometryError):
+            BBox((0,), (10,)).split(0, 10)
+
+    def test_subtract_disjoint(self):
+        b = BBox((0, 0), (4, 4))
+        assert b.subtract(BBox((10, 10), (12, 12))) == [b]
+
+    def test_subtract_covering(self):
+        b = BBox((1, 1), (3, 3))
+        assert b.subtract(BBox((0, 0), (4, 4))) == []
+
+    def test_subtract_volume(self):
+        b = BBox((0, 0), (10, 10))
+        pieces = b.subtract(BBox((2, 3), (5, 8)))
+        assert sum(p.volume for p in pieces) == 100 - 15
+
+    def test_str(self):
+        assert str(BBox((0, 1), (2, 3))) == "BBox[0:2, 1:3]"
+
+
+class TestSubtractProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(boxes(), boxes())
+    def test_subtract_partitions_volume(self, a, b):
+        pieces = a.subtract(b)
+        overlap = a.intersect(b)
+        expect = a.volume - (overlap.volume if overlap else 0)
+        assert sum(p.volume for p in pieces) == expect
+
+    @settings(max_examples=150, deadline=None)
+    @given(boxes(), boxes())
+    def test_subtract_pieces_disjoint_from_b(self, a, b):
+        for piece in a.subtract(b):
+            assert not piece.intersects(b)
+            assert a.contains(piece)
+
+    @settings(max_examples=100, deadline=None)
+    @given(boxes(), boxes())
+    def test_subtract_pieces_pairwise_disjoint(self, a, b):
+        pieces = a.subtract(b)
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                assert not pieces[i].intersects(pieces[j])
+
+    @settings(max_examples=150, deadline=None)
+    @given(boxes(), boxes())
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @settings(max_examples=150, deadline=None)
+    @given(boxes())
+    def test_self_intersection_identity(self, a):
+        assert a.intersect(a) == a
+        assert a.contains(a)

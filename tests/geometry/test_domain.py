@@ -1,0 +1,122 @@
+"""Tests for the global domain and block decomposition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BBox
+from repro.geometry.domain import Domain, balanced_process_grid, grid_decompose
+
+
+class TestDomain:
+    def test_basic(self):
+        d = Domain((512, 512, 256))
+        assert d.ndim == 3
+        assert d.volume == 512 * 512 * 256
+        assert d.bbox == BBox((0, 0, 0), (512, 512, 256))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            Domain(())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            Domain((4, 0))
+
+    def test_subset_full(self):
+        d = Domain((10, 10))
+        assert d.subset(1.0) == d.bbox
+
+    def test_subset_fraction_volume(self):
+        d = Domain((100, 50))
+        sub = d.subset(0.2)
+        assert sub.volume == pytest.approx(0.2 * d.volume, rel=0.05)
+
+    def test_subset_minimum_one_plane(self):
+        d = Domain((10, 10))
+        assert d.subset(0.001).volume == 10  # at least one x-plane
+
+    def test_subset_rejects_bad_fraction(self):
+        with pytest.raises(GeometryError):
+            Domain((4,)).subset(0.0)
+        with pytest.raises(GeometryError):
+            Domain((4,)).subset(1.5)
+
+
+class TestBalancedGrid:
+    def test_exact_cube(self):
+        assert balanced_process_grid(8, 3) == (2, 2, 2)
+
+    def test_paper_simulation_grid(self):
+        # Table II: 256 simulation cores as 8 x 8 x 4.
+        assert balanced_process_grid(256, 3) == (8, 8, 4)
+
+    def test_prime(self):
+        assert balanced_process_grid(7, 2) == (7, 1)
+
+    def test_one_dim(self):
+        assert balanced_process_grid(12, 1) == (12,)
+
+    def test_product_invariant(self):
+        for n in (1, 2, 6, 30, 64, 100, 97):
+            for ndim in (1, 2, 3):
+                grid = balanced_process_grid(n, ndim)
+                assert math.prod(grid) == n
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            balanced_process_grid(0, 2)
+        with pytest.raises(GeometryError):
+            balanced_process_grid(4, 0)
+
+
+class TestGridDecompose:
+    def test_even_split(self):
+        blocks = grid_decompose(BBox((0, 0), (4, 4)), (2, 2))
+        assert len(blocks) == 4
+        assert blocks[0] == BBox((0, 0), (2, 2))
+        assert blocks[-1] == BBox((2, 2), (4, 4))
+
+    def test_remainder_distribution(self):
+        blocks = grid_decompose(BBox((0,), (10,)), (3,))
+        assert [b.shape[0] for b in blocks] == [4, 3, 3]
+
+    def test_covers_domain_exactly(self):
+        box = BBox((0, 0, 0), (7, 5, 3))
+        blocks = grid_decompose(box, (2, 3, 1))
+        assert sum(b.volume for b in blocks) == box.volume
+        for i in range(len(blocks)):
+            for j in range(i + 1, len(blocks)):
+                assert not blocks[i].intersects(blocks[j])
+
+    def test_offset_box(self):
+        blocks = grid_decompose(BBox((10,), (20,)), (2,))
+        assert blocks == [BBox((10,), (15,)), BBox((15,), (20,))]
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(GeometryError):
+            grid_decompose(BBox((0, 0), (4, 4)), (2,))
+
+    def test_rejects_oversized_grid(self):
+        with pytest.raises(GeometryError):
+            grid_decompose(BBox((0,), (3,)), (4,))
+
+    def test_rejects_nonpositive_grid(self):
+        with pytest.raises(GeometryError):
+            grid_decompose(BBox((0,), (3,)), (0,))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.tuples(st.integers(1, 20), st.integers(1, 20)),
+        st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    )
+    def test_property_partition(self, shape, grid):
+        if any(g > s for g, s in zip(grid, shape)):
+            return
+        box = BBox.from_shape(shape)
+        blocks = grid_decompose(box, grid)
+        assert len(blocks) == grid[0] * grid[1]
+        assert sum(b.volume for b in blocks) == box.volume

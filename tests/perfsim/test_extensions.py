@@ -1,0 +1,90 @@
+"""Tests for the proactive and multi-level checkpointing extensions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfsim import (
+    PRODUCER,
+    CONSUMER,
+    SimFailure,
+    simulate,
+    table2_config,
+)
+from repro.perfsim.engine import Engine
+from repro.perfsim.extensions import MultiLevelScheme, ProactiveScheme
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return table2_config().with_(
+        num_steps=16, staging_cores=8, domain_shape=(128, 128, 64)
+    )
+
+
+class TestProactive:
+    def test_saves_lost_work(self, cfg):
+        f = [SimFailure(PRODUCER, 10)]
+        un = simulate(cfg, "uncoordinated", failures=f).total_time
+        pro = simulate(cfg, "proactive", failures=f).total_time
+        assert pro < un
+
+    def test_failure_free_costs_nothing_extra(self, cfg):
+        un = simulate(cfg, "uncoordinated").total_time
+        pro = simulate(cfg, "proactive").total_time
+        assert pro == pytest.approx(un)
+
+    def test_predicted_rollback_is_short(self, cfg):
+        # With a perfect predictor the victim re-executes ~0 steps.
+        f = [SimFailure(PRODUCER, 10)]
+        r = simulate(cfg, "proactive", failures=f)
+        assert r.components[PRODUCER].steps_run == cfg.num_steps
+
+    def test_recall_validation(self):
+        eng = Engine()
+        with pytest.raises(ConfigError):
+            ProactiveScheme(eng, None, None, None, None, None, recall=1.5)
+
+    def test_consumer_failure_predicted(self, cfg):
+        f = [SimFailure(CONSUMER, 9)]
+        r = simulate(cfg, "proactive", failures=f)
+        assert r.components[CONSUMER].recoveries == 1
+
+
+class TestMultiLevel:
+    def test_cheaper_checkpoints_than_pfs_only(self, cfg):
+        un = simulate(cfg, "uncoordinated").total_time
+        ml = simulate(cfg, "multilevel").total_time
+        assert ml < un
+
+    def test_process_failure_restores_from_node_local(self, cfg):
+        f = [SimFailure(PRODUCER, 10)]
+        r = simulate(cfg, "multilevel", failures=f)
+        assert r.components[PRODUCER].recoveries == 1
+
+    def test_node_failure_falls_back_to_pfs_level(self, cfg):
+        proc = simulate(
+            cfg, "multilevel", failures=[SimFailure(PRODUCER, 10)]
+        ).total_time
+        node = simulate(
+            cfg, "multilevel", failures=[SimFailure(PRODUCER, 10, kind="node")]
+        ).total_time
+        # Node failure loses more work (rolls back to the last PFS level).
+        assert node >= proc
+
+    def test_consistency_machinery_still_used(self, cfg):
+        f = [SimFailure(PRODUCER, 10)]
+        r = simulate(cfg, "multilevel", failures=f)
+        assert r.suppressed_requests > 0  # logging replay still suppresses
+
+    def test_param_validation(self):
+        eng = Engine()
+        with pytest.raises(ConfigError):
+            MultiLevelScheme(eng, None, None, None, None, None, pfs_interval=0)
+        with pytest.raises(ConfigError):
+            MultiLevelScheme(
+                eng, None, None, None, None, None, node_local_bandwidth=0
+            )
+
+    def test_bad_failure_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            SimFailure(PRODUCER, 3, kind="cosmic-ray")

@@ -1,0 +1,98 @@
+"""Tests for simulation result containers and cross-metric invariants."""
+
+import pytest
+
+from repro.perfsim import CONSUMER, PRODUCER, SimFailure, simulate, table2_config
+from repro.perfsim.apps import PhaseTimes
+from repro.perfsim.metrics import ComponentMetrics, SimResult
+from repro.util.timeline import Timeline
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = table2_config().with_(
+        num_steps=10, staging_cores=4, domain_shape=(64, 64, 32)
+    )
+    return simulate(cfg, "uncoordinated", failures=[SimFailure(CONSUMER, 6)])
+
+
+class TestSimResult:
+    def test_mean_write_response(self, result):
+        assert result.mean_write_response == pytest.approx(
+            result.cumulative_write_response / result.write_count
+        )
+
+    def test_mean_write_response_empty(self):
+        r = SimResult(
+            scheme="ds",
+            config_name="x",
+            total_time=1.0,
+            components={},
+            cumulative_write_response=0.0,
+            write_count=0,
+            cumulative_read_response=0.0,
+            memory=Timeline("m"),
+            failures_injected=0,
+        )
+        assert r.mean_write_response == 0.0
+        assert r.peak_memory == 0.0
+
+    def test_memory_stats_consistent(self, result):
+        assert 0 < result.mean_memory <= result.peak_memory
+
+    def test_summary_keys(self, result):
+        s = result.summary()
+        assert set(s) == {
+            "scheme",
+            "config",
+            "total_time_s",
+            "cum_write_response_s",
+            "peak_memory_bytes",
+            "mean_memory_bytes",
+            "failures",
+        }
+        assert s["failures"] == 1
+
+    def test_component_metrics_complete(self, result):
+        assert set(result.components) == {PRODUCER, CONSUMER}
+        for m in result.components.values():
+            assert isinstance(m, ComponentMetrics)
+            assert m.finish_time <= result.total_time
+            assert m.steps_run >= 10
+
+    def test_write_count_matches_steps(self, result):
+        # One variable, 10 steps: exactly 10 full-cost writes (the victim's
+        # replayed puts are suppressed, not re-written).
+        assert result.write_count == 10
+
+    def test_events_processed_positive(self, result):
+        assert result.events_processed > 0
+
+    def test_pfs_utilization_bounded(self, result):
+        assert 0.0 <= result.pfs_utilization <= 1.0
+
+
+class TestCrossSchemeInvariants:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return table2_config().with_(
+            num_steps=10, staging_cores=4, domain_shape=(64, 64, 32)
+        )
+
+    def test_total_time_is_max_finish(self, cfg):
+        for scheme in ("ds", "uncoordinated", "coordinated"):
+            r = simulate(cfg, scheme)
+            assert r.total_time == pytest.approx(
+                max(m.finish_time for m in r.components.values())
+            )
+
+    def test_memory_timeline_monotone_time(self, cfg):
+        r = simulate(cfg, "uncoordinated")
+        times = r.memory.times
+        assert times == sorted(times)
+
+    def test_deterministic_repeat(self, cfg):
+        a = simulate(cfg, "uncoordinated", failures=[SimFailure(PRODUCER, 5)])
+        b = simulate(cfg, "uncoordinated", failures=[SimFailure(PRODUCER, 5)])
+        assert a.total_time == b.total_time
+        assert a.cumulative_write_response == b.cumulative_write_response

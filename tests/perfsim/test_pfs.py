@@ -1,0 +1,95 @@
+"""Tests for the parallel file system model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfsim.config import MachineParams
+from repro.perfsim.engine import Engine
+from repro.perfsim.pfs import ParallelFileSystem
+
+
+def make_pfs(agg=10e9, per_node=1e9):
+    eng = Engine()
+    machine = MachineParams(pfs_aggregate_bandwidth=agg, pfs_node_bandwidth=per_node)
+    return eng, ParallelFileSystem(eng, machine)
+
+
+class TestTransferTime:
+    def test_node_bound(self):
+        eng, pfs = make_pfs()
+
+        def job():
+            yield from pfs.write(2e9, nodes=1)  # capped at 1 GB/s
+
+        eng.process(job())
+        assert eng.run() == pytest.approx(2.0)
+
+    def test_aggregate_bound(self):
+        eng, pfs = make_pfs()
+
+        def job():
+            yield from pfs.write(20e9, nodes=100)  # capped at 10 GB/s
+
+        eng.process(job())
+        assert eng.run() == pytest.approx(2.0)
+
+    def test_storm_serializes(self):
+        eng, pfs = make_pfs()
+        done = []
+
+        def job(tag):
+            yield from pfs.write(10e9, nodes=100)
+            done.append((tag, eng.now))
+
+        eng.process(job("a"))
+        eng.process(job("b"))
+        eng.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_read_write_share_channel(self):
+        eng, pfs = make_pfs()
+        done = []
+
+        def writer():
+            yield from pfs.write(10e9, nodes=100)
+            done.append(("w", eng.now))
+
+        def reader():
+            yield from pfs.read(10e9, nodes=100)
+            done.append(("r", eng.now))
+
+        eng.process(writer())
+        eng.process(reader())
+        eng.run()
+        assert done == [("w", 1.0), ("r", 2.0)]
+
+    def test_counters(self):
+        eng, pfs = make_pfs()
+
+        def job():
+            yield from pfs.write(5e9, nodes=100)
+            yield from pfs.read(3e9, nodes=100)
+
+        eng.process(job())
+        eng.run()
+        assert pfs.bytes_written.total == 5e9
+        assert pfs.bytes_read.total == 3e9
+        assert pfs.write_time.count == 1
+
+    def test_validation(self):
+        eng, pfs = make_pfs()
+        with pytest.raises(ConfigError):
+            list(pfs.write(-1, nodes=1))
+        with pytest.raises(ConfigError):
+            list(pfs.write(10, nodes=0))
+
+    def test_utilization(self):
+        eng, pfs = make_pfs()
+
+        def job():
+            yield from pfs.write(10e9, nodes=100)
+            yield eng.timeout(1.0)
+
+        eng.process(job())
+        eng.run()
+        assert pfs.utilization() == pytest.approx(0.5)

@@ -1,0 +1,243 @@
+"""Tests for DES resources: FIFO servers, token pools, barriers, boards."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfsim.engine import Engine
+from repro.perfsim.resources import FifoResource, SimBarrier, TokenPool, VersionBoard
+
+
+class TestFifoResource:
+    def test_serializes_single_capacity(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+        log = []
+
+        def job(tag, t):
+            yield res.acquire()
+            yield eng.timeout(t)
+            res.release()
+            log.append((tag, eng.now))
+
+        eng.process(job("a", 2))
+        eng.process(job("b", 3))
+        eng.run()
+        assert log == [("a", 2.0), ("b", 5.0)]
+
+    def test_parallel_with_capacity(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=2)
+        log = []
+
+        def job(tag):
+            yield res.acquire()
+            yield eng.timeout(2)
+            res.release()
+            log.append((tag, eng.now))
+
+        for tag in "abc":
+            eng.process(job(tag))
+        eng.run()
+        assert log == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+    def test_fifo_order(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+        order = []
+
+        def job(tag):
+            yield res.acquire()
+            yield eng.timeout(1)
+            res.release()
+            order.append(tag)
+
+        for tag in "abcd":
+            eng.process(job(tag))
+        eng.run()
+        assert order == list("abcd")
+
+    def test_release_idle_rejected(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            FifoResource(Engine(), capacity=0)
+
+    def test_utilization(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+
+        def job():
+            yield res.acquire()
+            yield eng.timeout(5)
+            res.release()
+            yield eng.timeout(5)
+
+        eng.process(job())
+        eng.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_service_helper(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+
+        def job():
+            yield from res.service(3.0)
+
+        eng.process(job())
+        assert eng.run() == 3.0
+
+
+class TestTokenPool:
+    def test_acquire_release(self):
+        eng = Engine()
+        pool = TokenPool(eng, 2)
+        log = []
+
+        def worker(tag):
+            yield pool.acquire(2)
+            yield eng.timeout(1)
+            pool.release(2)
+            log.append((tag, eng.now))
+
+        eng.process(worker("a"))
+        eng.process(worker("b"))
+        eng.run()
+        assert log == [("a", 1.0), ("b", 2.0)]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TokenPool(Engine(), -1)
+
+
+class TestSimBarrier:
+    def test_releases_when_full(self):
+        eng = Engine()
+        bar = SimBarrier(eng, 3)
+        times = []
+
+        def party(delay):
+            yield eng.timeout(delay)
+            yield bar.arrive()
+            times.append(eng.now)
+
+        for d in (1, 5, 3):
+            eng.process(party(d))
+        eng.run()
+        assert times == [5.0, 5.0, 5.0]
+        assert bar.cycles == 1
+
+    def test_reusable(self):
+        eng = Engine()
+        bar = SimBarrier(eng, 2)
+        hits = []
+
+        def party():
+            for _ in range(3):
+                yield eng.timeout(1)
+                yield bar.arrive()
+                hits.append(eng.now)
+
+        eng.process(party())
+        eng.process(party())
+        eng.run()
+        assert bar.cycles == 3
+
+    def test_reset_discards_arrivals(self):
+        eng = Engine()
+        bar = SimBarrier(eng, 2)
+
+        def early():
+            yield bar.arrive()
+
+        eng.process(early())
+        eng.run()
+        bar.reset()
+
+        done = []
+
+        def pair(tag):
+            yield bar.arrive()
+            done.append(tag)
+
+        eng.process(pair("a"))
+        eng.process(pair("b"))
+        eng.run()
+        assert sorted(done) == ["a", "b"]
+
+    def test_set_parties_releases_waiters(self):
+        eng = Engine()
+        bar = SimBarrier(eng, 3)
+        done = []
+
+        def party():
+            yield bar.arrive()
+            done.append(eng.now)
+
+        eng.process(party())
+        eng.process(party())
+        eng.run()
+        assert done == []
+        bar.set_parties(2)
+        eng.run()
+        assert len(done) == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SimBarrier(Engine(), 0)
+
+
+class TestVersionBoard:
+    def test_wait_then_publish(self):
+        eng = Engine()
+        board = VersionBoard(eng)
+        log = []
+
+        def consumer():
+            yield board.wait_for("x", 0)
+            log.append(eng.now)
+
+        def producer():
+            yield eng.timeout(4)
+            board.publish("x", 0)
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+        assert log == [4.0]
+
+    def test_wait_already_published(self):
+        eng = Engine()
+        board = VersionBoard(eng)
+        board.publish("x", 1)
+        assert board.available("x", 1)
+
+        def consumer():
+            yield board.wait_for("x", 1)
+            return eng.now
+
+        p = eng.process(consumer())
+        eng.run()
+        assert p.value == 0.0
+
+    def test_publish_idempotent(self):
+        eng = Engine()
+        board = VersionBoard(eng)
+        board.publish("x", 0)
+        board.publish("x", 0)
+        assert board.available("x", 0)
+
+    def test_unpublish_from(self):
+        eng = Engine()
+        board = VersionBoard(eng)
+        for v in range(5):
+            board.publish("x", v)
+        board.publish("y", 4)
+        board.unpublish_from("x", 3)
+        assert board.available("x", 2)
+        assert not board.available("x", 3)
+        assert not board.available("x", 4)
+        assert board.available("y", 4)  # other names untouched

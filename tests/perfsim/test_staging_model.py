@@ -1,0 +1,171 @@
+"""Tests for the staging service-time and capacity model."""
+
+import pytest
+
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ConfigError
+from repro.perfsim.config import table2_config
+from repro.perfsim.engine import Engine
+from repro.perfsim.staging import AccountingServer, StagingModel
+
+
+@pytest.fixture
+def small_cfg():
+    return table2_config().with_(
+        domain_shape=(64, 64, 32), staging_cores=4, sim_cores=16, analytic_cores=8
+    )
+
+
+def model(cfg, logging_enabled=True):
+    return Engine(), cfg
+
+
+class TestAccountingServer:
+    def test_add_evict(self):
+        srv = AccountingServer(0)
+        srv.add("x", 0, 100)
+        srv.add("x", 0, 50)
+        assert srv.nbytes == 150
+        assert srv.evict("x", 0) == 150
+        assert srv.evict("x", 0) == 0
+
+    def test_versions(self):
+        srv = AccountingServer(0)
+        srv.add("x", 2, 1)
+        srv.add("x", 0, 1)
+        assert srv.versions("x") == [0, 2]
+
+
+class TestServiceTimes:
+    def test_put_takes_time(self, small_cfg):
+        eng = Engine()
+        sm = StagingModel(eng, small_cfg, logging_enabled=False)
+        desc = ObjectDescriptor("field", 0, small_cfg.domain.bbox)
+
+        def job():
+            yield from sm.put("sim", desc, ranks=16)
+
+        eng.process(job())
+        total = eng.run()
+        assert total > 0
+        assert sm.write_response.count == 1
+        assert sm.write_response.total == pytest.approx(total)
+
+    def test_logging_put_slower_than_baseline(self, small_cfg):
+        def run_one(logging_enabled):
+            eng = Engine()
+            sm = StagingModel(eng, small_cfg, logging_enabled=logging_enabled)
+            desc = ObjectDescriptor("field", 0, small_cfg.domain.bbox)
+
+            def job():
+                yield from sm.put("sim", desc, ranks=16)
+
+            eng.process(job())
+            return eng.run()
+
+        assert run_one(True) > run_one(False)
+
+    def test_suppressed_put_is_cheap(self, small_cfg):
+        eng = Engine()
+        sm = StagingModel(eng, small_cfg, logging_enabled=True)
+        desc = ObjectDescriptor("field", 0, small_cfg.domain.bbox)
+
+        def job():
+            yield from sm.put("sim", desc, ranks=16)
+            t_full = eng.now
+            yield from sm.put("sim", desc, suppressed=True, ranks=16)
+            return t_full, eng.now - t_full
+
+        p = eng.process(job())
+        eng.run()
+        t_full, t_suppressed = p.value
+        assert t_suppressed < t_full / 50
+        assert sm.suppressed_requests.count == 1
+
+    def test_fraction_scales_time(self, small_cfg):
+        def run_frac(f):
+            eng = Engine()
+            sm = StagingModel(eng, small_cfg, logging_enabled=False)
+            desc = ObjectDescriptor("field", 0, small_cfg.domain.bbox)
+
+            def job():
+                yield from sm.put("sim", desc, fraction=f, ranks=16)
+
+            eng.process(job())
+            return eng.run()
+
+        assert run_frac(0.2) < run_frac(1.0)
+
+    def test_bad_fraction_rejected(self, small_cfg):
+        eng = Engine()
+        sm = StagingModel(eng, small_cfg, logging_enabled=False)
+        desc = ObjectDescriptor("field", 0, small_cfg.domain.bbox)
+        with pytest.raises(ConfigError):
+            sm._shard_bytes(desc, 0.0)
+
+    def test_bad_keep_versions_rejected(self, small_cfg):
+        with pytest.raises(ConfigError):
+            StagingModel(Engine(), small_cfg, logging_enabled=False, ds_keep_versions=0)
+
+
+class TestRetention:
+    def _run_steps(self, cfg, logging_enabled, steps=6, ckpt_every=None):
+        eng = Engine()
+        sm = StagingModel(eng, cfg, logging_enabled=logging_enabled)
+        sm.register("sim")
+        sm.register("ana")
+        desc = lambda v: ObjectDescriptor("field", v, cfg.domain.bbox)
+
+        def job():
+            for v in range(steps):
+                yield from sm.put("sim", desc(v), ranks=16)
+                yield from sm.get("ana", desc(v), ranks=8)
+                if ckpt_every and (v + 1) % ckpt_every == 0:
+                    yield from sm.workflow_check("sim", v)
+                    yield from sm.workflow_check("ana", v)
+
+        eng.process(job())
+        eng.run()
+        return sm
+
+    def test_ds_keeps_bounded_versions(self, small_cfg):
+        sm = self._run_steps(small_cfg, logging_enabled=False)
+        versions = set()
+        for srv in sm.group.servers:
+            versions.update(srv.versions("field"))
+        assert versions == {5}  # consumed versions evicted
+
+    def test_logging_retains_more_than_ds(self, small_cfg):
+        logged = self._run_steps(small_cfg, logging_enabled=True)
+        ds = self._run_steps(small_cfg, logging_enabled=False)
+        assert logged.total_bytes > ds.total_bytes
+
+    def test_gc_trims_at_checkpoints(self, small_cfg):
+        with_gc = self._run_steps(small_cfg, logging_enabled=True, ckpt_every=2)
+        without = self._run_steps(small_cfg, logging_enabled=True)
+        assert with_gc.total_bytes < without.total_bytes
+        assert with_gc.gc_bytes_freed.total > 0
+
+    def test_memory_timeline_sampled(self, small_cfg):
+        sm = self._run_steps(small_cfg, logging_enabled=True)
+        assert len(sm.memory) >= 6
+        assert sm.memory.peak >= sm.base_bytes
+
+    def test_rollback_retention_drops_newer(self, small_cfg):
+        sm = self._run_steps(small_cfg, logging_enabled=False)
+        # Put extra unconsumed versions so several are live.
+        eng2 = Engine()
+        sm2 = StagingModel(eng2, small_cfg, logging_enabled=False)
+        desc = lambda v: ObjectDescriptor("field", v, small_cfg.domain.bbox)
+
+        def job():
+            for v in range(4):
+                yield from sm2.put("sim", desc(v), ranks=16)
+
+        eng2.process(job())
+        eng2.run()
+        sm2.rollback_retention(1)
+        versions = set()
+        for srv in sm2.group.servers:
+            versions.update(srv.versions("field"))
+        assert versions == {0, 1}

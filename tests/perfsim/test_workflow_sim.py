@@ -1,0 +1,174 @@
+"""Tests for the simulated workflow runner and the five schemes' semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfsim import (
+    CONSUMER,
+    PRODUCER,
+    SimFailure,
+    sample_failures,
+    simulate,
+    table2_config,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    # Shrunk Table II: fewer steps and servers so the suite stays fast.
+    return table2_config().with_(
+        num_steps=12, staging_cores=8, domain_shape=(128, 128, 64)
+    )
+
+
+class TestValidation:
+    def test_unknown_scheme(self, cfg):
+        with pytest.raises(ConfigError):
+            simulate(cfg, "nope")
+
+    def test_ds_with_failures_rejected(self, cfg):
+        with pytest.raises(ConfigError):
+            simulate(cfg, "ds", failures=[SimFailure(PRODUCER, 3)])
+
+    def test_bad_failure_component(self):
+        with pytest.raises(ConfigError):
+            SimFailure("ghost", 3)
+
+    def test_bad_failure_step(self):
+        with pytest.raises(ConfigError):
+            SimFailure(PRODUCER, -1)
+
+
+class TestFailureFree:
+    def test_ds_completes(self, cfg):
+        r = simulate(cfg, "ds")
+        assert r.total_time > 0
+        assert r.components[PRODUCER].steps_run == 12
+        assert r.components[CONSUMER].steps_run == 12
+        assert r.failures_injected == 0
+
+    def test_schemes_ordering_failure_free(self, cfg):
+        ds = simulate(cfg, "ds").total_time
+        un = simulate(cfg, "uncoordinated").total_time
+        co = simulate(cfg, "coordinated").total_time
+        # Checkpointing costs time; logging costs a little more; coordinated
+        # barriers cost the most.
+        assert ds < un < co
+
+    def test_checkpoint_counts(self, cfg):
+        r = simulate(cfg, "uncoordinated")
+        # periods 4 (sim) and 5 (ana) over 12 steps, skipping the final step.
+        assert r.components[PRODUCER].checkpoints == 2
+        assert r.components[CONSUMER].checkpoints == 2
+
+    def test_hybrid_consumer_never_checkpoints(self, cfg):
+        r = simulate(cfg, "hybrid")
+        assert r.components[CONSUMER].checkpoints == 0
+        assert r.components[PRODUCER].checkpoints > 0
+
+
+class TestFailures:
+    def test_consumer_failure_recovery_counts(self, cfg):
+        for scheme in ("uncoordinated", "individual", "coordinated"):
+            r = simulate(cfg, scheme, failures=[SimFailure(CONSUMER, 7)])
+            assert r.components[CONSUMER].recoveries == 1, scheme
+            assert r.failures_injected == 1
+
+    def test_failure_costs_time(self, cfg):
+        clean = simulate(cfg, "uncoordinated").total_time
+        failed = simulate(
+            cfg, "uncoordinated", failures=[SimFailure(PRODUCER, 7)]
+        ).total_time
+        assert failed > clean
+
+    def test_coordinated_rolls_back_both(self, cfg):
+        r = simulate(cfg, "coordinated", failures=[SimFailure(CONSUMER, 7)])
+        # Both components re-ran steps (steps_run > num_steps).
+        assert r.components[PRODUCER].steps_run > 12
+        assert r.components[CONSUMER].steps_run > 12
+
+    def test_uncoordinated_rolls_back_only_victim(self, cfg):
+        r = simulate(cfg, "uncoordinated", failures=[SimFailure(CONSUMER, 7)])
+        assert r.components[PRODUCER].steps_run == 12
+        assert r.components[CONSUMER].steps_run > 12
+
+    def test_uncoordinated_producer_failure_suppresses(self, cfg):
+        r = simulate(cfg, "uncoordinated", failures=[SimFailure(PRODUCER, 7)])
+        assert r.suppressed_requests > 0
+
+    def test_individual_producer_rewrites_at_full_cost(self, cfg):
+        r = simulate(cfg, "individual", failures=[SimFailure(PRODUCER, 7)])
+        assert r.suppressed_requests == 0
+
+    def test_hybrid_failover_is_cheapest_consumer_recovery(self, cfg):
+        hy = simulate(cfg, "hybrid", failures=[SimFailure(CONSUMER, 7)])
+        un = simulate(cfg, "uncoordinated", failures=[SimFailure(CONSUMER, 7)])
+        assert hy.components[CONSUMER].phases.recovery < un.components[CONSUMER].phases.recovery
+
+    def test_multiple_failures(self, cfg):
+        r = simulate(
+            cfg,
+            "uncoordinated",
+            failures=[SimFailure(PRODUCER, 4), SimFailure(CONSUMER, 9)],
+        )
+        assert r.failures_injected == 2
+        assert r.components[PRODUCER].recoveries == 1
+        assert r.components[CONSUMER].recoveries == 1
+
+    def test_failure_at_step_zero_like_restart(self, cfg):
+        r = simulate(cfg, "uncoordinated", failures=[SimFailure(CONSUMER, 1)])
+        assert r.components[CONSUMER].recoveries == 1
+
+
+class TestPaperOrdering:
+    def test_un_beats_co_under_failure(self, cfg):
+        f = [SimFailure(PRODUCER, 7)]
+        co = simulate(cfg, "coordinated", failures=f).total_time
+        un = simulate(cfg, "uncoordinated", failures=f).total_time
+        in_ = simulate(cfg, "individual", failures=f).total_time
+        hy = simulate(cfg, "hybrid", failures=f).total_time
+        assert un < co
+        assert hy < co
+        # Individual is the no-logging lower bound in the paper's framing;
+        # in practice Un's replay savings and In's logging-free writes trade
+        # within a percent, so assert near-equality rather than ordering.
+        assert in_ < co
+        assert abs(in_ - un) / un < 0.02
+
+    def test_memory_overhead_positive(self, cfg):
+        ds = simulate(cfg, "ds")
+        un = simulate(cfg, "uncoordinated")
+        assert un.mean_memory > ds.mean_memory
+
+    def test_write_overhead_positive(self, cfg):
+        ds = simulate(cfg, "ds")
+        un = simulate(cfg, "uncoordinated")
+        assert un.cumulative_write_response > ds.cumulative_write_response
+
+
+class TestSampling:
+    def test_sample_failures_deterministic(self, cfg):
+        a = sample_failures(cfg, 3, seed=5)
+        b = sample_failures(cfg, 3, seed=5)
+        assert a == b
+
+    def test_sample_failures_sorted_and_bounded(self, cfg):
+        fs = sample_failures(cfg, 5, seed=1)
+        assert [f.step for f in fs] == sorted(f.step for f in fs)
+        assert all(1 <= f.step < cfg.num_steps for f in fs)
+
+    def test_sample_victims_weighted_by_cores(self, cfg):
+        fs = [sample_failures(cfg, 1, seed=s)[0] for s in range(200)]
+        sim_share = sum(1 for f in fs if f.component == PRODUCER) / len(fs)
+        expect = cfg.sim_cores / (cfg.sim_cores + cfg.analytic_cores)
+        assert abs(sim_share - expect) < 0.1
+
+    def test_negative_count_rejected(self, cfg):
+        with pytest.raises(ConfigError):
+            sample_failures(cfg, -1)
+
+    def test_summary_dict(self, cfg):
+        r = simulate(cfg, "ds")
+        s = r.summary()
+        assert s["scheme"] == "ds"
+        assert s["total_time_s"] > 0

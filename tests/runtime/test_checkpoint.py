@@ -1,0 +1,97 @@
+"""Tests for checkpoint capture and restore."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import Checkpoint, CheckpointStore, CheckpointTier
+
+
+class TestSaveRestore:
+    def test_roundtrip(self):
+        store = CheckpointStore()
+        state = {"step": 3, "results": [1, 2, 3]}
+        chk = store.save("sim", 3, state)
+        assert chk.load_state() == state
+
+    def test_deep_copy_isolation(self):
+        store = CheckpointStore()
+        state = {"step": 0, "arr": np.zeros(4), "nested": {"xs": [1]}}
+        store.save("sim", 0, state)
+        state["arr"][:] = 9
+        state["nested"]["xs"].append(2)
+        restored = store.latest("sim").load_state()
+        assert np.all(restored["arr"] == 0)
+        assert restored["nested"]["xs"] == [1]
+
+    def test_load_state_fresh_objects(self):
+        store = CheckpointStore()
+        store.save("sim", 0, {"xs": []})
+        a = store.latest("sim").load_state()
+        b = store.latest("sim").load_state()
+        a["xs"].append(1)
+        assert b["xs"] == []
+
+    def test_counters_monotonic(self):
+        store = CheckpointStore()
+        c0 = store.save("sim", 0, {})
+        c1 = store.save("sim", 4, {})
+        assert (c0.counter, c1.counter) == (0, 1)
+
+    def test_counters_per_component(self):
+        store = CheckpointStore()
+        store.save("sim", 0, {})
+        c = store.save("ana", 0, {})
+        assert c.counter == 0
+
+    def test_unpicklable_state_rejected(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.save("sim", 0, {"bad": lambda: None})
+
+
+class TestRetention:
+    def test_latest(self):
+        store = CheckpointStore()
+        store.save("sim", 0, {"v": 0})
+        store.save("sim", 4, {"v": 1})
+        assert store.latest("sim").load_state() == {"v": 1}
+
+    def test_latest_missing(self):
+        assert CheckpointStore().latest("nope") is None
+
+    def test_get_by_counter(self):
+        store = CheckpointStore()
+        store.save("sim", 0, {"v": 0})
+        store.save("sim", 4, {"v": 1})
+        assert store.get("sim", 0).load_state() == {"v": 0}
+
+    def test_get_missing_counter(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.get("sim", 3)
+
+    def test_keep_last(self):
+        store = CheckpointStore(keep_last=2)
+        for i in range(5):
+            store.save("sim", i, {"v": i})
+        assert store.count("sim") == 2
+        assert store.latest("sim").load_state() == {"v": 4}
+        with pytest.raises(CheckpointError):
+            store.get("sim", 0)
+
+    def test_keep_last_validation(self):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(keep_last=0)
+
+    def test_bytes_written_accumulates(self):
+        store = CheckpointStore()
+        store.save("sim", 0, {"v": list(range(100))})
+        store.save("ana", 0, {"v": 1})
+        assert store.bytes_written > 0
+        assert store.components() == ["ana", "sim"]
+
+    def test_tier_recorded(self):
+        store = CheckpointStore()
+        chk = store.save("sim", 0, {}, tier=CheckpointTier.NODE_LOCAL)
+        assert chk.tier is CheckpointTier.NODE_LOCAL

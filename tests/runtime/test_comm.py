@@ -1,0 +1,82 @@
+"""Tests for inter-component synchronization primitives."""
+
+import threading
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.comm import BarrierBroken, Mailbox, PhaseBarrier
+
+
+class TestPhaseBarrier:
+    def test_two_party_rendezvous(self):
+        barrier = PhaseBarrier(2)
+        results = []
+
+        def worker():
+            results.append(barrier.wait(timeout=5))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        results.append(barrier.wait(timeout=5))
+        t.join(timeout=5)
+        assert sorted(results) == [0, 1]
+
+    def test_single_party_passes_immediately(self):
+        assert PhaseBarrier(1).wait(timeout=1) == 0
+
+    def test_action_runs_once(self):
+        hits = []
+        barrier = PhaseBarrier(1, action=lambda: hits.append(1))
+        barrier.wait(timeout=1)
+        barrier.wait(timeout=1)  # reusable
+        assert hits == [1, 1]
+
+    def test_abort_breaks_waiters(self):
+        barrier = PhaseBarrier(2)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=5)
+            except BarrierBroken:
+                errors.append(True)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        barrier.abort()
+        t.join(timeout=5)
+        assert errors == [True]
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(SimulationError):
+            PhaseBarrier(0)
+
+
+class TestMailbox:
+    def test_send_recv(self):
+        box = Mailbox("m")
+        box.send("hello")
+        assert box.recv(timeout=1) == "hello"
+
+    def test_fifo_order(self):
+        box = Mailbox("m")
+        for i in range(5):
+            box.send(i)
+        assert [box.recv(timeout=1) for _ in range(5)] == list(range(5))
+
+    def test_try_recv_empty(self):
+        assert Mailbox("m").try_recv() is None
+
+    def test_recv_timeout(self):
+        with pytest.raises(TimeoutError):
+            Mailbox("m").recv(timeout=0.05)
+
+    def test_len(self):
+        box = Mailbox("m")
+        box.send(1)
+        box.send(2)
+        assert len(box) == 2

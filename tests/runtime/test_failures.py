@@ -1,0 +1,91 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.failures import FailureInjector, FailurePlan, mtbf_failure_steps
+from repro.util.rng import RngRegistry
+
+
+class TestFailurePlan:
+    def test_valid(self):
+        p = FailurePlan("sim", 3, rank=1)
+        assert p.component == "sim"
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ConfigError):
+            FailurePlan("sim", -1)
+
+    def test_rejects_negative_rank(self):
+        with pytest.raises(ConfigError):
+            FailurePlan("sim", 0, rank=-2)
+
+
+class TestInjector:
+    def test_fires_at_step(self):
+        inj = FailureInjector([FailurePlan("sim", 3)])
+        assert inj.poll("sim", 2) is None
+        plan = inj.poll("sim", 3)
+        assert plan is not None and plan.step == 3
+
+    def test_fires_once(self):
+        inj = FailureInjector([FailurePlan("sim", 3)])
+        assert inj.poll("sim", 3) is not None
+        assert inj.poll("sim", 3) is None
+        assert inj.fired[0].step == 3
+
+    def test_fires_late_if_step_skipped(self):
+        inj = FailureInjector([FailurePlan("sim", 3)])
+        assert inj.poll("sim", 5) is not None
+
+    def test_component_scoped(self):
+        inj = FailureInjector([FailurePlan("sim", 3)])
+        assert inj.poll("ana", 10) is None
+        assert inj.pending_count == 1
+
+    def test_multiple_plans_ordered(self):
+        inj = FailureInjector([FailurePlan("sim", 5), FailurePlan("sim", 2)])
+        assert inj.poll("sim", 9).step == 2
+        assert inj.poll("sim", 9).step == 5
+
+    def test_schedule_dynamic(self):
+        inj = FailureInjector()
+        inj.schedule(FailurePlan("ana", 1))
+        assert inj.pending_for("ana") == [FailurePlan("ana", 1)]
+        assert inj.poll("ana", 1) is not None
+        assert inj.pending_count == 0
+
+
+class TestMtbfSteps:
+    def test_deterministic(self):
+        rng1, rng2 = RngRegistry(7), RngRegistry(7)
+        a = mtbf_failure_steps(rng1, "f", 40, 10.0, 100.0)
+        b = mtbf_failure_steps(rng2, "f", 40, 10.0, 100.0)
+        assert a == b
+
+    def test_steps_in_range(self):
+        rng = RngRegistry(1)
+        steps = mtbf_failure_steps(rng, "f", 40, 10.0, 50.0)
+        assert all(0 <= s < 40 for s in steps)
+
+    def test_mean_rate(self):
+        rng = RngRegistry(2)
+        counts = []
+        for i in range(200):
+            steps = mtbf_failure_steps(rng, f"f{i}", 40, 15.0, 600.0)
+            counts.append(len(steps))
+        mean = sum(counts) / len(counts)
+        # 600 s horizon / 600 s MTBF ~ 1 failure per run.
+        assert 0.6 < mean < 1.5
+
+    def test_max_failures_cap(self):
+        rng = RngRegistry(3)
+        steps = mtbf_failure_steps(rng, "f", 1000, 10.0, 5.0, max_failures=4)
+        assert len(steps) == 4
+
+    def test_validation(self):
+        rng = RngRegistry(0)
+        with pytest.raises(ConfigError):
+            mtbf_failure_steps(rng, "f", 0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            mtbf_failure_steps(rng, "f", 10, 0.0, 1.0)

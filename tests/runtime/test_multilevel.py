@@ -1,0 +1,143 @@
+"""Multi-level checkpointing on the threaded runtime (paper future work).
+
+Node-local checkpoints are fast but die with the node; a node failure
+forces rollback to the last durable (PFS) checkpoint, and the staging log
+must replay that *deeper* window — which exercises replay from a
+non-latest checkpoint, retention past non-durable checkpoints, and the
+drop-tier path of the checkpoint store.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.event_queue import EventQueue
+from repro.core.events import EventKind
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox, Domain
+from repro.runtime import (
+    CheckpointStore,
+    CheckpointTier,
+    FailurePlan,
+    run_with_reference,
+)
+from repro.workloads import coupled_specs
+
+pytestmark = pytest.mark.integration
+
+DOMAIN = Domain((8, 8, 4))
+
+
+def ml_specs(steps=14, interval=2):
+    specs = coupled_specs(num_steps=steps, domain=DOMAIN, sim_period=3, analytic_period=3)
+    return [
+        dataclasses.replace(s, pfs_checkpoint_interval=interval) for s in specs
+    ]
+
+
+class TestQueueDurability:
+    def _queue(self):
+        q = EventQueue(component="c")
+        d = lambda v: ObjectDescriptor("x", v, BBox((0,), (4,)))
+        q.record_data(EventKind.GET, d(0), "", 0)
+        q.record_checkpoint(step=0, durable=True)
+        q.record_data(EventKind.GET, d(1), "", 1)
+        q.record_checkpoint(step=1, durable=False)
+        q.record_data(EventKind.GET, d(2), "", 2)
+        return q
+
+    def test_latest_checkpoint_by_durability(self):
+        q = self._queue()
+        assert q.latest_checkpoint().durable is False
+        assert q.latest_checkpoint(durable_only=True).durable is True
+
+    def test_replay_script_depth(self):
+        q = self._queue()
+        shallow = q.build_replay_script()
+        deep = q.build_replay_script(durable_only=True)
+        assert [e.desc.version for e in shallow.events] == [2]
+        assert [e.desc.version for e in deep.events] == [1, 2]
+
+    def test_trim_horizon_respects_durability(self):
+        q = self._queue()
+        # Only events before the durable checkpoint may be trimmed.
+        q.trim_before(q.trimmable_horizon())
+        deep = q.build_replay_script(durable_only=True)
+        assert [e.desc.version for e in deep.events] == [1, 2]
+
+    def test_version_floor_uses_durable(self):
+        q = self._queue()
+        assert q.version_floor("x") == 1  # reads after the durable ckpt
+
+
+class TestCheckpointStoreTiers:
+    def test_drop_tier(self):
+        store = CheckpointStore()
+        store.save("c", 0, {"v": 0}, tier=CheckpointTier.PFS)
+        store.save("c", 4, {"v": 1}, tier=CheckpointTier.NODE_LOCAL)
+        assert store.drop_tier("c", CheckpointTier.NODE_LOCAL) == 1
+        assert store.latest("c").load_state() == {"v": 0}
+
+    def test_drop_tier_missing_component(self):
+        assert CheckpointStore().drop_tier("ghost", CheckpointTier.PFS) == 0
+
+
+class TestMultiLevelWorkflow:
+    def test_process_failure_uses_node_local(self):
+        _, run = run_with_reference(
+            ml_specs(), "uncoordinated", failures=[FailurePlan("analytic", 10)]
+        )
+        assert run.consistent
+        assert run.component_stats["analytic"].rollbacks == 1
+
+    def test_node_failure_falls_back_to_durable(self):
+        _, run = run_with_reference(
+            ml_specs(),
+            "uncoordinated",
+            failures=[FailurePlan("analytic", 10, kind="node")],
+        )
+        assert run.consistent
+        # Deeper rollback: more re-executed steps than a process failure.
+        assert run.component_stats["analytic"].steps_reexecuted >= 2
+
+    def test_node_failure_deeper_than_process_failure(self):
+        _, proc = run_with_reference(
+            ml_specs(), "uncoordinated", failures=[FailurePlan("analytic", 11)]
+        )
+        _, node = run_with_reference(
+            ml_specs(),
+            "uncoordinated",
+            failures=[FailurePlan("analytic", 11, kind="node")],
+        )
+        assert proc.consistent and node.consistent
+        assert (
+            node.component_stats["analytic"].steps_reexecuted
+            >= proc.component_stats["analytic"].steps_reexecuted
+        )
+
+    def test_producer_node_failure(self):
+        _, run = run_with_reference(
+            ml_specs(),
+            "uncoordinated",
+            failures=[FailurePlan("simulation", 10, kind="node")],
+        )
+        assert run.consistent
+        assert run.component_stats["simulation"].suppressed_puts > 0
+
+    def test_node_then_process_failure(self):
+        _, run = run_with_reference(
+            ml_specs(),
+            "uncoordinated",
+            failures=[
+                FailurePlan("analytic", 7, kind="node"),
+                FailurePlan("analytic", 12),
+            ],
+        )
+        assert run.consistent
+        assert run.component_stats["analytic"].rollbacks == 2
+
+    def test_bad_kind_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            FailurePlan("analytic", 3, kind="gamma-burst")

@@ -1,0 +1,126 @@
+"""Edge cases in runtime failure recovery."""
+
+import pytest
+
+from repro.geometry import Domain
+from repro.runtime import FailurePlan, ThreadedWorkflow, run_with_reference
+from repro.workloads import coupled_specs
+
+pytestmark = pytest.mark.integration
+
+DOMAIN = Domain((8, 8, 4))
+
+
+def specs(steps=12, **kw):
+    return coupled_specs(num_steps=steps, domain=DOMAIN, **kw)
+
+
+class TestReplayEdges:
+    def test_failure_during_replay(self):
+        # Two failures at the same step: the second fires while the first's
+        # replay is still in progress; the script is rebuilt from scratch.
+        _, run = run_with_reference(
+            specs(),
+            "uncoordinated",
+            failures=[FailurePlan("analytic", 8), FailurePlan("analytic", 8)],
+        )
+        assert run.consistent
+        assert run.component_stats["analytic"].rollbacks == 2
+
+    def test_producer_failure_during_its_replay(self):
+        _, run = run_with_reference(
+            specs(),
+            "uncoordinated",
+            failures=[FailurePlan("simulation", 6), FailurePlan("simulation", 6)],
+        )
+        assert run.consistent
+        assert run.component_stats["simulation"].rollbacks == 2
+
+    def test_simultaneous_failures_both_components(self):
+        _, run = run_with_reference(
+            specs(),
+            "uncoordinated",
+            failures=[FailurePlan("simulation", 7), FailurePlan("analytic", 7)],
+        )
+        assert run.consistent
+
+    def test_failure_at_step_zero(self):
+        _, run = run_with_reference(
+            specs(), "uncoordinated", failures=[FailurePlan("analytic", 0)]
+        )
+        assert run.consistent
+        # Restarted from the very beginning: no checkpoint existed.
+        assert run.component_stats["analytic"].rollbacks == 1
+
+    def test_three_failures_alternating(self):
+        _, run = run_with_reference(
+            specs(steps=15),
+            "uncoordinated",
+            failures=[
+                FailurePlan("analytic", 4),
+                FailurePlan("simulation", 8),
+                FailurePlan("analytic", 12),
+            ],
+        )
+        assert run.consistent
+        assert run.failures_injected == 3
+
+
+class TestCoordinatedEdges:
+    def test_failure_right_after_coordinated_checkpoint(self):
+        _, run = run_with_reference(
+            specs(),
+            "coordinated",
+            failures=[FailurePlan("analytic", 4)],
+            coordinated_period=4,
+        )
+        assert run.consistent
+
+    def test_back_to_back_failures(self):
+        _, run = run_with_reference(
+            specs(),
+            "coordinated",
+            failures=[FailurePlan("simulation", 5), FailurePlan("simulation", 6)],
+            coordinated_period=4,
+        )
+        assert run.consistent
+
+    def test_failure_when_one_component_finished(self):
+        # The analytic runs fewer steps and parks in the protocol's done
+        # set; a late simulation failure must still drag it back.
+        sim_spec, ana_spec = specs(steps=12)
+        ana_spec.num_steps = 8
+        _, run = run_with_reference(
+            [sim_spec, ana_spec],
+            "coordinated",
+            failures=[FailurePlan("simulation", 11)],
+            coordinated_period=4,
+        )
+        assert run.consistent
+
+
+class TestSubsetWorkloads:
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 1.0])
+    def test_case1_subsets_consistent_under_failure(self, fraction):
+        from repro.workloads import case1_specs
+
+        sp = case1_specs(fraction, num_steps=10)
+        for s in sp:
+            s.domain = DOMAIN
+        _, run = run_with_reference(
+            sp, "uncoordinated", failures=[FailurePlan("analytic", 7)]
+        )
+        assert run.consistent
+
+    def test_case2_short_period_consistent(self):
+        from repro.workloads import case2_specs
+
+        sp = case2_specs(2, num_steps=10)
+        for s in sp:
+            s.domain = DOMAIN
+        _, run = run_with_reference(
+            sp, "uncoordinated", failures=[FailurePlan("simulation", 7)]
+        )
+        assert run.consistent
+        # Frequent checkpoints -> small replay windows.
+        assert run.component_stats["simulation"].steps_reexecuted <= 2

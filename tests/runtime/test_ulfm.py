@@ -1,0 +1,119 @@
+"""Tests for ULFM-style communicator recovery and the spare pool."""
+
+import pytest
+
+from repro.errors import CommunicatorRevoked, ConfigError
+from repro.runtime.ulfm import Communicator, FailureDetector, SparePool
+
+
+class TestCommunicator:
+    def test_initial_state(self):
+        comm = Communicator("sim", 4)
+        assert comm.size == 4
+        assert comm.alive_ranks() == [0, 1, 2, 3]
+        assert not comm.revoked
+        comm.barrier()  # healthy barrier passes
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Communicator("sim", 0)
+
+    def test_fail_revokes(self):
+        comm = Communicator("sim", 4)
+        comm.fail(2)
+        assert comm.revoked
+        assert comm.failed_ranks() == [2]
+        with pytest.raises(CommunicatorRevoked):
+            comm.barrier()
+
+    def test_fail_out_of_range(self):
+        with pytest.raises(ConfigError):
+            Communicator("sim", 2).fail(5)
+
+    def test_shrink(self):
+        comm = Communicator("sim", 4)
+        comm.fail(1)
+        small = comm.shrink()
+        assert small.size == 3
+        assert small.alive_ranks() == [0, 1, 2]
+        assert not small.revoked
+        assert small.epoch == comm.epoch + 1
+
+    def test_shrink_no_survivors(self):
+        comm = Communicator("sim", 1)
+        comm.fail(0)
+        with pytest.raises(CommunicatorRevoked):
+            comm.shrink()
+
+    def test_repair_refills_from_pool(self):
+        comm = Communicator("sim", 4)
+        comm.fail(2)
+        pool = SparePool(8)
+        repaired = comm.repair(pool)
+        assert repaired.size == 4
+        assert repaired.alive_ranks() == [0, 1, 2, 3]
+        assert pool.available == 7
+
+    def test_repair_preserves_survivor_proc_ids(self):
+        comm = Communicator("sim", 3)
+        original = {r.rank: r.proc_id for r in comm._ranks}
+        comm.fail(1)
+        repaired = comm.repair(SparePool(4))
+        assert repaired._ranks[0].proc_id == original[0]
+        assert repaired._ranks[2].proc_id == original[2]
+        assert repaired._ranks[1].proc_id != original[1]
+
+    def test_repair_healthy_is_noop(self):
+        comm = Communicator("sim", 2)
+        assert comm.repair(SparePool(0)) is comm
+
+
+class TestSparePool:
+    def test_acquire(self):
+        pool = SparePool(3)
+        ids = pool.acquire(2)
+        assert len(ids) == 2
+        assert pool.available == 1
+
+    def test_exhaustion_without_spawn(self):
+        pool = SparePool(1, allow_spawn=False)
+        with pytest.raises(ConfigError):
+            pool.acquire(2)
+        # Failed acquire must not leak pool tokens.
+        assert pool.available == 1
+
+    def test_spawn_beyond_pool(self):
+        pool = SparePool(1, allow_spawn=True)
+        ids = pool.acquire(3)
+        assert len(ids) == 3
+        assert pool.spawned == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SparePool(-1)
+
+    def test_negative_acquire_rejected(self):
+        with pytest.raises(ConfigError):
+            SparePool(2).acquire(-1)
+
+    def test_proc_ids_unique(self):
+        pool = SparePool(10)
+        ids = pool.acquire(5) + pool.acquire(5)
+        assert len(set(ids)) == 10
+
+
+class TestFailureDetector:
+    def test_report_and_query(self):
+        det = FailureDetector()
+        det.report("sim", 2, 7)
+        det.report("ana", 0, 9)
+        assert det.count() == 2
+        assert det.count("sim") == 1
+        assert ("ana", 0, 9) in det.failures()
+
+    def test_failures_snapshot_isolated(self):
+        det = FailureDetector()
+        det.report("sim", 0, 0)
+        snap = det.failures()
+        snap.clear()
+        assert det.count() == 1

@@ -1,0 +1,95 @@
+"""Tests for DHT placement of domain regions onto servers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.geometry import BBox, Domain
+from repro.staging.hashing import PlacementMap
+
+
+class TestConstruction:
+    def test_basic(self):
+        pm = PlacementMap(Domain((16, 16)), num_servers=4)
+        assert pm.num_servers == 4
+        assert pm.num_blocks >= 4
+
+    def test_rejects_bad_servers(self):
+        with pytest.raises(ConfigError):
+            PlacementMap(Domain((8,)), num_servers=0)
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ConfigError):
+            PlacementMap(Domain((8,)), num_servers=1, blocks_per_server=0)
+
+    def test_rejects_unknown_curve(self):
+        with pytest.raises(ConfigError):
+            PlacementMap(Domain((8,)), num_servers=1, curve="zigzag")
+
+    def test_morton_curve_supported(self):
+        pm = PlacementMap(Domain((16, 16)), num_servers=2, curve="morton")
+        assert pm.num_blocks >= 2
+
+    def test_tiny_domain(self):
+        pm = PlacementMap(Domain((2, 2)), num_servers=2)
+        assert pm.num_blocks <= 4
+
+
+class TestCoverage:
+    def test_shards_cover_domain_exactly(self):
+        dom = Domain((16, 16, 8))
+        pm = PlacementMap(dom, num_servers=4)
+        shards = pm.shards(dom.bbox)
+        assert sum(b.volume for _s, b in shards) == dom.volume
+        for i in range(len(shards)):
+            for j in range(i + 1, len(shards)):
+                assert not shards[i][1].intersects(shards[j][1])
+
+    def test_shards_of_subregion(self):
+        dom = Domain((16, 16))
+        pm = PlacementMap(dom, num_servers=4)
+        region = BBox((3, 5), (11, 13))
+        shards = pm.shards(region)
+        assert sum(b.volume for _s, b in shards) == region.volume
+        for _s, b in shards:
+            assert region.contains(b)
+
+    def test_every_point_owned_once(self):
+        dom = Domain((8, 8))
+        pm = PlacementMap(dom, num_servers=3)
+        for x in range(8):
+            for y in range(8):
+                assert 0 <= pm.server_of_point((x, y)) < 3
+
+    def test_point_outside_domain_rejected(self):
+        from repro.errors import GeometryError
+
+        pm = PlacementMap(Domain((8, 8)), num_servers=2)
+        with pytest.raises(GeometryError):
+            pm.server_of_point((8, 0))
+
+    def test_servers_of_region(self):
+        dom = Domain((16, 16))
+        pm = PlacementMap(dom, num_servers=4)
+        servers = pm.servers_of(dom.bbox)
+        assert servers == sorted(set(servers))
+        assert set(servers) == set(range(4))
+
+
+class TestBalance:
+    def test_load_histogram_balanced(self):
+        pm = PlacementMap(Domain((32, 32, 32)), num_servers=8)
+        hist = pm.load_histogram()
+        assert sum(hist) == pm.num_blocks
+        assert max(hist) - min(hist) <= 1
+
+    def test_every_server_used(self):
+        pm = PlacementMap(Domain((32, 32)), num_servers=5)
+        assert all(h > 0 for h in pm.load_histogram())
+
+    def test_locality_hilbert_beats_morton_on_slabs(self):
+        # Hilbert should touch no more servers than there are; sanity check
+        # that a thin slab touches a strict subset of servers.
+        dom = Domain((64, 64))
+        pm = PlacementMap(dom, num_servers=16)
+        slab = BBox((0, 0), (8, 64))
+        assert len(pm.servers_of(slab)) < 16

@@ -1,0 +1,74 @@
+"""Tests for the per-server spatial metadata index."""
+
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox
+from repro.staging.index import SpatialIndex
+
+
+def desc(name="x", version=0, lo=(0, 0), hi=(4, 4)):
+    return ObjectDescriptor(name, version, BBox(lo, hi))
+
+
+class TestInsertQuery:
+    def test_insert_and_query(self):
+        idx = SpatialIndex()
+        idx.insert(desc(), 128)
+        assert len(idx.query("x", 0)) == 1
+        assert idx.query("x", 1) == []
+
+    def test_query_by_region(self):
+        idx = SpatialIndex()
+        idx.insert(desc(lo=(0, 0), hi=(2, 2)), 32)
+        idx.insert(desc(lo=(2, 2), hi=(4, 4)), 32)
+        hits = idx.query("x", 0, BBox((0, 0), (1, 1)))
+        assert len(hits) == 1
+        assert hits[0].desc.bbox == BBox((0, 0), (2, 2))
+
+    def test_versions_and_names(self):
+        idx = SpatialIndex()
+        idx.insert(desc(version=2), 1)
+        idx.insert(desc(version=0), 1)
+        idx.insert(desc(name="y"), 1)
+        assert idx.versions("x") == [0, 2]
+        assert idx.names() == ["x", "y"]
+
+    def test_len(self):
+        idx = SpatialIndex()
+        idx.insert(desc(), 1)
+        idx.insert(desc(version=1), 1)
+        assert len(idx) == 2
+
+
+class TestCoverage:
+    def test_covered_true(self):
+        idx = SpatialIndex()
+        idx.insert(desc(lo=(0, 0), hi=(2, 4)), 1)
+        idx.insert(desc(lo=(2, 0), hi=(4, 4)), 1)
+        assert idx.covered("x", 0, BBox((0, 0), (4, 4)))
+
+    def test_covered_false_with_gap(self):
+        idx = SpatialIndex()
+        idx.insert(desc(lo=(0, 0), hi=(2, 4)), 1)
+        assert not idx.covered("x", 0, BBox((0, 0), (4, 4)))
+
+    def test_covered_missing_version(self):
+        assert not SpatialIndex().covered("x", 0, BBox((0,), (1,)))
+
+
+class TestRemoveAndBytes:
+    def test_remove_version(self):
+        idx = SpatialIndex()
+        idx.insert(desc(), 10)
+        idx.insert(desc(), 20)
+        assert idx.remove_version("x", 0) == 2
+        assert idx.query("x", 0) == []
+
+    def test_remove_missing(self):
+        assert SpatialIndex().remove_version("x", 5) == 0
+
+    def test_nbytes(self):
+        idx = SpatialIndex()
+        idx.insert(desc(), 10)
+        idx.insert(desc(version=1), 30, logged=True)
+        assert idx.nbytes() == 40
+        assert idx.nbytes(logged_only=True) == 30

@@ -1,0 +1,198 @@
+"""Tests for the versioned object store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ObjectNotFound, StagingError, VersionConflict
+from repro.geometry import BBox
+from repro.staging.store import ObjectStore, StoredObject
+
+
+def desc(name="x", version=0, lo=(0, 0), hi=(4, 4), dtype="float64"):
+    return ObjectDescriptor(name, version, BBox(lo, hi), dtype)
+
+
+def data_for(d, fill=1.0):
+    return np.full(d.bbox.shape, fill, dtype=d.dtype)
+
+
+class TestStoredObject:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(StagingError):
+            StoredObject(desc(), np.zeros((2, 2)))
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(StagingError):
+            StoredObject(desc(), np.zeros((4, 4), dtype=np.float32))
+
+    def test_nbytes(self):
+        obj = StoredObject(desc(), np.zeros((4, 4)))
+        assert obj.nbytes == 16 * 8
+
+
+class TestPut:
+    def test_put_and_get_roundtrip(self):
+        store = ObjectStore()
+        d = desc()
+        payload = np.arange(16, dtype=np.float64).reshape(4, 4)
+        store.put(d, payload)
+        assert np.array_equal(store.get(d), payload)
+
+    def test_put_copies_payload(self):
+        store = ObjectStore()
+        d = desc()
+        payload = data_for(d)
+        store.put(d, payload)
+        payload[:] = 99.0
+        assert not np.any(store.get(d) == 99.0)
+
+    def test_idempotent_identical_re_put(self):
+        store = ObjectStore()
+        d = desc()
+        store.put(d, data_for(d, 2.0))
+        store.put(d, data_for(d, 2.0))
+        assert store.object_count == 1
+        assert store.nbytes == d.nbytes
+
+    def test_conflicting_re_put_rejected(self):
+        store = ObjectStore()
+        d = desc()
+        store.put(d, data_for(d, 1.0))
+        with pytest.raises(VersionConflict):
+            store.put(d, data_for(d, 2.0))
+
+    def test_fragments_from_different_regions(self):
+        store = ObjectStore()
+        left = desc(lo=(0, 0), hi=(4, 2))
+        right = desc(lo=(0, 2), hi=(4, 4))
+        store.put(left, data_for(left, 1.0))
+        store.put(right, data_for(right, 2.0))
+        whole = store.get(desc())
+        assert np.all(whole[:, :2] == 1.0)
+        assert np.all(whole[:, 2:] == 2.0)
+
+    def test_overlapping_consistent_fragments_ok(self):
+        store = ObjectStore()
+        a = desc(lo=(0, 0), hi=(4, 3))
+        b = desc(lo=(0, 1), hi=(4, 4))
+        base = np.arange(16, dtype=np.float64).reshape(4, 4)
+        store.put(a, base[:, 0:3])
+        store.put(b, base[:, 1:4])
+        assert np.array_equal(store.get(desc()), base)
+
+    def test_casts_payload_dtype(self):
+        store = ObjectStore()
+        d = desc(dtype="float32")
+        store.put(d, np.ones((4, 4), dtype=np.float64))
+        assert store.get(d).dtype == np.float32
+
+
+class TestGet:
+    def test_missing_name(self):
+        with pytest.raises(ObjectNotFound):
+            ObjectStore().get(desc())
+
+    def test_missing_version(self):
+        store = ObjectStore()
+        store.put(desc(version=0), data_for(desc()))
+        with pytest.raises(ObjectNotFound):
+            store.get(desc(version=1))
+
+    def test_partial_coverage_rejected(self):
+        store = ObjectStore()
+        half = desc(lo=(0, 0), hi=(2, 4))
+        store.put(half, data_for(half))
+        with pytest.raises(ObjectNotFound):
+            store.get(desc())
+
+    def test_subregion_get(self):
+        store = ObjectStore()
+        d = desc()
+        base = np.arange(16, dtype=np.float64).reshape(4, 4)
+        store.put(d, base)
+        sub = desc(lo=(1, 1), hi=(3, 4))
+        assert np.array_equal(store.get(sub), base[1:3, 1:4])
+
+    def test_covers(self):
+        store = ObjectStore()
+        half = desc(lo=(0, 0), hi=(2, 4))
+        store.put(half, data_for(half))
+        assert store.covers(half)
+        assert not store.covers(desc())
+
+
+class TestVersionsAndEviction:
+    def test_versions_sorted(self):
+        store = ObjectStore()
+        for v in (3, 1, 2):
+            store.put(desc(version=v), data_for(desc()))
+        assert store.versions("x") == [1, 2, 3]
+        assert store.latest_version("x") == 3
+
+    def test_latest_version_missing(self):
+        assert ObjectStore().latest_version("nope") is None
+
+    def test_evict_frees_bytes(self):
+        store = ObjectStore()
+        d = desc()
+        store.put(d, data_for(d))
+        freed = store.evict("x", 0)
+        assert freed == d.nbytes
+        assert store.nbytes == 0
+        assert store.versions("x") == []
+
+    def test_evict_missing_returns_zero(self):
+        assert ObjectStore().evict("x", 0) == 0
+
+    def test_evict_older_than(self):
+        store = ObjectStore()
+        for v in range(5):
+            store.put(desc(version=v), data_for(desc()))
+        store.evict_older_than("x", 3)
+        assert store.versions("x") == [3, 4]
+
+    def test_clear(self):
+        store = ObjectStore()
+        store.put(desc(), data_for(desc()))
+        store.clear()
+        assert store.nbytes == 0
+        assert store.keys() == []
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self):
+        store = ObjectStore()
+        d0 = desc(version=0)
+        store.put(d0, data_for(d0, 1.0))
+        snap = store.snapshot()
+        d1 = desc(version=1)
+        store.put(d1, data_for(d1, 2.0))
+        store.restore(snap)
+        assert store.versions("x") == [0]
+        assert store.nbytes == d0.nbytes
+        assert np.all(store.get(d0) == 1.0)
+
+    def test_snapshot_isolated_from_later_mutation(self):
+        store = ObjectStore()
+        store.put(desc(version=0), data_for(desc()))
+        snap = store.snapshot()
+        store.evict("x", 0)
+        store.restore(snap)
+        assert store.versions("x") == [0]
+
+
+class TestByteAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=12))
+    def test_nbytes_matches_contents(self, versions):
+        store = ObjectStore()
+        for v in set(versions):
+            d = desc(version=v)
+            store.put(d, data_for(d, float(v)))
+        expected = sum(
+            frag.nbytes for key in store.keys() for frag in store.fragments(*key)
+        )
+        assert store.nbytes == expected

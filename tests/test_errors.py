@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            if isinstance(exc, type) and issubclass(exc, Exception):
+                assert issubclass(exc, errors.ReproError), name
+
+    def test_staging_sub_hierarchy(self):
+        assert issubclass(errors.ObjectNotFound, errors.StagingError)
+        assert issubclass(errors.VersionConflict, errors.StagingError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConsistencyError("x")
+
+
+class TestProcessFailure:
+    def test_message_full(self):
+        err = errors.ProcessFailure(rank=3, component="sim", at_step=7)
+        assert "rank 3" in str(err)
+        assert "'sim'" in str(err)
+        assert "step 7" in str(err)
+
+    def test_message_minimal(self):
+        err = errors.ProcessFailure(rank=0)
+        assert "rank 0" in str(err)
+        assert "component" not in str(err)
+
+    def test_attributes(self):
+        err = errors.ProcessFailure(rank=1, component="c", at_step=2)
+        assert (err.rank, err.component, err.at_step) == (1, "c", 2)

@@ -1,0 +1,82 @@
+"""Tests for seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngRegistry, stream_seed
+
+
+class TestStreamSeed:
+    def test_deterministic(self):
+        assert stream_seed(42, "a") == stream_seed(42, "a")
+
+    def test_name_sensitivity(self):
+        assert stream_seed(42, "a") != stream_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert stream_seed(1, "a") != stream_seed(2, "a")
+
+    def test_range(self):
+        for name in ("x", "y", "failure-0"):
+            s = stream_seed(7, name)
+            assert 0 <= s < 2**63
+
+    def test_no_collision_on_concatenation_ambiguity(self):
+        # "1:ab" vs "1a:b" style ambiguity must not collide.
+        assert stream_seed(1, "ab") != stream_seed(11, "b")
+
+
+class TestRngRegistry:
+    def test_same_name_same_generator(self):
+        reg = RngRegistry(0)
+        assert reg.get("s") is reg.get("s")
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(0)
+        a = reg.get("a").random(8)
+        b = reg.get("b").random(8)
+        assert not np.allclose(a, b)
+
+    def test_order_independence(self):
+        r1 = RngRegistry(5)
+        r2 = RngRegistry(5)
+        _ = r1.get("first").random()
+        # Request in a different order; streams must still match by name.
+        x2 = r2.get("second").random(4)
+        x1 = r1.get("second").random(4)
+        assert np.allclose(x1, x2)
+
+    def test_spawn_namespacing(self):
+        reg = RngRegistry(9)
+        child = reg.spawn("sub")
+        assert child.root_seed == stream_seed(9, "sub")
+        assert not np.allclose(child.get("x").random(4), reg.get("x").random(4))
+
+    def test_exponential_positive(self):
+        reg = RngRegistry(3)
+        for _ in range(50):
+            assert reg.exponential("e", 10.0) > 0
+
+    def test_exponential_mean(self):
+        reg = RngRegistry(3)
+        draws = [reg.exponential("e", 5.0) for _ in range(4000)]
+        assert 4.5 < sum(draws) / len(draws) < 5.5
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).exponential("e", 0.0)
+
+    def test_uniform_bounds(self):
+        reg = RngRegistry(1)
+        for _ in range(100):
+            v = reg.uniform("u", 2.0, 3.0)
+            assert 2.0 <= v < 3.0
+
+    def test_uniform_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).uniform("u", 3.0, 2.0)
+
+    def test_integers_bounds(self):
+        reg = RngRegistry(1)
+        vals = {reg.integers("i", 0, 4) for _ in range(200)}
+        assert vals == {0, 1, 2, 3}

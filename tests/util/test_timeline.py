@@ -1,0 +1,80 @@
+"""Tests for metric timelines and counters."""
+
+import pytest
+
+from repro.util.timeline import Counter, Timeline
+
+
+class TestTimeline:
+    def test_empty_defaults(self):
+        t = Timeline("m")
+        assert len(t) == 0
+        assert t.last == 0.0
+        assert t.peak == 0.0
+        assert t.mean() == 0.0
+        assert t.time_weighted_mean() == 0.0
+
+    def test_record_and_iterate(self):
+        t = Timeline("m")
+        t.record(0.0, 1.0)
+        t.record(1.0, 3.0)
+        assert list(t) == [(0.0, 1.0), (1.0, 3.0)]
+
+    def test_last_and_peak(self):
+        t = Timeline("m")
+        for time, val in [(0, 5), (1, 9), (2, 2)]:
+            t.record(time, val)
+        assert t.last == 2
+        assert t.peak == 9
+
+    def test_mean(self):
+        t = Timeline("m")
+        for i, v in enumerate([2.0, 4.0, 6.0]):
+            t.record(i, v)
+        assert t.mean() == pytest.approx(4.0)
+
+    def test_time_weighted_mean_uneven_intervals(self):
+        t = Timeline("m")
+        t.record(0.0, 10.0)  # held for 9 seconds
+        t.record(9.0, 0.0)  # held for 1 second
+        t.record(10.0, 100.0)  # final sample: zero weight
+        assert t.time_weighted_mean() == pytest.approx((10 * 9 + 0 * 1) / 10)
+
+    def test_time_weighted_single_sample(self):
+        t = Timeline("m")
+        t.record(3.0, 7.0)
+        assert t.time_weighted_mean() == 7.0
+
+    def test_time_weighted_zero_span(self):
+        t = Timeline("m")
+        t.record(1.0, 3.0)
+        t.record(1.0, 5.0)
+        assert t.time_weighted_mean() == 5.0
+
+    def test_rejects_time_regression(self):
+        t = Timeline("m")
+        t.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            t.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        t = Timeline("m")
+        t.record(1.0, 1.0)
+        t.record(1.0, 2.0)
+        assert len(t) == 2
+
+
+class TestCounter:
+    def test_initial(self):
+        c = Counter("c")
+        assert c.total == 0.0
+        assert c.count == 0
+        assert c.mean() == 0.0
+
+    def test_add(self):
+        c = Counter("c")
+        c.add(2.0)
+        c.add(4.0)
+        assert c.total == 6.0
+        assert c.count == 2
+        assert c.mean() == 3.0

@@ -1,0 +1,61 @@
+"""Tests for size/time units and formatting."""
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    fmt_bytes,
+    fmt_time,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert TIB == 1024 * GIB
+
+    def test_paper_data_size(self):
+        # Table II: 512x512x256 float64 = 0.5 GiB per step.
+        assert 512 * 512 * 256 * 8 == GIB // 2
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(123) == "123 B"
+
+    def test_kib(self):
+        assert fmt_bytes(2048) == "2.00 KiB"
+
+    def test_gib(self):
+        assert fmt_bytes(20 * GIB) == "20.00 GiB"
+
+    def test_tib(self):
+        assert fmt_bytes(int(1.5 * TIB)) == "1.50 TiB"
+
+    def test_negative(self):
+        assert fmt_bytes(-MIB) == "-1.00 MiB"
+
+    def test_zero(self):
+        assert fmt_bytes(0) == "0 B"
+
+
+class TestFmtTime:
+    def test_microseconds(self):
+        assert fmt_time(1.5e-6) == "1.500 us"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.0032) == "3.200 ms"
+
+    def test_seconds(self):
+        assert fmt_time(12.345) == "12.345 s"
+
+    def test_minutes(self):
+        assert fmt_time(90) == "1.50 min"
+
+    def test_hours(self):
+        assert fmt_time(7200) == "2.00 h"
+
+    def test_negative(self):
+        assert fmt_time(-0.5).startswith("-")

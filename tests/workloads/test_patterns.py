@@ -1,0 +1,44 @@
+"""Tests for access patterns."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.patterns import AccessPattern, WRITE_THEN_READ, s3d_field_set
+
+
+class TestAccessPattern:
+    def test_write_then_read(self):
+        assert WRITE_THEN_READ.variables == ["field"]
+        assert WRITE_THEN_READ.variables_at(0) == ["field"]
+        assert WRITE_THEN_READ.variables_at(17) == ["field"]
+
+    def test_frequency_filtering(self):
+        p = AccessPattern("p", {"a": 1, "b": 2, "c": 4})
+        assert p.variables_at(0) == ["a", "b", "c"]
+        assert p.variables_at(1) == ["a"]
+        assert p.variables_at(2) == ["a", "b"]
+
+    def test_transfers_per_cycle(self):
+        p = AccessPattern("p", {"a": 1, "b": 2})
+        assert p.transfers_per_cycle(4) == 4 + 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            AccessPattern("p", {})
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            AccessPattern("p", {"a": 0})
+
+
+class TestS3D:
+    def test_field_set_structure(self):
+        p = s3d_field_set()
+        assert len(p.variables) == 10
+        assert "temperature" in p.variables
+        assert p.frequencies["velocity_x"] == 1
+        assert p.frequencies["heat_release"] == 4
+
+    def test_s3d_step_zero_exchanges_all(self):
+        p = s3d_field_set()
+        assert p.variables_at(0) == p.variables

@@ -1,0 +1,61 @@
+"""Tests for synthetic workload builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.synthetic import (
+    RUNTIME_DOMAIN,
+    case1_specs,
+    case2_specs,
+    coupled_specs,
+    s3d_specs,
+)
+
+
+class TestCoupledSpecs:
+    def test_structure(self):
+        specs = coupled_specs()
+        assert [s.kind for s in specs] == ["producer", "consumer"]
+        assert specs[0].name == "simulation"
+        assert specs[1].name == "analytic"
+        assert specs[0].variables == specs[1].variables
+
+    def test_paper_periods(self):
+        specs = coupled_specs()
+        assert specs[0].checkpoint_period == 4
+        assert specs[1].checkpoint_period == 5
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ConfigError):
+            coupled_specs(num_steps=0)
+
+
+class TestCases:
+    def test_case1_subset(self):
+        specs = case1_specs(0.4)
+        assert all(s.subset_fraction == 0.4 for s in specs)
+
+    def test_case1_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            case1_specs(0.0)
+
+    def test_case2_periods(self):
+        specs = case2_specs(3)
+        assert specs[0].checkpoint_period == 3
+        assert specs[1].checkpoint_period == 4
+
+    def test_case2_rejects_bad_period(self):
+        with pytest.raises(ConfigError):
+            case2_specs(0)
+
+
+class TestS3DSpecs:
+    def test_multi_field(self):
+        specs = s3d_specs()
+        assert len(specs[0].variables) == 10
+        assert specs[0].name == "s3d-dns"
+        assert specs[1].name == "s3d-viz"
+
+    def test_domain_default(self):
+        specs = s3d_specs()
+        assert specs[0].domain == RUNTIME_DOMAIN
