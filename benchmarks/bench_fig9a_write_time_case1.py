@@ -6,8 +6,11 @@ reports that data/event logging increases the write response time by
 simulated Table II workflow at each subset and compares.
 """
 
+from time import perf_counter
+
 import pytest
 
+from repro import obs
 from repro.analysis import ComparisonRow, comparison_table
 from repro.analysis.paper import FIG9A_WRITE_OVERHEAD_PCT
 from repro.perfsim import simulate, table2_config
@@ -53,3 +56,42 @@ def test_fig9a_write_response_overhead(once):
         assert results[pct][0] == pytest.approx(paper_val, abs=3.0)
     measured = [results[pct][0] for pct in sorted(results)]
     assert measured[0] < measured[-1]
+
+
+def test_obs_instrumentation_overhead():
+    """repro.obs must not tax the hot paths it observes.
+
+    Runs the same Case-1 simulation with metrics recording enabled and
+    disabled, interleaved, and compares best-of-N wall times (min is the
+    standard low-noise estimator for identical deterministic work). The
+    acceptance budget is 5 %.
+    """
+    cfg = table2_config(subset_fraction=0.2)
+    simulate(cfg, "uncoordinated")  # warmup: JIT-free, but primes caches
+
+    def time_once() -> float:
+        t0 = perf_counter()
+        simulate(cfg, "uncoordinated")
+        return perf_counter() - t0
+
+    rounds = 7
+    on, off = [], []
+    try:
+        for _ in range(rounds):
+            obs.set_enabled(True)
+            on.append(time_once())
+            obs.set_enabled(False)
+            off.append(time_once())
+    finally:
+        obs.set_enabled(True)
+
+    best_on, best_off = min(on), min(off)
+    overhead_pct = (best_on / best_off - 1.0) * 100.0
+    emit(
+        "obs_overhead",
+        "Instrumentation overhead: Case 1 (20% subset), uncoordinated scheme\n"
+        f"  metrics disabled: best of {rounds} = {best_off * 1e3:.2f} ms\n"
+        f"  metrics enabled:  best of {rounds} = {best_on * 1e3:.2f} ms\n"
+        f"  overhead: {overhead_pct:+.2f}% (budget: +5%)",
+    )
+    assert overhead_pct < 5.0

@@ -3,15 +3,27 @@
 Every benchmark regenerates one of the paper's tables or figures, prints a
 paper-vs-measured comparison, and writes the same text into
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it verbatim.
+
+Observability: each benchmark test runs against a freshly reset
+``repro.obs`` registry and, on completion, writes the full metrics snapshot
+(op counts + latency percentiles for staging put/get, GC passes, replay) to
+``benchmarks/results/obs/<test>.json``. Passing ``--obs-trace`` additionally
+enables the span tracer, dumps ``<test>.trace.jsonl`` next to the snapshot,
+and prints the rendered metrics table after each bench.
 """
 
 from __future__ import annotations
 
 import pathlib
+import re
 
 import pytest
 
+from repro import obs
+from repro.analysis.obs_report import metrics_table, write_snapshot
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OBS_DIR = RESULTS_DIR / "obs"
 
 
 def emit(name: str, text: str) -> None:
@@ -20,6 +32,17 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def pytest_addoption(parser):
+    # Named --obs-trace because pytest itself owns --trace (pdb hook).
+    parser.addoption(
+        "--obs-trace",
+        action="store_true",
+        default=False,
+        help="enable repro.obs span tracing; dump per-bench trace JSONL and "
+        "print the metrics table",
+    )
 
 
 @pytest.fixture
@@ -35,3 +58,29 @@ def once(benchmark):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return run
+
+
+@pytest.fixture(autouse=True)
+def obs_snapshot(request):
+    """Reset the metrics registry per bench; persist its snapshot after.
+
+    Each bench therefore measures only its own ops, and the snapshot under
+    ``results/obs/`` gives future perf PRs a before/after baseline from the
+    same hooks.
+    """
+    tracing = request.config.getoption("--obs-trace")
+    obs.registry.reset()
+    if tracing:
+        obs.trace.clear()
+        obs.enable_tracing()
+    yield
+    if tracing:
+        obs.disable_tracing()
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    OBS_DIR.mkdir(parents=True, exist_ok=True)
+    write_snapshot(OBS_DIR / f"{slug}.json", extra={"bench": request.node.nodeid})
+    if tracing:
+        spans = obs.trace.export_jsonl(OBS_DIR / f"{slug}.trace.jsonl")
+        print()
+        print(metrics_table(title=f"obs metrics — {request.node.name}"))
+        print(f"[obs] {spans} spans -> {OBS_DIR / (slug + '.trace.jsonl')}")

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command gate: lint (if ruff is installed) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args]
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint (config in pyproject.toml) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

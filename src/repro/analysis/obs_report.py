@@ -1,0 +1,78 @@
+"""Render and persist ``repro.obs`` metrics snapshots.
+
+``metrics_table`` turns a registry snapshot into the same aligned plain-text
+format the figure benchmarks print; ``write_snapshot`` persists the raw
+JSON (one file per benchmark under ``benchmarks/results/``) so perf PRs can
+diff op counts and latency percentiles before/after a change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.report import banner, format_table
+from repro.obs import registry as _default_registry
+
+__all__ = ["metrics_table", "write_snapshot"]
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value)}"
+    if abs(value) >= 1e-3 or value == 0:
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return f"{value:.3e}"
+
+
+def metrics_table(snapshot: dict[str, dict] | None = None, title: str = "obs metrics") -> str:
+    """An aligned table of every counter, gauge, and histogram."""
+    if snapshot is None:
+        snapshot = _default_registry.snapshot()
+    counters = []
+    histograms = []
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        kind = state.get("type")
+        if kind in ("counter", "gauge"):
+            counters.append([name, kind, _fmt(state["value"])])
+        elif kind == "histogram":
+            if state["count"] == 0:
+                continue
+            histograms.append(
+                [
+                    name,
+                    state["count"],
+                    _fmt(state["mean"]),
+                    _fmt(state["p50"]),
+                    _fmt(state["p95"]),
+                    _fmt(state["p99"]),
+                    _fmt(state["max"]),
+                ]
+            )
+    parts = [banner(title)]
+    if counters:
+        parts.append(format_table(["counter/gauge", "type", "value"], counters))
+    if histograms:
+        parts.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                histograms,
+            )
+        )
+    if not counters and not histograms:
+        parts.append("(no metrics recorded)")
+    return "\n\n".join(parts)
+
+
+def write_snapshot(path: str | pathlib.Path, snapshot: dict[str, dict] | None = None, extra: dict | None = None) -> dict:
+    """Dump the snapshot (plus optional metadata) as JSON; returns it."""
+    if snapshot is None:
+        snapshot = _default_registry.snapshot()
+    doc = {"metrics": snapshot}
+    if extra:
+        doc.update(extra)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -14,9 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ObjectNotFound
+from repro.obs import registry as _obs
 from repro.staging.client import StagingGroup
 
 __all__ = ["DataLog", "LogRecord"]
+
+_PUTS = _obs.counter("datalog.puts")
+_EVICTIONS = _obs.counter("datalog.evictions")
+# Pinned bytes across all live DataLog instances, maintained incrementally
+# so the hot path never walks the record map.
+_LOGGED_BYTES = _obs.gauge("datalog.logged_bytes")
 
 
 @dataclass(frozen=True)
@@ -49,7 +56,10 @@ class DataLog:
     def record_put(self, name: str, version: int, nbytes: int, producer: str, step: int) -> LogRecord:
         """Pin a freshly written version in the log."""
         rec = LogRecord(name=name, version=version, nbytes=nbytes, producer=producer, step=step)
+        prev = self.records.get((name, version))
         self.records[(name, version)] = rec
+        _PUTS.inc()
+        _LOGGED_BYTES.add(nbytes - (prev.nbytes if prev is not None else 0))
         return rec
 
     def register_consumer(self, name: str, component: str) -> None:
@@ -111,6 +121,8 @@ class DataLog:
         freed = 0
         for server in self.group.servers:
             freed += server.evict(name, version)
+        _EVICTIONS.inc()
+        _LOGGED_BYTES.add(-rec.nbytes)
         return freed
 
     # -------------------------------------------------------------- metrics
@@ -135,6 +147,9 @@ class DataLog:
         (e.g. +81 % for Case 1 at 20 % subset).
         """
         base = self.baseline_bytes()
+        # Refresh the logged-vs-baseline gauges off the hot path (baseline
+        # is O(records) to compute, so it is only sampled here).
+        _obs.gauge("datalog.baseline_bytes").set(base)
         if base == 0:
             return 0.0
         return self.logged_bytes() / base - 1.0

@@ -22,8 +22,14 @@ from repro.core.events import (
     WorkflowEvent,
 )
 from repro.errors import ReplayError
+from repro.obs import registry as _obs
 
 __all__ = ["EventQueue", "ReplayScript"]
+
+_APPENDS = _obs.counter("eventq.events_appended")
+_TRIMMED = _obs.counter("eventq.events_trimmed")
+_SCRIPTS_BUILT = _obs.counter("eventq.replay_scripts_built")
+_SCRIPT_EVENTS = _obs.histogram("eventq.replay_script.events")
 
 
 @dataclass
@@ -75,6 +81,8 @@ class EventQueue:
     events: list[WorkflowEvent] = field(default_factory=list)
     _next_seq: int = 0
     _next_chk_counter: int = 0
+    # Cached per-component depth gauge (resolved on first append).
+    _depth_gauge: object = field(default=None, repr=False, compare=False)
 
     # ---------------------------------------------------------------- append
 
@@ -82,6 +90,12 @@ class EventQueue:
         seq = self._next_seq
         self._next_seq += 1
         return seq
+
+    def _note_depth(self) -> None:
+        gauge = self._depth_gauge
+        if gauge is None:
+            gauge = self._depth_gauge = _obs.gauge(f"eventq.depth.{self.component}")
+        gauge.set(len(self.events))
 
     def record_data(self, op: EventKind, desc, digest: str, step: int) -> DataEvent:
         """Append a put/get event observed during live execution."""
@@ -94,6 +108,8 @@ class EventQueue:
             digest=digest,
         )
         self.events.append(ev)
+        _APPENDS.inc()
+        self._note_depth()
         return ev
 
     def record_checkpoint(self, step: int, durable: bool = True) -> CheckpointEvent:
@@ -113,6 +129,8 @@ class EventQueue:
             durable=durable,
         )
         self.events.append(ev)
+        _APPENDS.inc()
+        self._note_depth()
         return ev
 
     def record_recovery(self, step: int, restored: WChkId | None) -> RecoveryEvent:
@@ -124,6 +142,8 @@ class EventQueue:
             restored_chk=restored,
         )
         self.events.append(ev)
+        _APPENDS.inc()
+        self._note_depth()
         return ev
 
     # ---------------------------------------------------------------- query
@@ -160,11 +180,14 @@ class EventQueue:
         node failure destroyed the newer node-local checkpoints.
         """
         chk = self.latest_checkpoint(durable_only=durable_only)
-        return ReplayScript(
+        script = ReplayScript(
             component=self.component,
             restored_chk=chk.chk_id if chk else None,
             events=self.events_after(chk),
         )
+        _SCRIPTS_BUILT.inc()
+        _SCRIPT_EVENTS.record(len(script.events))
+        return script
 
     # ------------------------------------------------------------------ trim
 
@@ -173,6 +196,8 @@ class EventQueue:
         dropped = [ev for ev in self.events if ev.seq < seq]
         if dropped:
             self.events = [ev for ev in self.events if ev.seq >= seq]
+            _TRIMMED.inc(len(dropped))
+            self._note_depth()
         return dropped
 
     def trimmable_horizon(self) -> int:

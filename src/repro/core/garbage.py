@@ -21,11 +21,20 @@ The GC also trims each component's event queue below its latest checkpoint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.data_log import DataLog
 from repro.core.event_queue import EventQueue
+from repro.obs import registry as _obs
+from repro.obs import trace as _trace
 
 __all__ = ["GarbageCollector", "GCReport"]
+
+_PASSES = _obs.counter("gc.passes")
+_PASS_SECONDS = _obs.histogram("gc.pass.seconds")
+_VERSIONS = _obs.counter("gc.versions_collected")
+_BYTES_FREED = _obs.counter("gc.bytes_freed")
+_EVENTS_TRIMMED = _obs.counter("gc.events_trimmed")
 
 
 @dataclass(frozen=True)
@@ -117,16 +126,23 @@ class GarbageCollector:
 
     def collect(self) -> GCReport:
         """One full collection pass over every logged variable and queue."""
-        versions = 0
-        freed = 0
-        for name in self.log.names():
-            for v in self.collectable(name):
-                freed += self.log.evict(name, v)
-                versions += 1
-        trimmed = 0
-        for queue in self.queues.values():
-            if queue.component in self._replaying:
-                # Never trim a queue mid-replay; its script references it.
-                continue
-            trimmed += len(queue.trim_before(queue.trimmable_horizon()))
+        t0 = perf_counter()
+        with _trace.span("gc.collect"):
+            versions = 0
+            freed = 0
+            for name in self.log.names():
+                for v in self.collectable(name):
+                    freed += self.log.evict(name, v)
+                    versions += 1
+            trimmed = 0
+            for queue in self.queues.values():
+                if queue.component in self._replaying:
+                    # Never trim a queue mid-replay; its script references it.
+                    continue
+                trimmed += len(queue.trim_before(queue.trimmable_horizon()))
+        _PASSES.inc()
+        _VERSIONS.inc(versions)
+        _BYTES_FREED.inc(freed)
+        _EVENTS_TRIMMED.inc(trimmed)
+        _PASS_SECONDS.record(perf_counter() - t0)
         return GCReport(versions_collected=versions, bytes_freed=freed, events_trimmed=trimmed)

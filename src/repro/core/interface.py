@@ -31,9 +31,15 @@ from repro.core.events import EventKind, WChkId, payload_digest
 from repro.core.garbage import GarbageCollector, GCReport
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound, ReplayError, StagingError
+from repro.obs import registry as _obs
+from repro.obs import trace as _trace
 from repro.staging.client import StagingClient, StagingGroup
 
 __all__ = ["WorkflowStaging", "WorkflowClient", "PutResult", "GetResult"]
+
+_SUPPRESSED_PUTS = _obs.counter("staging.replay.suppressed_puts")
+_REPLAYED_GETS = _obs.counter("staging.replay.served_gets")
+_REPLAYS_STARTED = _obs.counter("staging.replay.scripts_activated")
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,15 @@ class WorkflowStaging:
         self.gc = GarbageCollector(log=self.log, queues=self.queues)
         self._replay: dict[str, ReplayScript] = {}
         self.gc_reports: list[GCReport] = []
+
+    @property
+    def client(self) -> StagingClient:
+        """The staging-internal client (public accessor for service layers).
+
+        Exposed so wrappers like the runtime's ``SynchronizedStaging`` can
+        answer coverage/version queries without reaching into ``_client``.
+        """
+        return self._client
 
     # ------------------------------------------------------------- register
 
@@ -154,6 +169,7 @@ class WorkflowStaging:
                 )
             self._replay[component].advance()
             self._finish_replay_if_done(component)
+            _SUPPRESSED_PUTS.inc()
             return PutResult(desc=desc, stored=False, suppressed=True, shards=0)
 
         shards = self._client.put(desc, data)
@@ -215,6 +231,7 @@ class WorkflowStaging:
                 )
             self._replay[component].advance()
             self._finish_replay_if_done(component)
+            _REPLAYED_GETS.inc()
             return GetResult(
                 desc=desc,
                 data=data,
@@ -288,21 +305,23 @@ class WorkflowStaging:
         if not self.enable_logging:
             # No log: the recovering component simply rejoins live execution.
             return ReplayScript(component=component, restored_chk=None, events=[])
-        if self.in_replay(component):
-            del self._replay[component]
-            self.gc.unpin_replay(component)
-        queue = self._queue(component)
-        script = queue.build_replay_script(durable_only=durable_only)
-        queue.record_recovery(step, script.restored_chk)
-        if script.events:
-            self._replay[component] = script
-            pins = {
-                (ev.desc.name, ev.desc.version)
-                for ev in script.events
-                if ev.op is EventKind.GET and ev.desc is not None
-            }
-            self.gc.pin_replay(component, pins)
-        return script
+        with _trace.span("staging.restart", component=component, step=step):
+            if self.in_replay(component):
+                del self._replay[component]
+                self.gc.unpin_replay(component)
+            queue = self._queue(component)
+            script = queue.build_replay_script(durable_only=durable_only)
+            queue.record_recovery(step, script.restored_chk)
+            if script.events:
+                _REPLAYS_STARTED.inc()
+                self._replay[component] = script
+                pins = {
+                    (ev.desc.name, ev.desc.version)
+                    for ev in script.events
+                    if ev.op is EventKind.GET and ev.desc is not None
+                }
+                self.gc.pin_replay(component, pins)
+            return script
 
     def _finish_replay_if_done(self, component: str) -> None:
         script = self._replay.get(component)

@@ -1,0 +1,63 @@
+"""Workflow-wide observability: metrics, tracing, and timing hooks.
+
+``repro.obs`` gives every layer of the reproduction — staging servers, the
+synchronized runtime service, event queues, the garbage collector, the data
+log, the perfsim engine, and the workflow driver — one place to report op
+counts, byte totals, and latency distributions. See DESIGN.md §3 and the
+README's *Observability* section for the wiring map.
+
+Typical use::
+
+    from repro import obs
+
+    obs.registry.reset()              # clean slate for a measurement
+    ... run a workflow or benchmark ...
+    snap = obs.registry.snapshot()    # {"staging.server.put.count": ...}
+
+    with obs.metrics.disabled():      # measure uninstrumented cost
+        ... same run ...
+"""
+
+from repro.obs import metrics, tracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    get_registry,
+    metrics_enabled,
+    registry,
+    set_enabled,
+)
+from repro.obs.profile import profiled, timed
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+)
+from repro.obs.tracer import tracer as trace
+
+__all__ = [
+    "metrics",
+    "tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "get_registry",
+    "metrics_enabled",
+    "set_enabled",
+    "disabled",
+    "profiled",
+    "timed",
+    "Span",
+    "Tracer",
+    "trace",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]

@@ -1,0 +1,280 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+Every hot path in the reproduction (staging put/get, event-queue appends,
+GC passes, the perfsim engine) reports through the module-level singleton
+:data:`registry`, so any benchmark or workflow run can snapshot a complete
+op-count / latency picture without threading a metrics object through every
+constructor. The design constraints, in order:
+
+1. *Near-zero overhead, default-on.* The counter fast path is one global
+   flag read plus an integer add — no locks (CPython attribute stores are
+   atomic under the GIL, and metric values are monotone aggregates where a
+   lost-update race costs one sample, not correctness). Histograms bucket by
+   a C-speed ``bisect`` into a fixed geometric bound table.
+2. *Stable identities.* ``registry.counter(name)`` always returns the same
+   object, and :meth:`MetricsRegistry.reset` zeroes values **in place**, so
+   instrument-site handles cached at import time stay valid across resets.
+3. *Cheap disable.* ``set_enabled(False)`` turns every record call into a
+   flag check, letting the overhead benchmark measure the instrumented vs
+   uninstrumented cost of the same binary.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "get_registry",
+    "metrics_enabled",
+    "set_enabled",
+    "disabled",
+]
+
+# Global on/off switch shared by every metric instance. A module-global read
+# is the cheapest gate available to pure Python.
+_ENABLED = True
+
+
+def metrics_enabled() -> bool:
+    """True while metric recording is active (the default)."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable or disable all metric recording."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+class disabled:
+    """Context manager: suspend metric recording inside the block."""
+
+    def __enter__(self) -> None:
+        self._prev = _ENABLED
+        set_enabled(False)
+
+    def __exit__(self, *exc) -> None:
+        set_enabled(self._prev)
+
+
+class Counter:
+    """A monotonically increasing integer (op counts, byte totals)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if _ENABLED:
+            self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (queue depth, resident bytes).
+
+    An optional ``fn`` makes the gauge *lazy*: the callable is consulted at
+    snapshot time instead of on the hot path (e.g. the data log's
+    baseline-retention bytes, which are O(records) to compute).
+    """
+
+    __slots__ = ("name", "value", "fn")
+
+    def __init__(self, name: str, fn=None) -> None:
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        if _ENABLED:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        if _ENABLED:
+            self.value += delta
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self.value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.read()}
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+def _geometric_bounds(lo: float, hi: float, per_octave: int) -> tuple[float, ...]:
+    """Bucket upper bounds from ``lo`` to past ``hi``, 2**(1/per_octave) apart."""
+    n = int(math.ceil(math.log2(hi / lo) * per_octave)) + 1
+    ratio = 2.0 ** (1.0 / per_octave)
+    return tuple(lo * ratio**i for i in range(n))
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    Buckets are geometric (quarter-octave: each bound is ×2^¼ the previous,
+    ≤ ~9 % mid-bucket error) spanning 100 ns .. ~1000 s — sized for
+    latencies in seconds but unit-agnostic. Recording is one ``bisect`` into
+    a static bound table plus three adds; no allocation, no lock.
+    """
+
+    # Shared across all instances: upper bound of bucket i. Values above the
+    # last bound land in a final overflow bucket.
+    BOUNDS: tuple[float, ...] = _geometric_bounds(1e-7, 1.1e3, per_octave=4)
+
+    __slots__ = ("name", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self._reset()
+
+    def _reset(self) -> None:
+        for i in range(len(self.counts)):
+            self.counts[i] = 0
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def record(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        self.counts[bisect_right(self.BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    # ------------------------------------------------------------ estimates
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` (0..100).
+
+        Returns the geometric midpoint of the bucket holding the rank,
+        clamped to the observed [min, max] so single-sample histograms are
+        exact.
+        """
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(self.count * p / 100.0))
+        cum = 0
+        bounds = self.BOUNDS
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target:
+                if i == 0:
+                    est = bounds[0] / 2.0
+                elif i >= len(bounds):
+                    est = bounds[-1]
+                else:
+                    est = math.sqrt(bounds[i - 1] * bounds[i])
+                return min(max(est, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover — cum always reaches count
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.vmin,
+            "max": self.vmax,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create semantics.
+
+    Creation takes a lock (it is rare — instrument sites cache their
+    handles); reads and records never do.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str, fn=None) -> Gauge:
+        gauge = self._get_or_create(name, Gauge)
+        if fn is not None:
+            # Late-bound lazy source: the most recent provider wins (each
+            # workflow run rebinds its own data log / engine).
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    # ------------------------------------------------------------- querying
+
+    def get(self, name: str):
+        """The registered metric, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """A JSON-ready {name: state} view of every registered metric."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def reset(self) -> None:
+        """Zero every metric *in place*; cached handles stay valid."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._reset()
+
+
+#: The process-wide registry every instrument site reports to by default.
+registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The module-level singleton registry."""
+    return registry

@@ -1,0 +1,62 @@
+"""Timing hooks: the ``@profiled`` decorator and the ``timed`` block.
+
+Both record wall-clock durations into a :class:`~repro.obs.metrics.Histogram`
+from the singleton registry and honour the global metrics switch, so wrapped
+functions pay only a flag check when recording is disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["profiled", "timed"]
+
+
+def profiled(name: str | None = None, registry: _metrics.MetricsRegistry | None = None):
+    """Decorator: record each call's latency in histogram ``name``.
+
+    Defaults to ``<module>.<qualname>.seconds``. The histogram handle is
+    resolved once, at decoration time.
+    """
+
+    def decorate(fn):
+        hist_name = name or f"{fn.__module__}.{fn.__qualname__}.seconds"
+        hist = (registry or _metrics.registry).histogram(hist_name)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _metrics.metrics_enabled():
+                return fn(*args, **kwargs)
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                hist.record(perf_counter() - t0)
+
+        wrapper.__wrapped_histogram__ = hist
+        return wrapper
+
+    return decorate
+
+
+class timed:
+    """Context manager recording the block's duration into ``hist``.
+
+    Takes the histogram object itself (not a name) so hot paths resolve the
+    handle once and reuse it.
+    """
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: _metrics.Histogram) -> None:
+        self._hist = hist
+
+    def __enter__(self) -> "timed":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.record(perf_counter() - self._t0)

@@ -1,0 +1,181 @@
+"""Structured span tracing with JSON-lines export.
+
+A :class:`Span` is one timed, named region of execution; spans nest through
+a thread-local stack so each records its parent and depth (a component's
+``step`` span contains its ``staging.put`` spans, and so on). The tracer is
+**off by default** — tracing allocates one record per span, which is too
+much for always-on use — and a disabled tracer's ``span()`` returns a
+shared no-op context manager, so instrument sites never branch.
+
+Enable with :func:`enable_tracing` (the benchmarks' ``--obs-trace`` flag
+does this) and drain with :meth:`Tracer.export_jsonl` or
+:meth:`Tracer.spans`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "tracer", "get_tracer", "enable_tracing", "disable_tracing"]
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) traced region."""
+
+    span_id: int
+    name: str
+    start: float
+    parent_id: int | None = None
+    depth: int = 0
+    thread: str = ""
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while in flight)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        out = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "thread": self.thread,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **attrs) -> None:
+        """Attach key/value attributes to the span."""
+        self._span.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._span.end = time.perf_counter()
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects spans from every thread; cheap no-op while disabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, **attrs):
+        """Context manager timing one named region (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            span_id=span_id,
+            name=name,
+            start=time.perf_counter(),
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(stack),
+            thread=threading.current_thread().name,
+            attrs=dict(attrs),
+        )
+        return _ActiveSpan(self, span)
+
+    def _push(self, span: Span) -> None:
+        self._local.stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._local.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------- draining
+
+    def spans(self) -> list[Span]:
+        """Completed spans in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, one line per completed span."""
+        return "\n".join(json.dumps(s.to_dict()) for s in self.spans())
+
+    def export_jsonl(self, path) -> int:
+        """Write the JSONL dump to ``path``; returns the span count."""
+        spans = self.spans()
+        with open(path, "w") as fh:
+            for s in spans:
+                fh.write(json.dumps(s.to_dict()) + "\n")
+        return len(spans)
+
+
+#: The process-wide tracer (disabled until explicitly enabled).
+tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The module-level singleton tracer."""
+    return tracer
+
+
+def enable_tracing() -> None:
+    tracer.enabled = True
+
+
+def disable_tracing() -> None:
+    tracer.enabled = False

@@ -14,9 +14,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
+from repro.obs import registry as _obs
+
+_RUN_SECONDS = _obs.histogram("perfsim.run.wall_seconds")
+_EVENTS = _obs.counter("perfsim.events_processed")
+_SIM_TIME = _obs.gauge("perfsim.sim_time_seconds")
+_EVENT_RATE = _obs.gauge("perfsim.events_per_wall_second")
 
 __all__ = [
     "Engine",
@@ -272,20 +279,33 @@ class Engine:
         """Drain the event heap; returns the final virtual time.
 
         ``until`` bounds virtual time; ``max_events`` guards against
-        accidental infinite simulations.
+        accidental infinite simulations. Engine throughput (events
+        processed, sim-time vs wall-time) is reported to ``repro.obs`` once
+        per drain — the event loop itself is never instrumented.
         """
-        while self._heap:
-            time, _tie, callback = self._heap[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = time
-            callback()
-            self._processed += 1
-            if self._processed > max_events:
-                raise SimulationError(f"exceeded {max_events} events; runaway sim?")
-        return self.now
+        t0 = perf_counter()
+        processed_before = self._processed
+        try:
+            while self._heap:
+                time, _tie, callback = self._heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                self.now = time
+                callback()
+                self._processed += 1
+                if self._processed > max_events:
+                    raise SimulationError(f"exceeded {max_events} events; runaway sim?")
+            return self.now
+        finally:
+            wall = perf_counter() - t0
+            processed = self._processed - processed_before
+            _RUN_SECONDS.record(wall)
+            _EVENTS.inc(processed)
+            _SIM_TIME.set(self.now)
+            if wall > 0:
+                _EVENT_RATE.set(processed / wall)
 
     @property
     def events_processed(self) -> int:

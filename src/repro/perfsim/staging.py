@@ -25,6 +25,7 @@ from repro.core.events import EventKind
 from repro.core.garbage import GarbageCollector
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ConfigError
+from repro.obs import registry as _obs
 from repro.perfsim.config import WorkflowConfig
 from repro.perfsim.engine import Engine, all_of
 from repro.perfsim.resources import FifoResource
@@ -32,6 +33,11 @@ from repro.staging.hashing import PlacementMap
 from repro.util.timeline import Counter, Timeline
 
 __all__ = ["AccountingServer", "AccountingGroup", "StagingModel"]
+
+# Simulated-time service latencies: the same op-level histograms the
+# threaded runtime records in wall time, here in virtual seconds.
+_SIM_PUT_SECONDS = _obs.histogram("perfsim.staging.put.sim_seconds")
+_SIM_GET_SECONDS = _obs.histogram("perfsim.staging.get.sim_seconds")
 
 
 class AccountingServer:
@@ -218,6 +224,7 @@ class StagingModel:
             return
         yield from self._transfer(desc, fraction, ranks, EventKind.PUT)
         self.write_response.add(self.engine.now - start)
+        _SIM_PUT_SECONDS.record(self.engine.now - start)
         # Metadata accounting.
         total = 0
         for sid, nbytes in self._shard_bytes(desc, fraction).items():
@@ -266,6 +273,7 @@ class StagingModel:
         start = self.engine.now
         yield from self._transfer(desc, fraction, ranks, EventKind.GET)
         self.read_response.add(self.engine.now - start)
+        _SIM_GET_SECONDS.record(self.engine.now - start)
         if self.logging_enabled and not replayed:
             self.register(component)
             self.queues[component].record_data(EventKind.GET, desc, "", desc.version)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, SimulationError
+from repro.obs import trace as _trace
 from repro.perfsim.apps import SimConsumer, SimProducer
 from repro.perfsim.config import TABLE3_MTBF, WorkflowConfig
 from repro.perfsim.engine import Engine
@@ -166,7 +167,8 @@ def simulate(
     for comp in (producer, consumer):
         comp.process = engine.process(comp.run(), name=comp.name)
 
-    engine.run()
+    with _trace.span("perfsim.simulate", scheme=scheme, config=config.name):
+        engine.run()
     for comp in (producer, consumer):
         if not comp.done:
             raise SimulationError(

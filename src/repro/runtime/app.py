@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.consistency import ObservationLog
+from repro.obs import registry as _obs
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ConfigError, ProcessFailure
 from repro.geometry.domain import Domain
@@ -27,6 +29,10 @@ from repro.runtime.checkpoint import CheckpointStore, CheckpointTier
 from repro.runtime.failures import FailureInjector
 from repro.runtime.staging_service import SynchronizedStaging
 from repro.runtime.ulfm import Communicator, FailureDetector, SparePool
+
+_RECOVERY_SECONDS = _obs.histogram("workflow.recovery.seconds")
+_RECOVERIES = _obs.counter("workflow.recoveries")
+_CHECKPOINT_SECONDS = _obs.histogram("workflow.checkpoint.seconds")
 
 __all__ = [
     "RollbackSignal",
@@ -156,6 +162,9 @@ class AppComponent:
         self.error: BaseException | None = None
         self._seen_steps: set[int] = set()
         self._replicas_left = spec.replica_budget if spec.replicated else 0
+        # Per-component step latency (cardinality is bounded by the spec
+        # list, so a name-tagged histogram per component is safe).
+        self._step_hist = _obs.histogram(f"workflow.step.seconds.{spec.name}")
         staging.register(spec.name)
 
     # --------------------------------------------------------------- state
@@ -185,12 +194,14 @@ class AppComponent:
         are node-local and are reported to staging as non-durable so the
         log retains enough history for a node-failure fallback.
         """
+        t0 = perf_counter()
         interval = self.spec.pfs_checkpoint_interval
         durable = (self.stats.checkpoints_taken % interval) == interval - 1 or interval == 1
         tier = self.chk_tier if durable else CheckpointTier.NODE_LOCAL
         self.chk_store.save(self.name, completed_step, self.state, tier=tier)
         self.staging.workflow_check(self.name, completed_step, durable=durable)
         self.stats.checkpoints_taken += 1
+        _CHECKPOINT_SECONDS.record(perf_counter() - t0)
 
     # ------------------------------------------------------------- failures
 
@@ -269,7 +280,9 @@ class AppComponent:
                     self._poll_global_rollback()
                     self._maybe_fail(step)
                     self.observations.begin_step(self.name, step)
+                    t_step = perf_counter()
                     self.execute_step(step)
+                    self._step_hist.record(perf_counter() - t_step)
                     self.stats.steps_executed += 1
                     if step in self._seen_steps:
                         self.stats.steps_reexecuted += 1
@@ -278,18 +291,27 @@ class AppComponent:
                     if self._checkpoint_due(step):
                         self._checkpoint()
                 except ProcessFailure as failure:
+                    t_rec = perf_counter()
                     if self.recovery_mode == "global":
                         assert self.protocol is not None
                         self.protocol.request_rollback(self, failure)
                     else:
                         self.handle_local_failure(failure)
+                    _RECOVERIES.inc()
+                    _RECOVERY_SECONDS.record(perf_counter() - t_rec)
                 except RollbackSignal:
                     assert self.protocol is not None
+                    t_rec = perf_counter()
                     self.protocol.perform_rollback(self)
+                    _RECOVERIES.inc()
+                    _RECOVERY_SECONDS.record(perf_counter() - t_rec)
                 except WaitInterrupted:
                     if self.protocol is None:
                         raise  # shutdown or stuck wait; surface to the runner
+                    t_rec = perf_counter()
                     self.protocol.perform_rollback(self)
+                    _RECOVERIES.inc()
+                    _RECOVERY_SECONDS.record(perf_counter() - t_rec)
         except BaseException as err:  # surfaced by the runner
             self.error = err
             if self.protocol is not None:

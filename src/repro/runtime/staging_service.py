@@ -14,6 +14,7 @@ back together with the applications.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 import numpy as np
@@ -23,9 +24,17 @@ from repro.core.events import WChkId
 from repro.core.interface import GetResult, PutResult, WorkflowStaging
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import StagingError
+from repro.obs import registry as _obs
 from repro.staging.client import StagingGroup
 
 __all__ = ["SynchronizedStaging", "WaitInterrupted"]
+
+_LOCK_WAIT = _obs.histogram("staging.service.lock_wait.seconds")
+_FLOW_STALLS = _obs.counter("staging.service.flow_stall.count")
+_FLOW_STALL_SECONDS = _obs.histogram("staging.service.flow_stall.seconds")
+_BLOCKING_WAITS = _obs.counter("staging.service.blocking_get.waits")
+_BLOCKING_WAIT_SECONDS = _obs.histogram("staging.service.blocking_get.wait.seconds")
+_WAITS_INTERRUPTED = _obs.counter("staging.service.waits_interrupted")
 
 
 class WaitInterrupted(StagingError):
@@ -131,24 +140,35 @@ class SynchronizedStaging:
         versions behind this write (coupling flow control). Replay-suppressed
         writes never block: their data already flowed in the initial run.
         """
-        import time
-
-        deadline = time.monotonic() + self.max_wait
+        t_req = time.monotonic()
         with self._lock:
+            _LOCK_WAIT.record(time.monotonic() - t_req)
+            # The flow-control budget starts once the request is being
+            # serviced: lock contention must not eat into max_wait.
+            deadline = time.monotonic() + self.max_wait
+            stalled_since: float | None = None
             while not self.staging.in_replay(component):
                 frontier = self._min_frontier(desc.name)
                 if frontier is None or desc.version - frontier <= self.max_ahead:
                     break
                 if self._shutdown:
+                    _WAITS_INTERRUPTED.inc()
                     raise WaitInterrupted("staging service shut down")
                 if interrupt is not None and interrupt():
+                    _WAITS_INTERRUPTED.inc()
                     raise WaitInterrupted(f"flow wait for {desc} interrupted")
                 if time.monotonic() > deadline:
+                    _WAITS_INTERRUPTED.inc()
                     raise WaitInterrupted(
                         f"{component!r}: consumers stalled > {self.max_wait}s "
                         f"behind {desc}"
                     )
+                if stalled_since is None:
+                    stalled_since = time.monotonic()
+                    _FLOW_STALLS.inc()
                 self._data_arrived.wait(timeout=self.poll_timeout)
+            if stalled_since is not None:
+                _FLOW_STALL_SECONDS.record(time.monotonic() - stalled_since)
             result = self.staging.handle_put(component, desc, data, step)
             self._data_arrived.notify_all()
             return result
@@ -167,21 +187,27 @@ class SynchronizedStaging:
         requested while this consumer waited for a version the rolled-back
         producer will never write).
         """
-        import time
-
-        deadline = time.monotonic() + self.max_wait
+        t_req = time.monotonic()
         with self._lock:
+            t_start = time.monotonic()
+            _LOCK_WAIT.record(t_start - t_req)
+            # As in put(): the wait budget excludes lock-acquisition time.
+            deadline = t_start + self.max_wait
+            waited = False
             while True:
                 if self._shutdown:
+                    _WAITS_INTERRUPTED.inc()
                     raise WaitInterrupted("staging service shut down")
                 if interrupt is not None and interrupt():
+                    _WAITS_INTERRUPTED.inc()
                     raise WaitInterrupted(f"wait for {desc} interrupted")
                 if time.monotonic() > deadline:
+                    _WAITS_INTERRUPTED.inc()
                     raise WaitInterrupted(
                         f"{component!r} waited over {self.max_wait}s for {desc}"
                     )
                 result = None
-                client = self.staging._client
+                client = self.staging.client
                 if self.staging.in_replay(component):
                     # Replay never blocks: the log retains everything the
                     # script will serve.
@@ -197,6 +223,8 @@ class SynchronizedStaging:
                 ):
                     result = self.staging.handle_get(component, desc, step)
                 if result is not None:
+                    if waited:
+                        _BLOCKING_WAIT_SECONDS.record(time.monotonic() - t_start)
                     key = (desc.name, component)
                     self._frontier[key] = max(
                         self._frontier.get(key, -1), result.served_version
@@ -204,6 +232,9 @@ class SynchronizedStaging:
                     # Producers may be blocked on this consumer's progress.
                     self._data_arrived.notify_all()
                     return result
+                if not waited:
+                    waited = True
+                    _BLOCKING_WAITS.inc()
                 self._data_arrived.wait(timeout=self.poll_timeout)
 
     # ---------------------------------------------------- workflow interface
@@ -239,12 +270,18 @@ class SynchronizedStaging:
         """
         with self._lock:
             return {
-                "servers": [srv.store.snapshot() for srv in self.group.servers],
+                "servers": [srv.snapshot() for srv in self.group.servers],
                 "frontier": dict(self._frontier),
             }
 
     def restore(self, snap: dict) -> None:
-        """Roll staging back to a captured snapshot."""
+        """Roll staging back to a captured snapshot.
+
+        Each server restores its store *and* its spatial index together
+        (:meth:`StagingServer.restore`): restoring only the store would
+        leave the metadata layer with stale entries for rolled-back versions
+        and missing entries for versions the snapshot re-adds.
+        """
         with self._lock:
             snaps = snap["servers"]
             if len(snaps) != len(self.group.servers):
@@ -253,7 +290,7 @@ class SynchronizedStaging:
                     f"{len(self.group.servers)}"
                 )
             for srv, s in zip(self.group.servers, snaps):
-                srv.store.restore(s)
+                srv.restore(s)
             self._frontier = dict(snap["frontier"])
             self._data_arrived.notify_all()
 

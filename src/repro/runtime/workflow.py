@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from repro.core.consistency import ObservationLog, verify_read_stability
 from repro.core.interface import WorkflowStaging
 from repro.errors import ConfigError, ConsistencyError, SimulationError
+from repro.obs import registry as _obs
+from repro.obs import trace as _trace
 from repro.geometry.domain import Domain
 from repro.runtime.app import (
     AppComponent,
@@ -35,6 +37,7 @@ from repro.runtime.failures import FailureInjector, FailurePlan
 from repro.runtime.staging_service import SynchronizedStaging
 from repro.runtime.ulfm import FailureDetector, SparePool
 from repro.staging.client import StagingGroup
+from repro.staging.server import StagingServer
 
 __all__ = [
     "SCHEMES",
@@ -137,7 +140,7 @@ class CoordinatedProtocol:
                     self.staging.restore(
                         {
                             "servers": [
-                                {"objects": {}, "bytes": 0}
+                                StagingServer.empty_snapshot()
                                 for _ in self.staging.group.servers
                             ],
                             "frontier": {},
@@ -332,11 +335,12 @@ class ThreadedWorkflow:
 
         threads = [ComponentThread(c) for c in components]
         start = time.perf_counter()
-        for t in threads:
-            t.start()
-        deadline = time.monotonic() + self.join_timeout
-        for t in threads:
-            t.join(timeout=max(0.1, deadline - time.monotonic()))
+        with _trace.span("runtime.workflow.run", scheme=self.scheme):
+            for t in threads:
+                t.start()
+            deadline = time.monotonic() + self.join_timeout
+            for t in threads:
+                t.join(timeout=max(0.1, deadline - time.monotonic()))
         wall = time.perf_counter() - start
         stuck = [t.component.name for t in threads if t.alive]
         staging.shutdown()
@@ -348,6 +352,9 @@ class ThreadedWorkflow:
         if errors:
             name, err = next(iter(errors.items()))
             raise SimulationError(f"component {name!r} failed: {err!r}") from err
+
+        _obs.counter("workflow.runs").inc()
+        _obs.histogram("workflow.run.wall_seconds").record(wall)
 
         ws = staging.staging
         return WorkflowResult(

@@ -9,16 +9,24 @@ gathers and assembles it. The paper's logging interface in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound
 from repro.geometry.domain import Domain
+from repro.obs import registry as _obs
 from repro.staging.hashing import PlacementMap
 from repro.staging.server import StagingServer
 
 __all__ = ["StagingClient", "StagingGroup"]
+
+_PUT_COUNT = _obs.counter("staging.client.put.count")
+_PUT_FANOUT = _obs.histogram("staging.client.put.shards")
+_PUT_SECONDS = _obs.histogram("staging.client.put.seconds")
+_GET_COUNT = _obs.counter("staging.client.get.count")
+_GET_SECONDS = _obs.histogram("staging.client.get.seconds")
 
 
 @dataclass
@@ -70,17 +78,22 @@ class StagingClient:
 
         Returns the number of server shards written.
         """
+        t0 = perf_counter()
         data = np.asarray(data)
         shards = self.group.placement.shards(desc.bbox)
         for server_id, sub in shards:
             sub_desc = desc.with_bbox(sub)
             self.group.servers[server_id].put(sub_desc, data[sub.slices(desc.bbox)])
+        _PUT_COUNT.inc()
+        _PUT_FANOUT.record(len(shards))
+        _PUT_SECONDS.record(perf_counter() - t0)
         return len(shards)
 
     # ------------------------------------------------------------------ get
 
     def get(self, desc: ObjectDescriptor) -> np.ndarray:
         """Gather ``desc.bbox`` from owning servers and assemble it."""
+        t0 = perf_counter()
         shards = self.group.placement.shards(desc.bbox)
         if not shards:
             raise ObjectNotFound(f"{desc}: region outside staged domain")
@@ -88,6 +101,8 @@ class StagingClient:
         for server_id, sub in shards:
             sub_desc = desc.with_bbox(sub)
             out[sub.slices(desc.bbox)] = self.group.servers[server_id].get(sub_desc)
+        _GET_COUNT.inc()
+        _GET_SECONDS.record(perf_counter() - t0)
         return out
 
     def covers(self, desc: ObjectDescriptor) -> bool:

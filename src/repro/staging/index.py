@@ -73,6 +73,26 @@ class SpatialIndex:
                 return True
         return not uncovered
 
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """Capture the index for coordinated checkpointing.
+
+        Entries are immutable, so only the container structure is copied —
+        the same in-place convention as :meth:`ObjectStore.snapshot`.
+        """
+        return {"entries": {k: list(v) for k, v in self._entries.items()}}
+
+    def restore(self, snap: dict) -> None:
+        """Roll the index back to a previously captured snapshot."""
+        self._entries = {k: list(v) for k, v in snap["entries"].items()}
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------- metrics
+
     def nbytes(self, logged_only: bool = False) -> int:
         """Total indexed payload bytes (optionally only logged entries)."""
         total = 0

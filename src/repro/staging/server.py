@@ -3,18 +3,35 @@
 This is the synchronous in-memory core shared by both execution substrates:
 the threaded runtime wraps it in a service loop, and the performance
 simulator attaches service-time models to the same operations.
+
+The store and the index are updated in lockstep — every fragment the store
+accepts gains exactly one index entry of the same byte size, and every
+eviction and snapshot/restore touches both — so ``index.versions(name) ==
+store.versions(name)`` and ``index.nbytes() == store.nbytes`` hold at every
+operation boundary (property-tested in tests/staging).
 """
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.descriptors.odsc import ObjectDescriptor
-from repro.geometry.bbox import BBox
+from repro.obs import registry as _obs
 from repro.staging.index import SpatialIndex
 from repro.staging.store import ObjectStore, StoredObject
 
 __all__ = ["StagingServer"]
+
+# Instrument-site handles, resolved once at import (see repro.obs.metrics).
+_PUT_COUNT = _obs.counter("staging.server.put.count")
+_PUT_BYTES = _obs.counter("staging.server.put.bytes")
+_PUT_SECONDS = _obs.histogram("staging.server.put.seconds")
+_GET_COUNT = _obs.counter("staging.server.get.count")
+_GET_SECONDS = _obs.histogram("staging.server.get.seconds")
+_EVICT_COUNT = _obs.counter("staging.server.evict.count")
+_EVICT_BYTES = _obs.counter("staging.server.evict.bytes")
 
 
 class StagingServer:
@@ -33,17 +50,31 @@ class StagingServer:
     # ------------------------------------------------------------------ ops
 
     def put(self, desc: ObjectDescriptor, data: np.ndarray) -> StoredObject:
-        """Store one fragment and index it."""
-        before = self.store.nbytes
+        """Store one fragment and index it.
+
+        A fragment is indexed exactly when the store accepted it as a *new*
+        fragment — detected by fragment count, not byte delta, so zero-byte
+        payloads are indexed too and fully-redundant re-puts (which the
+        store drops) are not double-counted.
+        """
+        t0 = perf_counter()
+        before = self.store.fragment_count(desc.name, desc.version)
         obj = self.store.put(desc, data)
-        added = self.store.nbytes - before
-        if added:
-            self.index.insert(desc, added)
+        if self.store.fragment_count(desc.name, desc.version) > before:
+            self.index.insert(desc, obj.nbytes)
+        _PUT_COUNT.inc()
+        _PUT_BYTES.inc(obj.nbytes)
+        _PUT_SECONDS.record(perf_counter() - t0)
         return obj
 
     def get(self, desc: ObjectDescriptor) -> np.ndarray:
         """Assemble and return the requested region."""
-        return self.store.get(desc)
+        t0 = perf_counter()
+        try:
+            return self.store.get(desc)
+        finally:
+            _GET_COUNT.inc()
+            _GET_SECONDS.record(perf_counter() - t0)
 
     def covers(self, desc: ObjectDescriptor) -> bool:
         """True when this server can fully serve ``desc``."""
@@ -56,7 +87,10 @@ class StagingServer:
     def evict(self, name: str, version: int) -> int:
         """Drop (name, version); returns bytes freed."""
         self.index.remove_version(name, version)
-        return self.store.evict(name, version)
+        freed = self.store.evict(name, version)
+        _EVICT_COUNT.inc()
+        _EVICT_BYTES.inc(freed)
+        return freed
 
     def evict_older_than_version(self, name: str, version: int) -> int:
         """Drop versions of ``name`` strictly below ``version``; returns bytes."""
@@ -81,6 +115,41 @@ class StagingServer:
             if v != latest:
                 freed += self.evict(name, v)
         return freed
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """Capture store *and* index for coordinated checkpointing."""
+        return {"store": self.store.snapshot(), "index": self.index.snapshot()}
+
+    @staticmethod
+    def empty_snapshot() -> dict:
+        """The snapshot of a server that never stored anything."""
+        return {
+            "store": {"objects": {}, "bytes": 0},
+            "index": {"entries": {}},
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll store and index back together (coordinated rollback).
+
+        Also accepts a legacy store-only snapshot (no ``"index"`` key); the
+        index is then rebuilt from the restored fragments so a rollback can
+        never leave the metadata layer pointing at rolled-back versions.
+        """
+        if "store" in snap:
+            self.store.restore(snap["store"])
+            self.index.restore(snap["index"])
+        else:
+            self.store.restore(snap)
+            self.rebuild_index()
+
+    def rebuild_index(self) -> None:
+        """Regenerate the index from the store's fragments."""
+        self.index.clear()
+        for name, version in self.store.keys():
+            for frag in self.store.fragments(name, version):
+                self.index.insert(frag.desc, frag.nbytes)
 
     # -------------------------------------------------------------- metrics
 

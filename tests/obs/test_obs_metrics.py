@@ -1,0 +1,153 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    metrics_enabled,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == {"type": "counter", "value": 6}
+
+    def test_disabled_suppresses(self):
+        c = Counter("c")
+        with disabled():
+            c.inc(100)
+        assert c.value == 0
+        assert metrics_enabled()
+
+
+class TestGauge:
+    def test_set_add_read(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.add(2.0)
+        assert g.read() == 5.0
+
+    def test_lazy_fn_consulted_at_read(self):
+        box = {"v": 7}
+        g = Gauge("g", fn=lambda: box["v"])
+        box["v"] = 11
+        assert g.read() == 11.0
+        assert g.snapshot() == {"type": "gauge", "value": 11.0}
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("h")
+        assert h.snapshot() == {"type": "histogram", "count": 0}
+        assert h.percentile(50) == 0.0
+
+    def test_single_sample_percentiles_exact(self):
+        h = Histogram("h")
+        h.record(0.25)
+        # Clamping to [vmin, vmax] makes single-sample histograms exact.
+        for p in (1, 50, 95, 99, 100):
+            assert h.percentile(p) == 0.25
+
+    def test_percentile_ordering_and_accuracy(self):
+        h = Histogram("h")
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for v in values:
+            h.record(v)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert p50 <= p95 <= p99 <= h.vmax
+        # Quarter-octave buckets: mid-bucket estimate within ~9 % of truth.
+        assert p50 == pytest.approx(0.5, rel=0.10)
+        assert p95 == pytest.approx(0.95, rel=0.10)
+        assert p99 == pytest.approx(0.99, rel=0.10)
+        assert h.count == 1000
+        assert h.mean == pytest.approx(sum(values) / 1000)
+        assert h.vmin == 0.001 and h.vmax == 1.0
+
+    def test_out_of_range_values_clamped_not_lost(self):
+        h = Histogram("h")
+        h.record(1e-12)  # below the first bound
+        h.record(1e6)  # above the last bound (overflow bucket)
+        assert h.count == 2
+        assert h.vmin == 1e-12 and h.vmax == 1e6
+        assert h.percentile(1) >= h.vmin
+        assert h.percentile(99) <= h.vmax
+
+    def test_bounds_are_geometric(self):
+        bounds = Histogram.BOUNDS
+        ratio = 2.0 ** 0.25
+        for a, b in zip(bounds, bounds[1:]):
+            assert b / a == pytest.approx(ratio)
+
+    def test_disabled_suppresses(self):
+        h = Histogram("h")
+        with disabled():
+            h.record(1.0)
+        assert h.count == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.histogram("lat").record(0.5)
+        snap = reg.snapshot()
+        assert snap["ops"] == {"type": "counter", "value": 3}
+        assert snap["lat"]["count"] == 1
+
+    def test_reset_zeroes_in_place(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops")
+        h = reg.histogram("lat")
+        c.inc(9)
+        h.record(1.0)
+        reg.reset()
+        # Same objects, zeroed: import-time handles stay valid.
+        assert reg.counter("ops") is c and c.value == 0
+        assert reg.histogram("lat") is h and h.count == 0
+        assert h.vmin == math.inf
+        c.inc()
+        assert reg.snapshot()["ops"]["value"] == 1
+
+    def test_gauge_fn_rebinds_latest_provider(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", fn=lambda: 1)
+        g = reg.gauge("depth", fn=lambda: 2)
+        assert g.read() == 2.0
+
+
+class TestModuleSingleton:
+    def test_singleton_identity(self):
+        assert obs.get_registry() is obs.registry
+
+    def test_global_disable_restored(self):
+        assert obs.metrics_enabled()
+        obs.set_enabled(False)
+        try:
+            c = obs.registry.counter("test.module.singleton")
+            c.inc()
+            assert c.value == 0
+        finally:
+            obs.set_enabled(True)

@@ -1,0 +1,64 @@
+"""Tests for the @profiled decorator and the timed context manager."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, disabled
+from repro.obs.profile import profiled, timed
+
+
+class TestProfiled:
+    def test_records_each_call(self):
+        reg = MetricsRegistry()
+
+        @profiled("my.op.seconds", registry=reg)
+        def op(x):
+            return x * 2
+
+        assert op(3) == 6
+        assert op(4) == 8
+        hist = reg.histogram("my.op.seconds")
+        assert hist.count == 2
+        assert op.__wrapped_histogram__ is hist
+
+    def test_default_name_from_qualname(self):
+        reg = MetricsRegistry()
+
+        @profiled(registry=reg)
+        def named():
+            pass
+
+        named()
+        assert named.__wrapped_histogram__.name.endswith("named.seconds")
+        assert named.__wrapped_histogram__.name.startswith(__name__)
+
+    def test_records_on_exception(self):
+        reg = MetricsRegistry()
+
+        @profiled("boom.seconds", registry=reg)
+        def boom():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            boom()
+        assert reg.histogram("boom.seconds").count == 1
+
+    def test_disabled_skips_timing(self):
+        reg = MetricsRegistry()
+
+        @profiled("quiet.seconds", registry=reg)
+        def quiet():
+            return 1
+
+        with disabled():
+            assert quiet() == 1
+        assert reg.histogram("quiet.seconds").count == 0
+
+
+class TestTimed:
+    def test_records_block(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("block.seconds")
+        with timed(hist):
+            pass
+        assert hist.count == 1
+        assert hist.vmax >= 0.0

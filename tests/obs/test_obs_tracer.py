@@ -1,0 +1,100 @@
+"""Tests for repro.obs.tracer: span nesting, JSONL export, no-op mode."""
+
+import json
+import threading
+
+from repro.obs.tracer import Tracer, _NULL_SPAN
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer(enabled=False)
+        s1 = t.span("a")
+        s2 = t.span("b", key="val")
+        assert s1 is s2 is _NULL_SPAN
+        with s1:
+            s1.set(ignored=True)
+        assert t.spans() == []
+
+    def test_tracer_off_by_default(self):
+        assert not Tracer().enabled
+
+
+class TestNesting:
+    def test_parent_child_depth(self):
+        t = Tracer(enabled=True)
+        with t.span("outer") as outer:
+            with t.span("inner"):
+                pass
+            outer.set(step=3)
+        spans = {s.name: s for s in t.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+        assert spans["outer"].depth == 0
+        assert spans["inner"].depth == 1
+        assert spans["outer"].attrs == {"step": 3}
+        # Children complete (and are recorded) before their parents.
+        assert [s.name for s in t.spans()] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        t = Tracer(enabled=True)
+        with t.span("root"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        spans = {s.name: s for s in t.spans()}
+        assert spans["a"].parent_id == spans["root"].span_id
+        assert spans["b"].parent_id == spans["root"].span_id
+        assert spans["a"].depth == spans["b"].depth == 1
+
+    def test_duration_and_ordering(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        spans = {s.name: s for s in t.spans()}
+        assert 0.0 <= spans["inner"].duration <= spans["outer"].duration
+        assert spans["outer"].start <= spans["inner"].start
+
+    def test_threads_have_independent_stacks(self):
+        t = Tracer(enabled=True)
+
+        def work():
+            with t.span("child-thread"):
+                pass
+
+        with t.span("main"):
+            th = threading.Thread(target=work, name="worker")
+            th.start()
+            th.join()
+        spans = {s.name: s for s in t.spans()}
+        # The worker's span must not adopt main's span as parent.
+        assert spans["child-thread"].parent_id is None
+        assert spans["child-thread"].thread == "worker"
+        assert spans["main"].thread != "worker"
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        t = Tracer(enabled=True)
+        with t.span("op", component="sim"):
+            pass
+        lines = t.to_jsonl().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["name"] == "op"
+        assert rec["attrs"] == {"component": "sim"}
+        assert rec["duration"] >= 0.0
+
+        path = tmp_path / "trace.jsonl"
+        assert t.export_jsonl(path) == 1
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "op"
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        with t.span("x"):
+            pass
+        t.clear()
+        assert t.spans() == []
+        assert t.to_jsonl() == ""

@@ -1,0 +1,86 @@
+"""Regression: coordinated rollback must restore the spatial index too.
+
+SynchronizedStaging.restore previously reached into ``srv.store`` and rolled
+back only the object stores; every server's SpatialIndex kept entries for
+versions written after the snapshot (stale metadata) and lost entries for
+versions the snapshot re-added. These tests pin the fixed behaviour through
+the whole service path: snapshot -> more writes -> restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkflowStaging
+from repro.descriptors import ObjectDescriptor
+from repro.errors import StagingError
+from repro.runtime.staging_service import SynchronizedStaging
+
+from tests.conftest import make_payload
+
+
+@pytest.fixture
+def service(group):
+    svc = SynchronizedStaging(
+        WorkflowStaging(group, enable_logging=True), poll_timeout=0.05, max_wait=3.0
+    )
+    svc.register("sim")
+    svc.register("ana")
+    return svc
+
+
+def fdesc(domain, version):
+    return ObjectDescriptor("field", version, domain.bbox)
+
+
+def assert_index_matches_store(service):
+    for srv in service.group.servers:
+        assert srv.index.names() == sorted({n for n, _v in srv.store.keys()})
+        for name in srv.index.names():
+            assert srv.index.versions(name) == srv.store.versions(name)
+        assert srv.index.nbytes() == srv.store.nbytes
+
+
+class TestCoordinatedRollbackIndex:
+    def test_restore_drops_stale_index_entries(self, service, domain):
+        d0 = fdesc(domain, 0)
+        service.put("sim", d0, make_payload(d0), 0)
+        snap = service.snapshot()
+
+        # Writes after the snapshot must vanish from *both* layers on restore.
+        for v in (1, 2):
+            d = fdesc(domain, v)
+            service.put("sim", d, make_payload(d), v)
+        service.restore(snap)
+
+        for srv in service.group.servers:
+            if srv.store.versions("field"):
+                assert srv.index.versions("field") == [0]
+        assert_index_matches_store(service)
+
+    def test_restore_readds_evicted_index_entries(self, service, domain):
+        d0 = fdesc(domain, 0)
+        service.put("sim", d0, make_payload(d0), 0)
+        snap = service.snapshot()
+
+        for srvv in service.group.servers:
+            srvv.evict("field", 0)
+        service.restore(snap)
+
+        # The restored version is queryable again through the index.
+        assert_index_matches_store(service)
+        r = service.get_blocking("ana", d0, 0)
+        assert np.array_equal(r.data, make_payload(d0))
+
+    def test_restore_to_empty_start(self, service, domain):
+        snap = service.snapshot()  # nothing written yet
+        d0 = fdesc(domain, 0)
+        service.put("sim", d0, make_payload(d0), 0)
+        service.restore(snap)
+        for srv in service.group.servers:
+            assert srv.store.versions("field") == []
+            assert srv.index.versions("field") == []
+            assert len(srv.index) == 0
+
+    def test_restore_rejects_mismatched_server_count(self, service):
+        with pytest.raises(StagingError):
+            service.restore({"servers": [], "frontier": {}})

@@ -1,0 +1,142 @@
+"""Property test: a server's store and spatial index never drift apart.
+
+The staging server promises that ``index.versions(name) ==
+store.versions(name)`` and ``index.nbytes() == store.nbytes`` hold after
+every operation (see the StagingServer docstring). Two past bugs broke it:
+
+* ``put`` indexed on the store's *byte delta*, so zero-byte fragments
+  (itemsize-0 dtypes such as ``"V0"``) entered the store but never the
+  index, and ``index.nbytes()`` drifted from ``store.nbytes``;
+* coordinated rollback restored the store but not the index, leaving stale
+  entries for rolled-back versions.
+
+Hypothesis drives arbitrary sequences of put / evict / evict-older-than /
+keep-only-latest (the GC retention primitive) / snapshot / restore and
+checks the invariant at every step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox
+from repro.staging import StagingServer
+
+# Per-name dtype: "z" exercises zero-byte payloads (itemsize-0 void dtype).
+DTYPES = {"u": "float64", "z": "V0"}
+
+BOXES = (
+    BBox((0,), (4,)),
+    BBox((2,), (6,)),  # overlaps both neighbours
+    BBox((4,), (8,)),
+)
+
+
+def payload(desc: ObjectDescriptor) -> np.ndarray:
+    """Deterministic per-(name, version) fill so overlapping re-puts agree."""
+    if np.dtype(desc.dtype).itemsize == 0:
+        return np.zeros(desc.bbox.shape, dtype=desc.dtype)
+    return np.full(desc.bbox.shape, float(desc.version), dtype=desc.dtype)
+
+
+names = st.sampled_from(sorted(DTYPES))
+versions = st.integers(0, 3)
+boxes = st.sampled_from(BOXES)
+
+ops = st.one_of(
+    st.tuples(st.just("put"), names, versions, boxes),
+    st.tuples(st.just("evict"), names, versions),
+    st.tuples(st.just("evict_older"), names, versions),
+    st.tuples(st.just("keep_latest"), names),
+    st.tuples(st.just("snapshot")),
+    st.tuples(st.just("restore")),
+)
+
+
+def check_lockstep(srv: StagingServer) -> None:
+    store, index = srv.store, srv.index
+    assert index.names() == sorted({n for n, _v in store.keys()})
+    for name in index.names():
+        assert index.versions(name) == store.versions(name)
+    assert index.nbytes() == store.nbytes
+    assert len(index) == store.object_count
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(ops, max_size=40))
+def test_store_and_index_stay_in_lockstep(op_list):
+    srv = StagingServer(0)
+    saved = StagingServer.empty_snapshot()
+    for op in op_list:
+        kind = op[0]
+        if kind == "put":
+            _, name, version, box = op
+            desc = ObjectDescriptor(name, version, box, dtype=DTYPES[name])
+            srv.put(desc, payload(desc))
+        elif kind == "evict":
+            srv.evict(op[1], op[2])
+        elif kind == "evict_older":
+            srv.evict_older_than_version(op[1], op[2])
+        elif kind == "keep_latest":
+            srv.keep_only_latest(op[1])
+        elif kind == "snapshot":
+            saved = srv.snapshot()
+        elif kind == "restore":
+            srv.restore(saved)
+        check_lockstep(srv)
+
+
+class TestZeroByteRegression:
+    """Fragments with zero bytes must be indexed (byte-delta detection lost them)."""
+
+    def test_zero_byte_put_is_indexed(self):
+        srv = StagingServer(0)
+        desc = ObjectDescriptor("marker", 0, BBox((0,), (4,)), dtype="V0")
+        srv.put(desc, np.zeros((4,), dtype="V0"))
+        assert srv.store.versions("marker") == [0]
+        assert srv.index.versions("marker") == [0]
+        assert srv.index.nbytes() == srv.store.nbytes == 0
+        assert len(srv.index) == 1
+
+    def test_redundant_reput_still_not_double_indexed(self):
+        srv = StagingServer(0)
+        desc = ObjectDescriptor("x", 0, BBox((0,), (8,)))
+        data = np.ones(8)
+        srv.put(desc, data)
+        srv.put(desc, data)  # store drops the fully-redundant fragment
+        assert len(srv.index) == 1
+        assert srv.index.nbytes() == srv.store.nbytes
+
+
+class TestSnapshotRestore:
+    def test_restore_brings_back_index(self):
+        srv = StagingServer(0)
+        d0 = ObjectDescriptor("x", 0, BBox((0,), (4,)))
+        srv.put(d0, np.zeros(4))
+        snap = srv.snapshot()
+        d1 = ObjectDescriptor("x", 1, BBox((0,), (4,)))
+        srv.put(d1, np.ones(4))
+        srv.restore(snap)
+        assert srv.index.versions("x") == [0]
+        check_lockstep(srv)
+
+    def test_legacy_store_only_snapshot_rebuilds_index(self):
+        srv = StagingServer(0)
+        srv.put(ObjectDescriptor("x", 0, BBox((0,), (4,))), np.zeros(4))
+        store_only = srv.store.snapshot()
+        srv.put(ObjectDescriptor("x", 1, BBox((0,), (4,))), np.ones(4))
+        srv.restore(store_only)  # no "index" key: index must be rebuilt
+        assert srv.index.versions("x") == [0]
+        check_lockstep(srv)
+
+    def test_rebuild_index_matches_store(self):
+        srv = StagingServer(0)
+        for v in range(3):
+            srv.put(ObjectDescriptor("x", v, BBox((0,), (4,))), np.full(4, float(v)))
+        srv.index.clear()
+        srv.rebuild_index()
+        check_lockstep(srv)
+        # Queries through the rebuilt index see every fragment.
+        assert srv.index.query("x", 2)[0].nbytes == 32
