@@ -1,0 +1,367 @@
+"""Microbenchmarks for the two hot paths this repo optimises.
+
+Not a paper figure: this measures the implementation itself, as demanded by
+the north-star ("as fast as the hardware allows").
+
+* **CoREC coding kernels** — RS encode/decode MB/s for (4,2) and (8,3),
+  against the seed's GF(256) kernels (exp/log ``where()``-masked multiply,
+  Python k-loop matmul) embedded here as the "before" reference.
+* **Staging data path** — put/get ops/s through the synchronized service at
+  1/2/4/8 servers, against a baseline that restores the seed's costs:
+  single-lock request servicing (``parallel=False``), linear-scan
+  placement lookups with no shard memo, and ``tobytes()``-copy digests.
+
+Results land in ``BENCH_micro.json`` at the repo root so perf PRs have a
+committed before/after record. Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_microbench.py
+
+or via ``scripts/check.sh --bench``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import sys
+from time import perf_counter
+
+import numpy as np
+
+import repro.core.interface as _interface
+import repro.runtime.staging_service as _service
+from repro.core import WorkflowStaging
+from repro.corec.gf256 import GF256
+from repro.corec.reedsolomon import RSCode
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ObjectNotFound
+from repro.geometry import Domain
+from repro.obs import registry as _obs
+from repro.runtime.staging_service import SynchronizedStaging
+from repro.staging import StagingClient, StagingGroup
+from repro.staging.hashing import PlacementMap
+from repro.staging.store import ObjectStore
+
+OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_micro.json"
+
+MB = 1024 * 1024
+RS_PAYLOAD_BYTES = 4 * MB
+RS_REPS = 3
+# 16 KiB float64 payloads: the small-exchange regime where request rate is
+# bound by the metadata path (placement, coverage checks, digests) — the
+# regime this PR's scan-removal targets. Large payloads are memcpy-bound and
+# say nothing about the data-path servicing rate.
+STAGING_DOMAIN = Domain((16, 16, 8))
+STAGING_OPS = 60
+SERVER_COUNTS = (1, 2, 4, 8)
+
+
+# ------------------------------------------------------- seed kernel baselines
+
+
+def _seed_mul(a, b):
+    """Seed element-wise GF(256) product (exp/log with where() masks)."""
+    a = np.asarray(a, np.uint8)
+    b = np.asarray(b, np.uint8)
+    out = GF256.EXP[(GF256.LOG[a].astype(np.int64) + GF256.LOG[b])]
+    return np.where((a == 0) | (b == 0), np.uint8(0), out)
+
+
+def _seed_matmul(a, b):
+    """Seed GF(256) matmul (Python loop over k accumulating outer products)."""
+    a = np.asarray(a, np.uint8)
+    b = np.asarray(b, np.uint8)
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for j in range(a.shape[1]):
+        out ^= _seed_mul(a[:, j : j + 1], b[j : j + 1, :])
+    return out
+
+
+def _seed_encode(code: RSCode, payload: np.ndarray) -> np.ndarray:
+    shard_len = code.shard_length(payload.size)
+    padded = np.zeros(shard_len * code.k, dtype=np.uint8)
+    padded[: payload.size] = payload
+    return _seed_matmul(code.matrix, padded.reshape(code.k, shard_len))
+
+
+class _SeedPlacementMap(PlacementMap):
+    """The seed's O(num_blocks) placement lookups, no shard memo."""
+
+    def server_of_point(self, point):
+        for blk in self._blocks:
+            if blk.bbox.contains_point(point):
+                return blk.server
+        raise ValueError(f"point {point} outside domain")
+
+    def shards(self, bbox):
+        out = []
+        for blk in self._blocks:
+            overlap = blk.bbox.intersect(bbox)
+            if overlap is not None:
+                out.append((blk.server, overlap))
+        return out
+
+
+def _seed_digest(data) -> str:
+    """Seed payload digest: always a tobytes() staging copy."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    return hashlib.blake2b(data, digest_size=12).hexdigest()
+
+
+def _seed_store_get(self, desc):
+    """Seed ObjectStore.get: cover-tracking walk, no whole-fragment fast path."""
+    frags = self._objects.get(desc.key)
+    if not frags:
+        raise ObjectNotFound(f"no data for {desc.name!r} v{desc.version}")
+    out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
+    uncovered = [desc.bbox]
+    for frag in frags:
+        overlap = frag.desc.bbox.intersect(desc.bbox)
+        if overlap is None:
+            continue
+        out[overlap.slices(desc.bbox)] = frag.data[overlap.slices(frag.desc.bbox)]
+        uncovered = [p for box in uncovered for p in box.subtract(frag.desc.bbox)]
+        if not uncovered:
+            break
+    if uncovered:
+        raise ObjectNotFound(f"{desc} only partially covered")
+    return out
+
+
+def _seed_store_covers(self, desc):
+    """Seed ObjectStore.covers: always the subtract walk."""
+    frags = self._objects.get(desc.key)
+    if not frags:
+        return False
+    uncovered = [desc.bbox]
+    for frag in frags:
+        uncovered = [p for box in uncovered for p in box.subtract(frag.desc.bbox)]
+        if not uncovered:
+            return True
+    return not uncovered
+
+
+def _seed_client_put(self, desc, data):
+    """Seed StagingClient.put: one server round-trip per shard, double copy."""
+    data = np.asarray(data)
+    shards = self.group.placement.shards(desc.bbox)
+    for server_id, sub in shards:
+        # The seed store copied its (already contiguous) input a second time.
+        payload = np.ascontiguousarray(data[sub.slices(desc.bbox)]).copy()
+        self.group.servers[server_id].put(desc.with_bbox(sub), payload)
+    return len(shards)
+
+
+def _seed_client_get(self, desc):
+    """Seed StagingClient.get: one server round-trip per shard."""
+    shards = self.group.placement.shards(desc.bbox)
+    if not shards:
+        raise ObjectNotFound(f"{desc}: region outside staged domain")
+    out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
+    for server_id, sub in shards:
+        out[sub.slices(desc.bbox)] = self.group.servers[server_id].get(
+            desc.with_bbox(sub)
+        )
+    return out
+
+
+def _seed_client_covers(self, desc):
+    """Seed StagingClient.covers: one locked probe per shard."""
+    shards = self.group.placement.shards(desc.bbox)
+    if not shards:
+        return False
+    return all(
+        self.group.servers[server_id].covers(desc.with_bbox(sub))
+        for server_id, sub in shards
+    )
+
+
+@contextlib.contextmanager
+def _seed_mode():
+    """Swap in the seed's data-path implementations (the 'before' baseline).
+
+    Everything the PR optimised is reverted for the duration: linear-scan
+    placement is applied per-group (see ``_make_service``); here the store's
+    fast paths, the batched per-server client calls, and the zero-copy
+    digest go back to their seed forms.
+    """
+    patches = [
+        (ObjectStore, "get", _seed_store_get),
+        (ObjectStore, "covers", _seed_store_covers),
+        (StagingClient, "put", _seed_client_put),
+        (StagingClient, "get", _seed_client_get),
+        (StagingClient, "covers", _seed_client_covers),
+        (_interface, "payload_digest", _seed_digest),
+        (_service, "payload_digest", _seed_digest),
+    ]
+    saved = [(obj, name, getattr(obj, name)) for obj, name, _new in patches]
+    for obj, name, new in patches:
+        setattr(obj, name, new)
+    try:
+        yield
+    finally:
+        for obj, name, old in saved:
+            setattr(obj, name, old)
+
+
+# --------------------------------------------------------------------- timing
+
+
+def _best_of(reps: int, fn, *args) -> float:
+    """Best wall time of ``reps`` runs (1 warmup) — least-noise estimator."""
+    fn(*args)
+    return min(_timed(fn, *args) for _ in range(reps))
+
+
+def _timed(fn, *args) -> float:
+    t0 = perf_counter()
+    fn(*args)
+    return perf_counter() - t0
+
+
+# ------------------------------------------------------------------ RS bench
+
+
+def bench_rs() -> dict:
+    rng = np.random.default_rng(42)
+    payload = rng.integers(0, 256, size=RS_PAYLOAD_BYTES, dtype=np.uint8)
+    results = {}
+    for k, m in ((4, 2), (8, 3)):
+        code = RSCode(k, m)
+        mbytes = payload.nbytes / MB
+
+        t_new = _best_of(RS_REPS, code.encode, payload)
+        t_seed = _best_of(RS_REPS, _seed_encode, code, payload)
+
+        shards = code.encode(payload)
+        # Worst-case decode: the m lost shards are all data shards, so
+        # reconstruction needs the full inverse-matrix matmul.
+        survivors = shards[m : k + m]
+        t_dec = _best_of(RS_REPS, code.decode, survivors, payload.nbytes)
+        # Systematic fast path: every data shard survived.
+        t_dec_fast = _best_of(RS_REPS, code.decode, shards[:k], payload.nbytes)
+
+        results[f"rs({k},{m})"] = {
+            "payload_mb": round(mbytes, 3),
+            "encode_MBps": round(mbytes / t_new, 1),
+            "encode_seed_MBps": round(mbytes / t_seed, 1),
+            "encode_speedup": round(t_seed / t_new, 2),
+            "decode_worstcase_MBps": round(mbytes / t_dec, 1),
+            "decode_fastpath_MBps": round(mbytes / t_dec_fast, 1),
+        }
+    return results
+
+
+# ------------------------------------------------------------- staging bench
+
+
+def _make_service(num_servers: int, seed_baseline: bool) -> SynchronizedStaging:
+    group = StagingGroup.create(
+        STAGING_DOMAIN, num_servers=num_servers, parallel=not seed_baseline
+    )
+    if seed_baseline:
+        group.placement.__class__ = _SeedPlacementMap
+    svc = SynchronizedStaging(
+        WorkflowStaging(group, enable_logging=True),
+        poll_timeout=0.05,
+        max_wait=30.0,
+        parallel=not seed_baseline,
+    )
+    svc.register("sim")
+    svc.register("ana")
+    svc.declare_coupling("field", "ana")
+    return svc
+
+
+def _drive(svc: SynchronizedStaging, payloads: list[np.ndarray]) -> None:
+    """Alternate put/get over fresh versions (the coupling hot loop)."""
+    base = getattr(_drive, "_version", 0)
+    for i, data in enumerate(payloads):
+        desc = ObjectDescriptor("field", base + i, STAGING_DOMAIN.bbox)
+        svc.put("sim", desc, data, step=base + i)
+        svc.get_blocking("ana", desc, step=base + i)
+    _drive._version = base + len(payloads)
+
+
+def _bench_staging_config(num_servers: int, seed_baseline: bool) -> float:
+    """Aggregate put+get ops/s for one configuration."""
+    with _seed_mode() if seed_baseline else contextlib.nullcontext():
+        svc = _make_service(num_servers, seed_baseline)
+        rng = np.random.default_rng(7)
+        payloads = [
+            rng.standard_normal(STAGING_DOMAIN.shape) for _ in range(STAGING_OPS)
+        ]
+        _drive._version = 0
+        _drive(svc, payloads[:4])  # warmup
+        elapsed = _timed(_drive, svc, payloads)
+        svc.shutdown()
+        return 2 * STAGING_OPS / elapsed
+
+
+def bench_staging() -> dict:
+    results = {}
+    for n in SERVER_COUNTS:
+        ops = _bench_staging_config(n, seed_baseline=False)
+        base = _bench_staging_config(n, seed_baseline=True)
+        results[str(n)] = {
+            "payload_kb": int(np.prod(STAGING_DOMAIN.shape)) * 8 // 1024,
+            "agg_ops_per_s": round(ops, 1),
+            "seed_baseline_ops_per_s": round(base, 1),
+            "speedup": round(ops / base, 2),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------- main
+
+
+def main() -> int:
+    _obs.reset()
+    print("== CoREC coding kernels ==")
+    rs = bench_rs()
+    for name, row in rs.items():
+        print(
+            f"  {name}: encode {row['encode_MBps']:.0f} MB/s "
+            f"(seed {row['encode_seed_MBps']:.0f}, x{row['encode_speedup']:.1f}), "
+            f"decode worst {row['decode_worstcase_MBps']:.0f} MB/s, "
+            f"fast {row['decode_fastpath_MBps']:.0f} MB/s"
+        )
+    print("== staging put/get (synchronized service) ==")
+    staging = bench_staging()
+    for n, row in staging.items():
+        print(
+            f"  {n} server(s): {row['agg_ops_per_s']:.0f} ops/s "
+            f"(seed baseline {row['seed_baseline_ops_per_s']:.0f}, "
+            f"x{row['speedup']:.1f})"
+        )
+    out = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "rs_payload_bytes": RS_PAYLOAD_BYTES,
+            "staging_domain": list(STAGING_DOMAIN.shape),
+            "staging_ops": STAGING_OPS,
+        },
+        "rs": rs,
+        "staging": staging,
+    }
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    ok = rs["rs(8,3)"]["encode_speedup"] >= 3.0 and all(
+        staging[str(n)]["speedup"] >= 2.0 for n in SERVER_COUNTS if n >= 4
+    )
+    if not ok:
+        print("WARNING: perf targets missed (>=3x RS(8,3) encode, >=2x staging at 4+)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # One-command gate: lint (if ruff is installed) + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [extra pytest args]
+# Usage: scripts/check.sh [--bench] [extra pytest args]
+#   --bench   additionally run the data-path/coding microbenchmarks and
+#             refresh BENCH_micro.json at the repo root
 # Exits non-zero on the first failure.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
+
+RUN_BENCH=0
+if [[ "${1:-}" == "--bench" ]]; then
+    RUN_BENCH=1
+    shift
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
@@ -17,3 +25,8 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+if [[ "$RUN_BENCH" == "1" ]]; then
+    echo "== microbenchmarks (BENCH_micro.json) =="
+    PYTHONPATH=src python benchmarks/bench_microbench.py
+fi

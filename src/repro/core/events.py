@@ -35,9 +35,19 @@ __all__ = [
 
 
 def payload_digest(data: np.ndarray | bytes) -> str:
-    """Short stable digest of payload bytes (for replay verification)."""
+    """Short stable digest of payload bytes (for replay verification).
+
+    Contiguous arrays are hashed straight from their buffer — no
+    ``tobytes()`` staging copy, which used to double the memory traffic of
+    every logged put/get.
+    """
     if isinstance(data, np.ndarray):
-        data = np.ascontiguousarray(data).tobytes()
+        arr = np.ascontiguousarray(data)
+        try:
+            data = arr.data.cast("B")
+        except (BufferError, TypeError, ValueError):
+            # Exotic dtypes (e.g. zero-itemsize voids) fall back to a copy.
+            data = arr.tobytes()
     return hashlib.blake2b(data, digest_size=12).hexdigest()
 
 

@@ -35,7 +35,7 @@ from repro.obs import registry as _obs
 from repro.obs import trace as _trace
 from repro.staging.client import StagingClient, StagingGroup
 
-__all__ = ["WorkflowStaging", "WorkflowClient", "PutResult", "GetResult"]
+__all__ = ["WorkflowStaging", "WorkflowClient", "PutResult", "GetResult", "GetPlan"]
 
 _SUPPRESSED_PUTS = _obs.counter("staging.replay.suppressed_puts")
 _REPLAYED_GETS = _obs.counter("staging.replay.served_gets")
@@ -61,6 +61,19 @@ class GetResult:
     served_version: int
     replayed: bool
     digest: str
+
+
+@dataclass(frozen=True)
+class GetPlan:
+    """Metadata-phase decision for one get: which version to fetch and how.
+
+    Produced by :meth:`WorkflowStaging.plan_get` under the service's
+    metadata lock; the payload fetch then runs outside it (per-server locks
+    only) and the outcome is recorded by the matching commit method.
+    """
+
+    version: int
+    replayed: bool
 
 
 class WorkflowStaging:
@@ -140,42 +153,53 @@ class WorkflowStaging:
 
     # ------------------------------------------------------------------ put
 
-    def handle_put(
-        self, component: str, desc: ObjectDescriptor, data: np.ndarray, step: int
-    ) -> PutResult:
-        """Service one write request (``dspaces_put_with_log``).
-
-        Live execution stores + logs the payload; replay mode recognises the
-        request as redundant and suppresses it (paper: "omit the write
-        request due to the redundant write request from the rollback
-        recovering application").
-        """
+    def validate_put(self, desc: ObjectDescriptor, data: np.ndarray) -> np.ndarray:
+        """Coerce and shape-check a put payload (no locks required)."""
         data = np.asarray(data, dtype=np.dtype(desc.dtype))
         if tuple(data.shape) != desc.bbox.shape:
             raise StagingError(
                 f"payload shape {data.shape} != descriptor shape {desc.bbox.shape}"
             )
-        if self.enable_logging and self.in_replay(component):
-            expected = self._replay[component].peek()
-            if not expected.matches_request(EventKind.PUT, desc):
-                raise ReplayError(
-                    f"{component!r} replayed {EventKind.PUT.value} {desc}, "
-                    f"but the log expects {expected}"
-                )
-            if expected.digest != payload_digest(data):
-                raise ReplayError(
-                    f"{component!r} re-executed {desc} with different bytes than "
-                    f"its initial execution — non-deterministic replay"
-                )
-            self._replay[component].advance()
-            self._finish_replay_if_done(component)
-            _SUPPRESSED_PUTS.inc()
-            return PutResult(desc=desc, stored=False, suppressed=True, shards=0)
+        return data
 
-        shards = self._client.put(desc, data)
+    def suppress_replayed_put(
+        self, component: str, desc: ObjectDescriptor, data: np.ndarray
+    ) -> PutResult | None:
+        """Replay-suppression phase: consume the expected event, store nothing.
+
+        Returns None when the component is executing live (the caller must
+        then move the payload and call :meth:`commit_put`).
+        """
+        if not (self.enable_logging and self.in_replay(component)):
+            return None
+        expected = self._replay[component].peek()
+        if not expected.matches_request(EventKind.PUT, desc):
+            raise ReplayError(
+                f"{component!r} replayed {EventKind.PUT.value} {desc}, "
+                f"but the log expects {expected}"
+            )
+        if expected.digest != payload_digest(data):
+            raise ReplayError(
+                f"{component!r} re-executed {desc} with different bytes than "
+                f"its initial execution — non-deterministic replay"
+            )
+        self._replay[component].advance()
+        self._finish_replay_if_done(component)
+        _SUPPRESSED_PUTS.inc()
+        return PutResult(desc=desc, stored=False, suppressed=True, shards=0)
+
+    def commit_put(
+        self, component: str, desc: ObjectDescriptor, digest: str, step: int, shards: int
+    ) -> PutResult:
+        """Metadata-commit phase of a live put: log the event, apply retention.
+
+        ``digest`` is computed by the caller during the data phase so the
+        hash never runs under the metadata lock (it is ignored when logging
+        is off — pass an empty string).
+        """
         if self.enable_logging:
             queue = self._queue(component)
-            queue.record_data(EventKind.PUT, desc, payload_digest(data), step)
+            queue.record_data(EventKind.PUT, desc, digest, step)
             self.log.record_put(
                 name=desc.name,
                 version=desc.version,
@@ -190,16 +214,43 @@ class WorkflowStaging:
             floor = None
             if self.frontier_source is not None:
                 floor = self.frontier_source(desc.name)
-            for server in self.group.servers:
-                if floor is None:
+            if floor is None:
+                for server in self.group.servers:
                     server.keep_only_latest(desc.name)
-                else:
-                    latest = server.store.latest_version(desc.name)
-                    if latest is not None:
-                        server.evict_older_than_version(
-                            desc.name, min(floor, latest)
-                        )
+            else:
+                self.drop_consumed(desc.name, floor)
         return PutResult(desc=desc, stored=True, suppressed=False, shards=shards)
+
+    def drop_consumed(self, name: str, floor: int) -> None:
+        """Non-logged retention: evict versions every consumer has read.
+
+        The latest version is always kept even when fully consumed, so the
+        stale-latest fallback keeps something to serve.
+        """
+        for server in self.group.servers:
+            latest = server.store.latest_version(name)
+            if latest is not None:
+                server.evict_older_than_version(name, min(floor, latest))
+
+    def handle_put(
+        self, component: str, desc: ObjectDescriptor, data: np.ndarray, step: int
+    ) -> PutResult:
+        """Service one write request (``dspaces_put_with_log``).
+
+        Live execution stores + logs the payload; replay mode recognises the
+        request as redundant and suppresses it (paper: "omit the write
+        request due to the redundant write request from the rollback
+        recovering application"). This single-call form runs all phases
+        back-to-back; the threaded runtime drives the phases separately so
+        the data phase escapes its metadata lock.
+        """
+        data = self.validate_put(desc, data)
+        suppressed = self.suppress_replayed_put(component, desc, data)
+        if suppressed is not None:
+            return suppressed
+        shards = self._client.put(desc, data)
+        digest = payload_digest(data) if self.enable_logging else ""
+        return self.commit_put(component, desc, digest, step, shards)
 
     # ------------------------------------------------------------------ get
 
@@ -216,29 +267,9 @@ class WorkflowStaging:
         """
         replayed = False
         if self.enable_logging and self.in_replay(component):
-            expected = self._replay[component].peek()
-            if not expected.matches_request(EventKind.GET, desc):
-                raise ReplayError(
-                    f"{component!r} replayed {EventKind.GET.value} {desc}, "
-                    f"but the log expects {expected}"
-                )
+            self._check_replay_get(component, desc)
             data = self._client.get(desc)
-            digest = payload_digest(data)
-            if expected.digest != digest:
-                raise ReplayError(
-                    f"replay of {desc} for {component!r} served different bytes "
-                    f"than the initial execution ({digest} != {expected.digest})"
-                )
-            self._replay[component].advance()
-            self._finish_replay_if_done(component)
-            _REPLAYED_GETS.inc()
-            return GetResult(
-                desc=desc,
-                data=data,
-                served_version=desc.version,
-                replayed=True,
-                digest=digest,
-            )
+            return self.commit_replayed_get(component, desc, data, payload_digest(data))
 
         served_version = desc.version
         try:
@@ -252,6 +283,77 @@ class WorkflowStaging:
             served_version = latest
             data = self._client.get(desc.with_version(latest))
         digest = payload_digest(data)
+        return self.commit_get(
+            component, desc, data, digest, served_version, step, replayed=replayed
+        )
+
+    def _check_replay_get(self, component: str, desc: ObjectDescriptor) -> None:
+        """Raise unless ``desc`` matches the next event in the replay script."""
+        expected = self._replay[component].peek()
+        if not expected.matches_request(EventKind.GET, desc):
+            raise ReplayError(
+                f"{component!r} replayed {EventKind.GET.value} {desc}, "
+                f"but the log expects {expected}"
+            )
+
+    def plan_get(self, component: str, desc: ObjectDescriptor) -> GetPlan | None:
+        """Metadata phase: decide whether a get is servable right now.
+
+        Mirrors the blocking-get readiness conditions of the threaded
+        runtime: replay scripts always serve; live gets need full coverage;
+        the non-logged mode additionally allows the stale-latest fallback
+        once a newer version exists. Returns None when the caller should
+        keep waiting.
+        """
+        if self.enable_logging and self.in_replay(component):
+            self._check_replay_get(component, desc)
+            return GetPlan(version=desc.version, replayed=True)
+        if self._client.covers(desc):
+            return GetPlan(version=desc.version, replayed=False)
+        if not self.enable_logging:
+            latest = self._client.latest_version(desc.name)
+            if latest is not None and latest >= desc.version:
+                return GetPlan(version=latest, replayed=False)
+        return None
+
+    def fetch_get(self, desc: ObjectDescriptor, version: int) -> np.ndarray:
+        """Data phase: assemble the payload (per-server locks only)."""
+        if version == desc.version:
+            return self._client.get(desc)
+        return self._client.get(desc.with_version(version))
+
+    def commit_replayed_get(
+        self, component: str, desc: ObjectDescriptor, data: np.ndarray, digest: str
+    ) -> GetResult:
+        """Metadata-commit phase of a replayed get: verify and advance."""
+        expected = self._replay[component].peek()
+        if expected.digest != digest:
+            raise ReplayError(
+                f"replay of {desc} for {component!r} served different bytes "
+                f"than the initial execution ({digest} != {expected.digest})"
+            )
+        self._replay[component].advance()
+        self._finish_replay_if_done(component)
+        _REPLAYED_GETS.inc()
+        return GetResult(
+            desc=desc,
+            data=data,
+            served_version=desc.version,
+            replayed=True,
+            digest=digest,
+        )
+
+    def commit_get(
+        self,
+        component: str,
+        desc: ObjectDescriptor,
+        data: np.ndarray,
+        digest: str,
+        served_version: int,
+        step: int,
+        replayed: bool = False,
+    ) -> GetResult:
+        """Metadata-commit phase of a live get: record the event and access."""
         if self.enable_logging:
             queue = self._queue(component)
             queue.record_data(EventKind.GET, desc, digest, step)

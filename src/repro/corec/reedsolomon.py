@@ -61,23 +61,61 @@ class RSCode:
         """Length of each shard for a payload of ``nbytes``."""
         return (nbytes + self.k - 1) // self.k
 
+    def _as_buffer(self, payload: bytes | np.ndarray) -> np.ndarray:
+        buf = np.frombuffer(bytes(payload), dtype=np.uint8) if isinstance(
+            payload, (bytes, bytearray)
+        ) else np.ascontiguousarray(payload, dtype=np.uint8).reshape(-1)
+        if buf.size == 0:
+            raise EncodingError("cannot encode empty payload")
+        return buf
+
     def encode(self, payload: bytes | np.ndarray) -> list[Shard]:
         """Split ``payload`` into k data shards and compute m parity shards.
 
         The payload is zero-padded to a multiple of k; callers must remember
         the original length to strip padding after decode.
         """
-        buf = np.frombuffer(bytes(payload), dtype=np.uint8) if isinstance(
-            payload, (bytes, bytearray)
-        ) else np.ascontiguousarray(payload, dtype=np.uint8).reshape(-1)
-        if buf.size == 0:
-            raise EncodingError("cannot encode empty payload")
-        shard_len = self.shard_length(buf.size)
-        padded = np.zeros(shard_len * self.k, dtype=np.uint8)
-        padded[: buf.size] = buf
-        data_matrix = padded.reshape(self.k, shard_len)
-        coded = GF256.matmul(self.matrix, data_matrix)  # (k+m, shard_len)
-        return [Shard(index=i, data=coded[i].copy()) for i in range(self.k + self.m)]
+        return self.encode_batch([payload])[0]
+
+    def encode_batch(
+        self, payloads: list[bytes | np.ndarray]
+    ) -> list[list[Shard]]:
+        """Encode several payloads with one parity matmul.
+
+        Payloads may have different lengths; each is padded to its own shard
+        length and the padded data matrices are concatenated column-wise, so
+        the (m, k) x (k, sum-of-shard-lengths) parity product runs once for
+        the whole batch instead of once per payload. The code is systematic:
+        data shards are slices of the payload itself and never pass through
+        the field kernel.
+        """
+        if not payloads:
+            return []
+        bufs = [self._as_buffer(p) for p in payloads]
+        lens = [self.shard_length(b.size) for b in bufs]
+        total = sum(lens)
+        data = np.zeros((self.k, total), dtype=np.uint8)
+        col = 0
+        for buf, shard_len in zip(bufs, lens):
+            padded = np.zeros(shard_len * self.k, dtype=np.uint8)
+            padded[: buf.size] = buf
+            data[:, col : col + shard_len] = padded.reshape(self.k, shard_len)
+            col += shard_len
+        parity = GF256.matmul(self.matrix[self.k :, :], data)  # (m, total)
+        out: list[list[Shard]] = []
+        col = 0
+        for shard_len in lens:
+            shards = [
+                Shard(index=i, data=data[i, col : col + shard_len].copy())
+                for i in range(self.k)
+            ]
+            shards += [
+                Shard(index=self.k + j, data=parity[j, col : col + shard_len].copy())
+                for j in range(self.m)
+            ]
+            out.append(shards)
+            col += shard_len
+        return out
 
     # -------------------------------------------------------------- decode
 

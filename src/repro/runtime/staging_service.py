@@ -1,10 +1,25 @@
 """Thread-safe staging service for the threaded runtime.
 
-Wraps :class:`~repro.core.interface.WorkflowStaging` with a lock (staging
-servers service one request at a time, like a DataSpaces server thread) and
-adds the blocking read DataSpaces clients rely on: a consumer's get waits
-until the producer's version arrives. Waits are interruptible so global
-rollbacks (coordinated scheme) and shutdowns never deadlock.
+Wraps :class:`~repro.core.interface.WorkflowStaging` with a *two-tier* lock
+hierarchy and adds the blocking read DataSpaces clients rely on: a
+consumer's get waits until the producer's version arrives. Waits are
+interruptible so global rollbacks (coordinated scheme) and shutdowns never
+deadlock.
+
+Lock hierarchy (outer to inner; see DESIGN.md, performance architecture):
+
+1. **metadata lock** (``_meta``) — guards flow-control frontiers, replay
+   scripts, event queues, the data log, and the GC. Held only for the
+   metadata phases of an operation.
+2. **per-server locks** (``StagingServer.lock``) — guard one server's store
+   and index. The payload phase of a put/get holds only these, so requests
+   whose shards land on different servers move bytes concurrently.
+
+A request is serviced as *plan (meta) → move payload (server locks) → commit
+(meta)*. Snapshot/restore quiesce the data plane first (an in-flight-ops
+gate) so a coordinated checkpoint never captures a torn, half-written group.
+``parallel=False`` collapses everything back under the metadata lock — the
+seed's single-lock behaviour, kept as the measurable baseline.
 
 Also provides whole-staging snapshot/restore — under *global coordinated*
 checkpointing the staging servers are part of the global snapshot and roll
@@ -20,10 +35,10 @@ from typing import Callable
 import numpy as np
 
 from repro.core.event_queue import ReplayScript
-from repro.core.events import WChkId
-from repro.core.interface import GetResult, PutResult, WorkflowStaging
+from repro.core.events import WChkId, payload_digest
+from repro.core.interface import GetPlan, GetResult, PutResult, WorkflowStaging
 from repro.descriptors.odsc import ObjectDescriptor
-from repro.errors import StagingError
+from repro.errors import ObjectNotFound, StagingError
 from repro.obs import registry as _obs
 from repro.staging.client import StagingGroup
 
@@ -35,6 +50,9 @@ _FLOW_STALL_SECONDS = _obs.histogram("staging.service.flow_stall.seconds")
 _BLOCKING_WAITS = _obs.counter("staging.service.blocking_get.waits")
 _BLOCKING_WAIT_SECONDS = _obs.histogram("staging.service.blocking_get.wait.seconds")
 _WAITS_INTERRUPTED = _obs.counter("staging.service.waits_interrupted")
+_DATA_PHASES = _obs.counter("staging.service.data_phase.count")
+_DATA_PHASE_RETRIES = _obs.counter("staging.service.data_phase.retries")
+_QUIESCE_WAIT_SECONDS = _obs.histogram("staging.service.quiesce_wait.seconds")
 
 
 class WaitInterrupted(StagingError):
@@ -42,7 +60,7 @@ class WaitInterrupted(StagingError):
 
 
 class SynchronizedStaging:
-    """Serialized access to a WorkflowStaging plus blocking version waits."""
+    """Concurrent access to a WorkflowStaging plus blocking version waits."""
 
     def __init__(
         self,
@@ -50,6 +68,7 @@ class SynchronizedStaging:
         poll_timeout: float = 1.0,
         max_wait: float = 60.0,
         max_ahead: int = 2,
+        parallel: bool = True,
     ) -> None:
         self.staging = staging
         self.poll_timeout = poll_timeout
@@ -59,8 +78,17 @@ class SynchronizedStaging:
         # paper's "write immediately followed by read" coordination
         # (DataSpaces coupling locks) and bounds staging memory.
         self.max_ahead = max_ahead
-        self._lock = threading.RLock()
-        self._data_arrived = threading.Condition(self._lock)
+        # parallel=False serializes every request under the metadata lock
+        # (the seed's single-lock path): the benchmark baseline, and the
+        # reference the parallel path is differentially tested against.
+        self.parallel = parallel
+        self._meta = threading.RLock()
+        self._data_arrived = threading.Condition(self._meta)
+        # Data-plane quiescence gate: payload phases run outside _meta, so
+        # snapshot/restore block new data phases and wait out in-flight ones.
+        self._quiesced = threading.Condition(self._meta)
+        self._inflight = 0
+        self._excluders = 0
         self._shutdown = False
         # name -> set of consumer component names (declared couplings).
         self._flow_consumers: dict[str, set[str]] = {}
@@ -73,14 +101,47 @@ class SynchronizedStaging:
     # ------------------------------------------------------------ lifecycle
 
     def register(self, component: str) -> None:
-        with self._lock:
+        with self._meta:
             self.staging.register(component)
 
     def shutdown(self) -> None:
         """Wake every waiter with WaitInterrupted; used at teardown."""
-        with self._lock:
+        with self._meta:
             self._shutdown = True
             self._data_arrived.notify_all()
+
+    # -------------------------------------------------------- data-phase gate
+
+    def _begin_data_phase(self) -> None:
+        """Enter the data plane (caller holds ``_meta``)."""
+        while self._excluders:
+            self._quiesced.wait()
+        self._inflight += 1
+        _DATA_PHASES.inc()
+
+    def _end_data_phase(self) -> None:
+        """Leave the data plane (caller holds ``_meta``)."""
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._quiesced.notify_all()
+
+    def _abort_data_phase(self) -> None:
+        """Leave the data plane from an except path (acquires ``_meta``)."""
+        with self._meta:
+            self._end_data_phase()
+
+    def _quiesce_data_plane(self) -> None:
+        """Block new data phases and wait out in-flight ones (holds ``_meta``)."""
+        t0 = time.monotonic()
+        self._excluders += 1
+        while self._inflight:
+            self._quiesced.wait()
+        _QUIESCE_WAIT_SECONDS.record(time.monotonic() - t0)
+
+    def _release_data_plane(self) -> None:
+        self._excluders -= 1
+        if self._excluders == 0:
+            self._quiesced.notify_all()
 
     # ------------------------------------------------------------------ ops
 
@@ -90,7 +151,7 @@ class SynchronizedStaging:
         Feeds both flow control (producer pacing) and the data log's
         GC-protection of unread versions.
         """
-        with self._lock:
+        with self._meta:
             self._flow_consumers.setdefault(name, set()).add(consumer)
             if self.staging.enable_logging:
                 self.staging.declare_coupling(name, consumer)
@@ -102,13 +163,13 @@ class SynchronizedStaging:
         the producer — critical after a coordinated rollback rewinds read
         frontiers below versions the parked consumer will never re-read.
         """
-        with self._lock:
+        with self._meta:
             self._retired.add(consumer)
             self._data_arrived.notify_all()
 
     def rejoin_consumer(self, consumer: str) -> None:
         """Re-admit a consumer dragged back below its final step."""
-        with self._lock:
+        with self._meta:
             self._retired.discard(consumer)
 
     def _min_frontier(self, name: str) -> int | None:
@@ -126,6 +187,8 @@ class SynchronizedStaging:
         frontier = self._min_frontier(name)
         return None if frontier is None else frontier + 1
 
+    # ------------------------------------------------------------------ put
+
     def put(
         self,
         component: str,
@@ -140,8 +203,9 @@ class SynchronizedStaging:
         versions behind this write (coupling flow control). Replay-suppressed
         writes never block: their data already flowed in the initial run.
         """
+        data = self.staging.validate_put(desc, data)
         t_req = time.monotonic()
-        with self._lock:
+        with self._meta:
             _LOCK_WAIT.record(time.monotonic() - t_req)
             # The flow-control budget starts once the request is being
             # serviced: lock contention must not eat into max_wait.
@@ -169,9 +233,29 @@ class SynchronizedStaging:
                 self._data_arrived.wait(timeout=self.poll_timeout)
             if stalled_since is not None:
                 _FLOW_STALL_SECONDS.record(time.monotonic() - stalled_since)
-            result = self.staging.handle_put(component, desc, data, step)
+            suppressed = self.staging.suppress_replayed_put(component, desc, data)
+            if suppressed is not None:
+                self._data_arrived.notify_all()
+                return suppressed
+            if not self.parallel:
+                result = self.staging.handle_put(component, desc, data, step)
+                self._data_arrived.notify_all()
+                return result
+            self._begin_data_phase()
+        # ---- data phase: payload moves under per-server locks only -------
+        try:
+            shards = self.staging.client.put(desc, data)
+            digest = payload_digest(data) if self.staging.enable_logging else ""
+        except BaseException:
+            self._abort_data_phase()
+            raise
+        with self._meta:
+            self._end_data_phase()
+            result = self.staging.commit_put(component, desc, digest, step, shards)
             self._data_arrived.notify_all()
             return result
+
+    # ------------------------------------------------------------------ get
 
     def get_blocking(
         self,
@@ -186,67 +270,132 @@ class SynchronizedStaging:
         with :class:`WaitInterrupted` (e.g. a coordinated rollback was
         requested while this consumer waited for a version the rolled-back
         producer will never write).
+
+        In the parallel path the payload is assembled outside the metadata
+        lock; if a concurrent eviction or rollback removes the planned
+        version mid-fetch, the fetch raises and the wait loop simply resumes
+        (the interrupt predicate or deadline bounds the retry).
         """
         t_req = time.monotonic()
-        with self._lock:
-            t_start = time.monotonic()
-            _LOCK_WAIT.record(t_start - t_req)
-            # As in put(): the wait budget excludes lock-acquisition time.
-            deadline = t_start + self.max_wait
-            waited = False
-            while True:
-                if self._shutdown:
-                    _WAITS_INTERRUPTED.inc()
-                    raise WaitInterrupted("staging service shut down")
-                if interrupt is not None and interrupt():
-                    _WAITS_INTERRUPTED.inc()
-                    raise WaitInterrupted(f"wait for {desc} interrupted")
-                if time.monotonic() > deadline:
-                    _WAITS_INTERRUPTED.inc()
-                    raise WaitInterrupted(
-                        f"{component!r} waited over {self.max_wait}s for {desc}"
-                    )
-                result = None
-                client = self.staging.client
-                if self.staging.in_replay(component):
-                    # Replay never blocks: the log retains everything the
-                    # script will serve.
-                    result = self.staging.handle_get(component, desc, step)
-                elif client.covers(desc):
-                    result = self.staging.handle_get(component, desc, step)
-                elif (
-                    # In non-logged mode a stale-latest fallback may apply,
-                    # but only once *some* newer version exists.
-                    not self.staging.enable_logging
-                    and (latest := client.latest_version(desc.name)) is not None
-                    and latest >= desc.version
-                ):
-                    result = self.staging.handle_get(component, desc, step)
-                if result is not None:
-                    if waited:
-                        _BLOCKING_WAIT_SECONDS.record(time.monotonic() - t_start)
-                    key = (desc.name, component)
-                    self._frontier[key] = max(
-                        self._frontier.get(key, -1), result.served_version
-                    )
-                    # Producers may be blocked on this consumer's progress.
-                    self._data_arrived.notify_all()
-                    return result
+        t_start = time.monotonic()
+        _LOCK_WAIT.record(0.0 if not self.parallel else t_start - t_req)
+        deadline = t_start + self.max_wait
+        waited = False
+        while True:
+            plan: GetPlan | None = None
+            with self._meta:
                 if not waited:
-                    waited = True
-                    _BLOCKING_WAITS.inc()
-                self._data_arrived.wait(timeout=self.poll_timeout)
+                    # As in put(): the wait budget excludes lock-acquisition
+                    # time; re-anchor it now that the lock is held once.
+                    deadline = max(deadline, time.monotonic() + self.max_wait)
+                while True:
+                    if self._shutdown:
+                        _WAITS_INTERRUPTED.inc()
+                        raise WaitInterrupted("staging service shut down")
+                    if interrupt is not None and interrupt():
+                        _WAITS_INTERRUPTED.inc()
+                        raise WaitInterrupted(f"wait for {desc} interrupted")
+                    if time.monotonic() > deadline:
+                        _WAITS_INTERRUPTED.inc()
+                        raise WaitInterrupted(
+                            f"{component!r} waited over {self.max_wait}s for {desc}"
+                        )
+                    if not self.parallel:
+                        result = self._serve_get_serial(component, desc, step)
+                        if result is not None:
+                            if waited:
+                                _BLOCKING_WAIT_SECONDS.record(
+                                    time.monotonic() - t_start
+                                )
+                            self._record_read(component, desc, result)
+                            return result
+                    else:
+                        plan = self.staging.plan_get(component, desc)
+                        if plan is not None:
+                            self._begin_data_phase()
+                            break
+                    if not waited:
+                        waited = True
+                        _BLOCKING_WAITS.inc()
+                    self._data_arrived.wait(timeout=self.poll_timeout)
+            # ---- data phase: assemble payload under per-server locks -----
+            try:
+                data = self.staging.fetch_get(desc, plan.version)
+                digest = payload_digest(data)
+            except ObjectNotFound:
+                # Planned version vanished mid-fetch (eviction/rollback race);
+                # go back to waiting.
+                self._abort_data_phase()
+                _DATA_PHASE_RETRIES.inc()
+                continue
+            except BaseException:
+                self._abort_data_phase()
+                raise
+            with self._meta:
+                self._end_data_phase()
+                if plan.replayed:
+                    result = self.staging.commit_replayed_get(
+                        component, desc, data, digest
+                    )
+                else:
+                    result = self.staging.commit_get(
+                        component, desc, data, digest, plan.version, step
+                    )
+                if waited:
+                    _BLOCKING_WAIT_SECONDS.record(time.monotonic() - t_start)
+                self._record_read(component, desc, result)
+                return result
+
+    def _serve_get_serial(
+        self, component: str, desc: ObjectDescriptor, step: int
+    ) -> GetResult | None:
+        """One readiness probe + serve attempt fully under the metadata lock
+        (the seed's single-lock path; caller holds ``_meta``)."""
+        client = self.staging.client
+        if self.staging.in_replay(component):
+            # Replay never blocks: the log retains everything the script
+            # will serve.
+            return self.staging.handle_get(component, desc, step)
+        if client.covers(desc):
+            return self.staging.handle_get(component, desc, step)
+        if (
+            # In non-logged mode a stale-latest fallback may apply, but only
+            # once *some* newer version exists.
+            not self.staging.enable_logging
+            and (latest := client.latest_version(desc.name)) is not None
+            and latest >= desc.version
+        ):
+            return self.staging.handle_get(component, desc, step)
+        return None
+
+    def _record_read(
+        self, component: str, desc: ObjectDescriptor, result: GetResult
+    ) -> None:
+        """Advance the consumer's frontier; wake producers it may unblock
+        (caller holds ``_meta``)."""
+        key = (desc.name, component)
+        self._frontier[key] = max(self._frontier.get(key, -1), result.served_version)
+        if not self.staging.enable_logging:
+            # Original-DataSpaces retention drops consumed versions at read
+            # time, not only at the producer's next put: this keeps the
+            # eviction point deterministic regardless of how producer and
+            # consumer interleave (the ``In`` baseline's inconsistency
+            # demonstration depends on it).
+            floor = self._unconsumed_floor(desc.name)
+            if floor is not None:
+                self.staging.drop_consumed(desc.name, floor)
+        self._data_arrived.notify_all()
 
     # ---------------------------------------------------- workflow interface
 
     def workflow_check(self, component: str, step: int, durable: bool = True) -> WChkId:
-        with self._lock:
+        with self._meta:
             return self.staging.handle_check(component, step, durable=durable)
 
     def workflow_restart(
         self, component: str, step: int, durable_only: bool = False
     ) -> ReplayScript:
-        with self._lock:
+        with self._meta:
             script = self.staging.handle_restart(
                 component, step, durable_only=durable_only
             )
@@ -256,7 +405,7 @@ class SynchronizedStaging:
             return script
 
     def in_replay(self, component: str) -> bool:
-        with self._lock:
+        with self._meta:
             return self.staging.in_replay(component)
 
     # ------------------------------------------------------------- snapshot
@@ -266,13 +415,18 @@ class SynchronizedStaging:
 
         Includes the consumer read frontiers: they are coupling state, and a
         global rollback must rewind them alongside the stores or retention
-        would evict versions the rolled-back consumers still need.
+        would evict versions the rolled-back consumers still need. The data
+        plane is quiesced first so no in-flight put tears the snapshot.
         """
-        with self._lock:
-            return {
-                "servers": [srv.snapshot() for srv in self.group.servers],
-                "frontier": dict(self._frontier),
-            }
+        with self._meta:
+            self._quiesce_data_plane()
+            try:
+                return {
+                    "servers": [srv.snapshot() for srv in self.group.servers],
+                    "frontier": dict(self._frontier),
+                }
+            finally:
+                self._release_data_plane()
 
     def restore(self, snap: dict) -> None:
         """Roll staging back to a captured snapshot.
@@ -282,16 +436,20 @@ class SynchronizedStaging:
         leave the metadata layer with stale entries for rolled-back versions
         and missing entries for versions the snapshot re-adds.
         """
-        with self._lock:
+        with self._meta:
             snaps = snap["servers"]
             if len(snaps) != len(self.group.servers):
                 raise StagingError(
                     f"snapshot covers {len(snaps)} servers, group has "
                     f"{len(self.group.servers)}"
                 )
-            for srv, s in zip(self.group.servers, snaps):
-                srv.restore(s)
-            self._frontier = dict(snap["frontier"])
+            self._quiesce_data_plane()
+            try:
+                for srv, s in zip(self.group.servers, snaps):
+                    srv.restore(s)
+                self._frontier = dict(snap["frontier"])
+            finally:
+                self._release_data_plane()
             self._data_arrived.notify_all()
 
     # -------------------------------------------------------------- metrics
@@ -301,9 +459,9 @@ class SynchronizedStaging:
         return self.staging.group
 
     def memory_bytes(self) -> int:
-        with self._lock:
+        with self._meta:
             return self.staging.memory_bytes()
 
     def logging_overhead(self) -> float:
-        with self._lock:
+        with self._meta:
             return self.staging.logging_overhead()

@@ -4,17 +4,28 @@
 ``put(desc, array)`` scatters the payload to owning servers, ``get(desc)``
 gathers and assembles it. The paper's logging interface in
 :mod:`repro.core.interface` layers the event queue on top of this.
+
+Shard I/O fans out across servers through a process-wide thread pool: each
+task serves all of one request's shards for one server, serialized only by
+that server's lock, so requests touching different servers proceed in
+parallel (put copies and get assembly release the GIL inside NumPy). The
+fan-out is gated on payload size — for small shards the submit overhead
+exceeds the copy, so those stay on the caller's thread.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
 from time import perf_counter
 
 import numpy as np
 
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound
+from repro.geometry.bbox import BBox
 from repro.geometry.domain import Domain
 from repro.obs import registry as _obs
 from repro.staging.hashing import PlacementMap
@@ -27,6 +38,33 @@ _PUT_FANOUT = _obs.histogram("staging.client.put.shards")
 _PUT_SECONDS = _obs.histogram("staging.client.put.seconds")
 _GET_COUNT = _obs.counter("staging.client.get.count")
 _GET_SECONDS = _obs.histogram("staging.client.get.seconds")
+_POOL_TASKS = _obs.counter("staging.pool.tasks")
+_POOL_PARALLEL_OPS = _obs.counter("staging.pool.parallel_ops")
+
+# Fan out to the pool only when a request's payload is at least this large;
+# below it, pool submit/wake latency exceeds the shard memcpy.
+PARALLEL_THRESHOLD_BYTES = 256 * 1024
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    """Process-wide shard-I/O pool, created on first parallel request.
+
+    One shared pool (rather than one per group) bounds thread count across
+    the many short-lived groups tests and benchmarks create.
+    """
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                workers = min(16, (os.cpu_count() or 2) * 2)
+                _pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="staging-io"
+                )
+                _obs.gauge("staging.pool.workers").set(workers)
+    return _pool
 
 
 @dataclass
@@ -34,12 +72,16 @@ class StagingGroup:
     """A set of staging servers plus the placement map clients use.
 
     This is the process-group-level object a workflow creates once and hands
-    to every component's client.
+    to every component's client. ``parallel=False`` pins every request to
+    the caller's thread (the seed's serial data path — kept as the
+    measurable baseline and for single-core runs).
     """
 
     domain: Domain
     servers: list[StagingServer]
     placement: PlacementMap
+    parallel: bool = field(default=True, compare=False)
+    parallel_threshold: int = field(default=PARALLEL_THRESHOLD_BYTES, compare=False)
 
     @classmethod
     def create(
@@ -48,11 +90,26 @@ class StagingGroup:
         num_servers: int,
         blocks_per_server: int = 4,
         curve: str = "hilbert",
+        parallel: bool | None = None,
     ) -> "StagingGroup":
-        """Construct ``num_servers`` empty servers and their placement map."""
+        """Construct ``num_servers`` empty servers and their placement map.
+
+        ``parallel=None`` (the default) enables pool fan-out only when the
+        host has more than one CPU: on a single core, shipping shard memcpy
+        to worker threads is pure overhead. Pass True/False to force.
+        """
+        if parallel is None:
+            parallel = (os.cpu_count() or 1) > 1
         placement = PlacementMap(domain, num_servers, blocks_per_server, curve)
         servers = [StagingServer(i) for i in range(num_servers)]
-        return cls(domain=domain, servers=servers, placement=placement)
+        return cls(
+            domain=domain, servers=servers, placement=placement, parallel=parallel
+        )
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The shard-I/O pool this group fans out on."""
+        return _shared_pool()
 
     @property
     def total_bytes(self) -> int:
@@ -64,12 +121,41 @@ class StagingGroup:
         return [s.nbytes for s in self.servers]
 
 
+def _await_all(futures: list[Future]) -> None:
+    """Wait for every task, then raise the first failure (if any).
+
+    Waiting for all before raising keeps server state deterministic: no
+    task is abandoned mid-flight while the caller unwinds.
+    """
+    wait(futures)
+    for f in futures:
+        exc = f.exception()
+        if exc is not None:
+            raise exc
+
+
 class StagingClient:
     """Per-component handle for geometric put/get against a StagingGroup."""
 
     def __init__(self, group: StagingGroup, client_id: str = "client") -> None:
         self.group = group
         self.client_id = client_id
+
+    @staticmethod
+    def _by_server(shards: list[tuple[int, BBox]]) -> dict[int, list[BBox]]:
+        """Group a shard list by owning server (preserves shard order)."""
+        by_server: dict[int, list[BBox]] = {}
+        for server_id, sub in shards:
+            by_server.setdefault(server_id, []).append(sub)
+        return by_server
+
+    def _use_pool(self, by_server: dict[int, list[BBox]], nbytes: int) -> bool:
+        """Whether to fan this request out across the shard-I/O pool."""
+        return (
+            self.group.parallel
+            and nbytes >= self.group.parallel_threshold
+            and len(by_server) >= 2
+        )
 
     # ------------------------------------------------------------------ put
 
@@ -81,13 +167,31 @@ class StagingClient:
         t0 = perf_counter()
         data = np.asarray(data)
         shards = self.group.placement.shards(desc.bbox)
-        for server_id, sub in shards:
-            sub_desc = desc.with_bbox(sub)
-            self.group.servers[server_id].put(sub_desc, data[sub.slices(desc.bbox)])
+        by_server = self._by_server(shards)
+        if not self._use_pool(by_server, int(data.nbytes)):
+            for server_id, boxes in by_server.items():
+                self._scatter_to(server_id, boxes, desc, data)
+        else:
+            _POOL_PARALLEL_OPS.inc()
+            _POOL_TASKS.inc(len(by_server))
+            pool = self.group.executor
+            _await_all(
+                [
+                    pool.submit(self._scatter_to, server_id, boxes, desc, data)
+                    for server_id, boxes in by_server.items()
+                ]
+            )
         _PUT_COUNT.inc()
         _PUT_FANOUT.record(len(shards))
         _PUT_SECONDS.record(perf_counter() - t0)
         return len(shards)
+
+    def _scatter_to(
+        self, server_id: int, boxes: list[BBox], desc: ObjectDescriptor, data: np.ndarray
+    ) -> None:
+        self.group.servers[server_id].put_many(
+            [(desc.with_bbox(sub), data[sub.slices(desc.bbox)]) for sub in boxes]
+        )
 
     # ------------------------------------------------------------------ get
 
@@ -98,12 +202,34 @@ class StagingClient:
         if not shards:
             raise ObjectNotFound(f"{desc}: region outside staged domain")
         out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
-        for server_id, sub in shards:
-            sub_desc = desc.with_bbox(sub)
-            out[sub.slices(desc.bbox)] = self.group.servers[server_id].get(sub_desc)
+        by_server = self._by_server(shards)
+        if not self._use_pool(by_server, int(out.nbytes)):
+            for server_id, boxes in by_server.items():
+                self._gather_from(server_id, boxes, desc, out)
+        else:
+            _POOL_PARALLEL_OPS.inc()
+            _POOL_TASKS.inc(len(by_server))
+            pool = self.group.executor
+            # Tasks write disjoint sub-regions of `out`; no synchronization
+            # on the buffer is needed.
+            _await_all(
+                [
+                    pool.submit(self._gather_from, server_id, boxes, desc, out)
+                    for server_id, boxes in by_server.items()
+                ]
+            )
         _GET_COUNT.inc()
         _GET_SECONDS.record(perf_counter() - t0)
         return out
+
+    def _gather_from(
+        self, server_id: int, boxes: list[BBox], desc: ObjectDescriptor, out: np.ndarray
+    ) -> None:
+        parts = self.group.servers[server_id].get_many(
+            [desc.with_bbox(sub) for sub in boxes]
+        )
+        for sub, part in zip(boxes, parts):
+            out[sub.slices(desc.bbox)] = part
 
     def covers(self, desc: ObjectDescriptor) -> bool:
         """True when every owning server can serve its shard of ``desc``."""
@@ -111,13 +237,17 @@ class StagingClient:
         if not shards:
             return False
         return all(
-            self.group.servers[server_id].covers(desc.with_bbox(sub))
-            for server_id, sub in shards
+            self.group.servers[server_id].covers_all(
+                [desc.with_bbox(sub) for sub in boxes]
+            )
+            for server_id, boxes in self._by_server(shards).items()
         )
 
     def latest_version(self, name: str) -> int | None:
         """Highest version of ``name`` present on any server."""
-        versions: set[int] = set()
+        latest: int | None = None
         for server in self.group.servers:
-            versions.update(server.query_versions(name))
-        return max(versions) if versions else None
+            versions = server.query_versions(name)
+            if versions and (latest is None or versions[-1] > latest):
+                latest = versions[-1]
+        return latest

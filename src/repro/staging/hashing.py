@@ -4,6 +4,13 @@ DataSpaces shards the global domain into fixed distribution blocks and maps
 each block to a server through a space-filling curve, giving spatial locality
 (neighbouring blocks usually live on the same server) and balanced load
 (contiguous SFC ranges are split evenly across servers).
+
+Lookups are grid arithmetic, not scans: the blocks form a regular grid, so
+``server_of_point`` inverts the remainder-aware cut in O(ndim) and
+``shards`` visits only the O(overlapping) grid cells a box touches. Repeated
+queries for the same box (the norm in coupled workflows, which write the
+same decomposition every step) hit a bounded memo — the same trick as
+DataSpaces clients caching DHT query results.
 """
 
 from __future__ import annotations
@@ -16,6 +23,10 @@ from repro.geometry.domain import Domain, grid_decompose
 from repro.geometry.sfc import bits_for_extent, hilbert_encode, morton_encode
 
 __all__ = ["PlacementMap"]
+
+# Bounded memo of shards() results per PlacementMap (FIFO eviction). Coupled
+# workflows query a handful of distinct boxes over and over.
+_SHARD_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -69,31 +80,57 @@ class PlacementMap:
         self.grid = grid
         blocks = grid_decompose(domain.bbox, grid)
 
+        # Per-dimension split geometry (remainder-aware: the first `rem`
+        # blocks along a dimension are one cell wider).
+        self._splits = tuple(
+            divmod(domain.shape[d], grid[d]) for d in range(domain.ndim)
+        )
+
         bits = max(bits_for_extent(g) for g in grid)
         encode = hilbert_encode if curve == "hilbert" else morton_encode
 
-        def block_coord(b: BBox) -> tuple[int, ...]:
-            # Grid coordinate of the block from its low corner.
-            coord = []
-            for d in range(domain.ndim):
-                size, rem = divmod(domain.shape[d], grid[d])
-                # Invert the remainder-aware cut: first `rem` blocks are size+1.
-                lo = b.lo[d]
-                wide = (size + 1) * rem
-                if lo < wide:
-                    coord.append(lo // (size + 1))
-                else:
-                    coord.append(rem + (lo - wide) // size if size else rem)
-            return tuple(coord)
-
         coded = sorted(
-            (encode(block_coord(b), bits), b) for b in blocks
+            (encode(self._coord_of_point(b.lo), bits), b) for b in blocks
         )
         n = len(coded)
         self._blocks: list[_Block] = []
         for i, (code, bbox) in enumerate(coded):
             server = min(i * num_servers // n, num_servers - 1)
             self._blocks.append(_Block(bbox=bbox, sfc_code=code, server=server))
+
+        # Grid-coordinate index over the same blocks: _grid_index[flat] is
+        # the block at grid coordinate c, flat = sum(c[d] * stride[d]).
+        strides = [1] * domain.ndim
+        for d in range(domain.ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * grid[d + 1]
+        self._strides = tuple(strides)
+        self._grid_index: list[_Block | None] = [None] * (strides[0] * grid[0])
+        for blk in self._blocks:
+            coord = self._coord_of_point(blk.bbox.lo)
+            flat = sum(c * s for c, s in zip(coord, strides))
+            self._grid_index[flat] = blk
+        self._shard_cache: dict[BBox, list[tuple[int, BBox]]] = {}
+
+    # ------------------------------------------------------------ grid math
+
+    def _coord_of_point(self, point: tuple[int, ...]) -> tuple[int, ...]:
+        """Grid coordinate of the block containing ``point`` (O(ndim))."""
+        coord = []
+        for d, (size, rem) in enumerate(self._splits):
+            # Invert the remainder-aware cut: first `rem` blocks are size+1.
+            p = point[d]
+            wide = (size + 1) * rem
+            if p < wide:
+                coord.append(p // (size + 1))
+            else:
+                coord.append(rem + (p - wide) // size if size else rem)
+        return tuple(coord)
+
+    def _block_at(self, coord: tuple[int, ...]) -> _Block:
+        flat = sum(c * s for c, s in zip(coord, self._strides))
+        blk = self._grid_index[flat]
+        assert blk is not None, f"grid cell {coord} has no block"
+        return blk
 
     # ----------------------------------------------------------------- api
 
@@ -102,24 +139,49 @@ class PlacementMap:
         return len(self._blocks)
 
     def server_of_point(self, point: tuple[int, ...]) -> int:
-        """Server owning the block containing ``point``."""
-        for blk in self._blocks:
-            if blk.bbox.contains_point(point):
-                return blk.server
-        raise GeometryError(f"point {point} outside domain {self.domain.shape}")
+        """Server owning the block containing ``point`` (O(1) grid lookup)."""
+        if not self.domain.bbox.contains_point(point):
+            raise GeometryError(f"point {point} outside domain {self.domain.shape}")
+        return self._block_at(self._coord_of_point(point)).server
 
     def shards(self, bbox: BBox) -> list[tuple[int, BBox]]:
         """Split ``bbox`` into per-server shards.
 
         Returns ``(server, sub-box)`` pairs covering exactly the intersection
-        of ``bbox`` with the domain; sub-boxes are disjoint.
+        of ``bbox`` with the domain; sub-boxes are disjoint. Visits only the
+        grid cells the box overlaps and memoises the result per box.
         """
+        cached = self._shard_cache.get(bbox)
+        if cached is not None:
+            return list(cached)
+        clipped = self.domain.bbox.intersect(bbox)
+        if clipped is None:
+            return []
+        lo_coord = self._coord_of_point(clipped.lo)
+        hi_coord = self._coord_of_point(tuple(h - 1 for h in clipped.hi))
         out: list[tuple[int, BBox]] = []
-        for blk in self._blocks:
+        coord = list(lo_coord)
+        ndim = len(coord)
+        while True:
+            blk = self._block_at(tuple(coord))
             overlap = blk.bbox.intersect(bbox)
             if overlap is not None:
                 out.append((blk.server, overlap))
-        return out
+            # Odometer increment over [lo_coord, hi_coord].
+            d = ndim - 1
+            while d >= 0:
+                if coord[d] < hi_coord[d]:
+                    coord[d] += 1
+                    break
+                coord[d] = lo_coord[d]
+                d -= 1
+            if d < 0:
+                break
+        if len(self._shard_cache) >= _SHARD_CACHE_MAX:
+            # FIFO eviction: drop the oldest insertion (dicts keep order).
+            self._shard_cache.pop(next(iter(self._shard_cache)))
+        self._shard_cache[bbox] = out
+        return list(out)
 
     def servers_of(self, bbox: BBox) -> list[int]:
         """Sorted distinct servers touched by ``bbox``."""

@@ -4,6 +4,12 @@ Tracks which (name, version) regions a server holds so queries can be
 answered without touching payload bytes. This mirrors the DHT metadata layer
 of DataSpaces: clients first query the index to learn which fragments exist,
 then fetch payloads.
+
+Aggregates are maintained incrementally: byte totals, entry counts, and the
+per-name version sets are updated on insert/remove instead of being
+recomputed by full iteration — these are read on every flow-control check
+and memory-bench sample, so they must be O(1). The running totals are
+asserted against full recomputes in the store/index lockstep property test.
 """
 
 from __future__ import annotations
@@ -30,22 +36,43 @@ class SpatialIndex:
     """Per-server metadata index over fragment descriptors.
 
     A flat per-(name, version) list is sufficient here: server-local fragment
-    counts are small (one per producer rank per step), and correctness — not
-    asymptotics — is what the reproduction must preserve.
+    counts are small (one per producer rank per step). Aggregates (bytes,
+    counts, version sets) are incremental so the metadata path never scans.
     """
 
     _entries: dict[tuple[str, int], list[IndexEntry]] = field(default_factory=dict)
+    _versions: dict[str, set[int]] = field(default_factory=dict)
+    _total_bytes: int = 0
+    _logged_bytes: int = 0
+    _count: int = 0
 
     def insert(self, desc: ObjectDescriptor, nbytes: int, logged: bool = False) -> IndexEntry:
         """Index one fragment; returns the entry created."""
         entry = IndexEntry(desc=desc, nbytes=nbytes, logged=logged)
         self._entries.setdefault(desc.key, []).append(entry)
+        self._versions.setdefault(desc.name, set()).add(desc.version)
+        self._total_bytes += nbytes
+        if logged:
+            self._logged_bytes += nbytes
+        self._count += 1
         return entry
 
     def remove_version(self, name: str, version: int) -> int:
         """Drop all entries for (name, version); returns entries removed."""
         entries = self._entries.pop((name, version), None)
-        return len(entries) if entries else 0
+        if not entries:
+            return 0
+        versions = self._versions.get(name)
+        if versions is not None:
+            versions.discard(version)
+            if not versions:
+                del self._versions[name]
+        for e in entries:
+            self._total_bytes -= e.nbytes
+            if e.logged:
+                self._logged_bytes -= e.nbytes
+        self._count -= len(entries)
+        return len(entries)
 
     def query(self, name: str, version: int, region: BBox | None = None) -> list[IndexEntry]:
         """Entries for (name, version) overlapping ``region`` (or all)."""
@@ -55,12 +82,12 @@ class SpatialIndex:
         return [e for e in entries if e.desc.bbox.intersects(region)]
 
     def versions(self, name: str) -> list[int]:
-        """Sorted versions indexed for ``name``."""
-        return sorted({v for (n, v) in self._entries if n == name})
+        """Sorted versions indexed for ``name`` (per-name set, no key scan)."""
+        return sorted(self._versions.get(name, ()))
 
     def names(self) -> list[str]:
         """Sorted distinct variable names indexed."""
-        return sorted({n for (n, _v) in self._entries})
+        return sorted(self._versions)
 
     def covered(self, name: str, version: int, region: BBox) -> bool:
         """True when indexed fragments fully cover ``region``."""
@@ -79,28 +106,43 @@ class SpatialIndex:
         """Capture the index for coordinated checkpointing.
 
         Entries are immutable, so only the container structure is copied —
-        the same in-place convention as :meth:`ObjectStore.snapshot`.
+        the same in-place convention as :meth:`ObjectStore.snapshot`. The
+        aggregates are derived state and are rebuilt on restore.
         """
         return {"entries": {k: list(v) for k, v in self._entries.items()}}
 
     def restore(self, snap: dict) -> None:
         """Roll the index back to a previously captured snapshot."""
         self._entries = {k: list(v) for k, v in snap["entries"].items()}
+        self._recount()
 
     def clear(self) -> None:
         """Drop every entry."""
         self._entries.clear()
+        self._versions.clear()
+        self._total_bytes = 0
+        self._logged_bytes = 0
+        self._count = 0
+
+    def _recount(self) -> None:
+        """Rebuild the incremental aggregates from ``_entries`` (restore path)."""
+        self._versions = {}
+        self._total_bytes = 0
+        self._logged_bytes = 0
+        self._count = 0
+        for (name, version), entries in self._entries.items():
+            self._versions.setdefault(name, set()).add(version)
+            self._count += len(entries)
+            for e in entries:
+                self._total_bytes += e.nbytes
+                if e.logged:
+                    self._logged_bytes += e.nbytes
 
     # ------------------------------------------------------------- metrics
 
     def nbytes(self, logged_only: bool = False) -> int:
-        """Total indexed payload bytes (optionally only logged entries)."""
-        total = 0
-        for entries in self._entries.values():
-            for e in entries:
-                if not logged_only or e.logged:
-                    total += e.nbytes
-        return total
+        """Total indexed payload bytes (optionally only logged entries); O(1)."""
+        return self._logged_bytes if logged_only else self._total_bytes
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._entries.values())
+        return self._count

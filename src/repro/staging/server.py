@@ -13,6 +13,7 @@ operation boundary (property-tested in tests/staging).
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 
 import numpy as np
@@ -40,12 +41,20 @@ class StagingServer:
     The server does not know the placement map; clients are responsible for
     sending each server only the shards it owns (exactly as in DataSpaces,
     where the client library computes DHT placement).
+
+    Each server owns one reentrant lock guarding its store and index, so
+    requests for *different* servers proceed in parallel while requests for
+    the same server serialize — the paper's one-service-thread-per-server
+    model. The lock is the innermost tier of the lock hierarchy (see
+    DESIGN.md, performance architecture): holders never acquire any other
+    lock, so lock ordering is trivially acyclic.
     """
 
     def __init__(self, server_id: int) -> None:
         self.server_id = server_id
         self.store = ObjectStore()
         self.index = SpatialIndex()
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------ ops
 
@@ -58,47 +67,89 @@ class StagingServer:
         store drops) are not double-counted.
         """
         t0 = perf_counter()
-        before = self.store.fragment_count(desc.name, desc.version)
-        obj = self.store.put(desc, data)
-        if self.store.fragment_count(desc.name, desc.version) > before:
-            self.index.insert(desc, obj.nbytes)
+        with self.lock:
+            obj = self._put_locked(desc, data)
         _PUT_COUNT.inc()
         _PUT_BYTES.inc(obj.nbytes)
         _PUT_SECONDS.record(perf_counter() - t0)
         return obj
 
+    def _put_locked(self, desc: ObjectDescriptor, data: np.ndarray) -> StoredObject:
+        before = self.store.fragment_count(desc.name, desc.version)
+        obj = self.store.put(desc, data)
+        if self.store.fragment_count(desc.name, desc.version) > before:
+            self.index.insert(desc, obj.nbytes)
+        return obj
+
+    def put_many(
+        self, items: list[tuple[ObjectDescriptor, np.ndarray]]
+    ) -> list[StoredObject]:
+        """Store a batch of fragments under one lock acquisition.
+
+        One request often lands several sub-boxes on the same server (a box
+        overlapping many of that server's distribution blocks); batching
+        amortises the lock round-trip and the metric updates across them.
+        """
+        t0 = perf_counter()
+        with self.lock:
+            objs = [self._put_locked(desc, data) for desc, data in items]
+        _PUT_COUNT.inc(len(items))
+        _PUT_BYTES.inc(sum(o.nbytes for o in objs))
+        _PUT_SECONDS.record(perf_counter() - t0)
+        return objs
+
     def get(self, desc: ObjectDescriptor) -> np.ndarray:
         """Assemble and return the requested region."""
         t0 = perf_counter()
         try:
-            return self.store.get(desc)
+            with self.lock:
+                return self.store.get(desc)
         finally:
             _GET_COUNT.inc()
             _GET_SECONDS.record(perf_counter() - t0)
 
+    def get_many(self, descs: list[ObjectDescriptor]) -> list[np.ndarray]:
+        """Assemble a batch of regions under one lock acquisition."""
+        t0 = perf_counter()
+        try:
+            with self.lock:
+                return [self.store.get(desc) for desc in descs]
+        finally:
+            _GET_COUNT.inc(len(descs))
+            _GET_SECONDS.record(perf_counter() - t0)
+
     def covers(self, desc: ObjectDescriptor) -> bool:
         """True when this server can fully serve ``desc``."""
-        return self.store.covers(desc)
+        with self.lock:
+            return self.store.covers(desc)
+
+    def covers_all(self, descs: list[ObjectDescriptor]) -> bool:
+        """True when every region in the batch is fully servable."""
+        with self.lock:
+            return all(self.store.covers(desc) for desc in descs)
 
     def query_versions(self, name: str) -> list[int]:
         """Versions of ``name`` (possibly partial) on this server."""
-        return self.store.versions(name)
+        with self.lock:
+            return self.store.versions(name)
 
     def evict(self, name: str, version: int) -> int:
         """Drop (name, version); returns bytes freed."""
-        self.index.remove_version(name, version)
-        freed = self.store.evict(name, version)
+        with self.lock:
+            self.index.remove_version(name, version)
+            freed = self.store.evict(name, version)
         _EVICT_COUNT.inc()
         _EVICT_BYTES.inc(freed)
         return freed
 
     def evict_older_than_version(self, name: str, version: int) -> int:
         """Drop versions of ``name`` strictly below ``version``; returns bytes."""
-        freed = 0
-        for v in list(self.store.versions(name)):
-            if v < version:
-                freed += self.evict(name, v)
-        return freed
+        with self.lock:
+            freed = 0
+            for v in list(self.store.versions(name)):
+                if v < version:
+                    freed += self.evict(name, v)
+            return freed
 
     def keep_only_latest(self, name: str) -> int:
         """Original-DataSpaces retention: keep only the newest version.
@@ -107,20 +158,22 @@ class StagingServer:
         staging* baseline (``Ds``) exhibits; the logging store deliberately
         retains more (Figure 9(c)/(d) measures exactly that difference).
         """
-        latest = self.store.latest_version(name)
-        if latest is None:
-            return 0
-        freed = 0
-        for v in self.store.versions(name):
-            if v != latest:
-                freed += self.evict(name, v)
-        return freed
+        with self.lock:
+            latest = self.store.latest_version(name)
+            if latest is None:
+                return 0
+            freed = 0
+            for v in self.store.versions(name):
+                if v != latest:
+                    freed += self.evict(name, v)
+            return freed
 
     # ------------------------------------------------------------ snapshot
 
     def snapshot(self) -> dict:
         """Capture store *and* index for coordinated checkpointing."""
-        return {"store": self.store.snapshot(), "index": self.index.snapshot()}
+        with self.lock:
+            return {"store": self.store.snapshot(), "index": self.index.snapshot()}
 
     @staticmethod
     def empty_snapshot() -> dict:
@@ -137,19 +190,21 @@ class StagingServer:
         index is then rebuilt from the restored fragments so a rollback can
         never leave the metadata layer pointing at rolled-back versions.
         """
-        if "store" in snap:
-            self.store.restore(snap["store"])
-            self.index.restore(snap["index"])
-        else:
-            self.store.restore(snap)
-            self.rebuild_index()
+        with self.lock:
+            if "store" in snap:
+                self.store.restore(snap["store"])
+                self.index.restore(snap["index"])
+            else:
+                self.store.restore(snap)
+                self.rebuild_index()
 
     def rebuild_index(self) -> None:
         """Regenerate the index from the store's fragments."""
-        self.index.clear()
-        for name, version in self.store.keys():
-            for frag in self.store.fragments(name, version):
-                self.index.insert(frag.desc, frag.nbytes)
+        with self.lock:
+            self.index.clear()
+            for name, version in self.store.keys():
+                for frag in self.store.fragments(name, version):
+                    self.index.insert(frag.desc, frag.nbytes)
 
     # -------------------------------------------------------------- metrics
 

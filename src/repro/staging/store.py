@@ -55,6 +55,11 @@ class ObjectStore:
         # (name, version) -> list of fragments.
         self._objects: dict[tuple[str, int], list[StoredObject]] = {}
         self._bytes = 0
+        self._count = 0
+        # name -> set of versions with at least one fragment. Read on every
+        # blocking-get poll (latest_version) and non-logged retention pass,
+        # so it must not be recomputed by scanning every (name, version) key.
+        self._versions: dict[str, set[int]] = {}
 
     # ------------------------------------------------------------------ put
 
@@ -63,10 +68,14 @@ class ObjectStore:
 
         The payload is copied so later mutation by the producer cannot alter
         staged state — matching RDMA semantics where the staging server owns
-        its buffer.
+        its buffer. Exactly one copy is made: when ``ascontiguousarray``
+        already copied (non-contiguous or dtype-converted input), that
+        private buffer is kept instead of being copied a second time.
         """
         arr = np.ascontiguousarray(data, dtype=np.dtype(desc.dtype))
-        obj = StoredObject(desc, arr.copy())
+        if arr is data or arr.base is not None:
+            arr = arr.copy()
+        obj = StoredObject(desc, arr)
         frags = self._objects.setdefault(desc.key, [])
         for existing in frags:
             overlap = existing.desc.bbox.intersect(desc.bbox)
@@ -84,6 +93,8 @@ class ObjectStore:
                 return existing
         frags.append(obj)
         self._bytes += obj.nbytes
+        self._count += 1
+        self._versions.setdefault(desc.name, set()).add(desc.version)
         return obj
 
     # ------------------------------------------------------------------ get
@@ -97,6 +108,12 @@ class ObjectStore:
         frags = self._objects.get(desc.key)
         if not frags:
             raise ObjectNotFound(f"no data for {desc.name!r} v{desc.version}")
+        # Fast path: one fragment already holds the whole region — the
+        # common case in coupled workflows, where readers request the same
+        # decomposition writers produced. Skips the cover-tracking walk.
+        for frag in frags:
+            if frag.desc.bbox.contains(desc.bbox):
+                return frag.data[desc.bbox.slices(frag.desc.bbox)].copy()
         out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
         # Track uncovered regions as a list of boxes, carving out each fragment.
         uncovered: list[BBox] = [desc.bbox]
@@ -122,6 +139,9 @@ class ObjectStore:
         frags = self._objects.get(desc.key)
         if not frags:
             return False
+        for frag in frags:
+            if frag.desc.bbox.contains(desc.bbox):
+                return True
         uncovered: list[BBox] = [desc.bbox]
         for frag in frags:
             uncovered = [
@@ -135,12 +155,12 @@ class ObjectStore:
 
     def versions(self, name: str) -> list[int]:
         """Sorted versions present (possibly partially) for ``name``."""
-        return sorted({v for (n, v) in self._objects if n == name})
+        return sorted(self._versions.get(name, ()))
 
     def latest_version(self, name: str) -> int | None:
-        """Highest version present for ``name``, or None."""
-        versions = self.versions(name)
-        return versions[-1] if versions else None
+        """Highest version present for ``name``, or None; O(versions-of-name)."""
+        versions = self._versions.get(name)
+        return max(versions) if versions else None
 
     def fragments(self, name: str, version: int) -> list[StoredObject]:
         """All fragments stored for (name, version)."""
@@ -164,6 +184,12 @@ class ObjectStore:
             return 0
         freed = sum(f.nbytes for f in frags)
         self._bytes -= freed
+        self._count -= len(frags)
+        versions = self._versions.get(name)
+        if versions is not None:
+            versions.discard(version)
+            if not versions:
+                del self._versions[name]
         return freed
 
     def evict_older_than(self, name: str, version: int) -> int:
@@ -189,9 +215,17 @@ class ObjectStore:
         }
 
     def restore(self, snap: dict) -> None:
-        """Roll the store back to a previously captured snapshot."""
+        """Roll the store back to a previously captured snapshot.
+
+        The byte total is part of the snapshot; the remaining aggregates are
+        derived state and are rebuilt here.
+        """
         self._objects = {k: list(v) for k, v in snap["objects"].items()}
         self._bytes = snap["bytes"]
+        self._count = sum(len(v) for v in self._objects.values())
+        self._versions = {}
+        for name, version in self._objects:
+            self._versions.setdefault(name, set()).add(version)
 
     # ------------------------------------------------------------- metrics
 
@@ -202,10 +236,12 @@ class ObjectStore:
 
     @property
     def object_count(self) -> int:
-        """Number of fragments currently held."""
-        return sum(len(v) for v in self._objects.values())
+        """Number of fragments currently held; O(1) running counter."""
+        return self._count
 
     def clear(self) -> None:
         """Drop everything."""
         self._objects.clear()
         self._bytes = 0
+        self._count = 0
+        self._versions.clear()

@@ -1,0 +1,210 @@
+"""Property tests: the table-driven GF(256) kernels match the seed kernels.
+
+The vectorised kernels (full 256x256 MUL table, row-LUT / 3-d-gather matmul,
+batched RS encode) replaced slower reference implementations. These tests
+pin them bit-for-bit to straightforward re-implementations of the originals:
+
+* ``mul`` — exp/log lookup with explicit ``where()`` zero masks;
+* ``matmul`` — Python loop over k accumulating outer products;
+* ``vandermonde`` — scalar double loop over ``pow``;
+* ``encode`` — single-payload matmul against the full generator matrix.
+
+Zeros are the classic trap (log(0) is undefined; the table bakes the zero
+row/column in), so the strategies bias heavily toward zero elements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corec.gf256 import _ROWLUT_MIN_COLS, GF256
+from repro.corec.reedsolomon import RSCode
+
+# ----------------------------------------------------------- reference kernels
+
+
+def ref_mul(a, b):
+    """Seed element-wise product: exp/log with where() zero masks."""
+    a = np.asarray(a, np.uint8)
+    b = np.asarray(b, np.uint8)
+    out = GF256.EXP[(GF256.LOG[a].astype(np.int64) + GF256.LOG[b])]
+    return np.where((a == 0) | (b == 0), np.uint8(0), out)
+
+
+def ref_matmul(a, b):
+    """Seed matrix product: k-term accumulation of outer products."""
+    a = np.asarray(a, np.uint8)
+    b = np.asarray(b, np.uint8)
+    m, k = a.shape
+    out = np.zeros((m, b.shape[1]), dtype=np.uint8)
+    for j in range(k):
+        out ^= ref_mul(a[:, j : j + 1], b[j : j + 1, :])
+    return out
+
+
+def ref_vandermonde(rows, cols):
+    """Seed Vandermonde: scalar double loop over pow."""
+    out = np.empty((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = GF256.pow(i + 1, j)
+    return out
+
+
+def ref_encode(code, payload):
+    """Seed RS encode: one full-matrix matmul per payload."""
+    buf = np.ascontiguousarray(payload, dtype=np.uint8).reshape(-1)
+    shard_len = code.shard_length(buf.size)
+    padded = np.zeros(shard_len * code.k, dtype=np.uint8)
+    padded[: buf.size] = buf
+    return ref_matmul(code.matrix, padded.reshape(code.k, shard_len))
+
+
+# Half the draws are zero so every zero-handling branch gets exercised.
+elements = st.one_of(st.just(0), st.integers(0, 255))
+
+
+def byte_matrix(rows, cols):
+    return st.lists(
+        st.lists(elements, min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    ).map(lambda x: np.array(x, dtype=np.uint8))
+
+
+# ------------------------------------------------------------------- mul/div
+
+
+class TestMulTable:
+    def test_mul_table_matches_reference_exhaustively(self):
+        a = np.arange(256, dtype=np.uint8)
+        grid_a = np.repeat(a, 256)
+        grid_b = np.tile(a, 256)
+        np.testing.assert_array_equal(GF256.mul(grid_a, grid_b), ref_mul(grid_a, grid_b))
+
+    def test_div_table_matches_mul_inverse_exhaustively(self):
+        a = np.arange(256, dtype=np.uint8)
+        for b in range(1, 256):
+            q = GF256.div(a, np.uint8(b))
+            np.testing.assert_array_equal(GF256.mul(q, np.uint8(b)), a)
+
+    @given(byte_matrix(3, 17), byte_matrix(3, 17))
+    @settings(max_examples=50, deadline=None)
+    def test_mul_elementwise_random(self, a, b):
+        np.testing.assert_array_equal(GF256.mul(a, b), ref_mul(a, b))
+
+
+# -------------------------------------------------------------------- matmul
+
+
+class TestMatmulKernels:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 24),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_small_gather_kernel_matches_reference(self, m, k, n, data):
+        a = data.draw(byte_matrix(m, k))
+        b = data.draw(byte_matrix(k, n))
+        np.testing.assert_array_equal(GF256.matmul(a, b), ref_matmul(a, b))
+
+    @given(st.integers(1, 4), st.integers(1, 5), st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_rowlut_kernel_matches_reference(self, m, k, data):
+        # Wide enough to cross the row-LUT dispatch threshold.
+        n = _ROWLUT_MIN_COLS + data.draw(st.integers(0, 64))
+        a = data.draw(byte_matrix(m, k))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        b = rng.integers(0, 256, size=(k, n), dtype=np.uint8)
+        b[:, data.draw(st.integers(0, n - 1))] = 0  # a zero column too
+        np.testing.assert_array_equal(GF256.matmul(a, b), ref_matmul(a, b))
+
+    def test_both_kernels_agree_at_threshold(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 256, size=(5, 8), dtype=np.uint8)
+        for n in (_ROWLUT_MIN_COLS - 1, _ROWLUT_MIN_COLS, _ROWLUT_MIN_COLS + 1):
+            b = rng.integers(0, 256, size=(8, n), dtype=np.uint8)
+            np.testing.assert_array_equal(GF256.matmul(a, b), ref_matmul(a, b))
+            np.testing.assert_array_equal(
+                GF256._matmul_rowlut(a, b), ref_matmul(a, b)
+            )
+
+    def test_all_zero_and_all_one_coefficients(self):
+        # Exercises the coeff==0 skip and the coeff==1 no-multiply fast path.
+        b = np.random.default_rng(3).integers(0, 256, size=(4, 2048), dtype=np.uint8)
+        zeros = np.zeros((3, 4), dtype=np.uint8)
+        ones = np.ones((3, 4), dtype=np.uint8)
+        np.testing.assert_array_equal(GF256.matmul(zeros, b), ref_matmul(zeros, b))
+        np.testing.assert_array_equal(GF256.matmul(ones, b), ref_matmul(ones, b))
+
+
+class TestVandermonde:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (4, 4), (11, 8), (255, 5)])
+    def test_matches_scalar_reference(self, rows, cols):
+        np.testing.assert_array_equal(
+            GF256.vandermonde(rows, cols), ref_vandermonde(rows, cols)
+        )
+
+
+# ------------------------------------------------------------------ RS encode
+
+
+class TestBatchedEncode:
+    @given(
+        st.sampled_from([(2, 1), (4, 2), (8, 3)]),
+        st.lists(st.integers(1, 2000), min_size=1, max_size=5),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_encode_batch_matches_reference_encode(self, km, sizes, seed):
+        k, m = km
+        code = RSCode(k, m)
+        rng = np.random.default_rng(seed)
+        payloads = [rng.integers(0, 256, size=s, dtype=np.uint8) for s in sizes]
+        batch = code.encode_batch(payloads)
+        assert len(batch) == len(payloads)
+        for payload, shards in zip(payloads, batch):
+            expect = ref_encode(code, payload)
+            assert len(shards) == k + m
+            for i, shard in enumerate(shards):
+                assert shard.index == i
+                np.testing.assert_array_equal(shard.data, expect[i])
+
+    @given(st.integers(1, 4096), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_single_encode_equals_batch_of_one(self, size, seed):
+        code = RSCode(4, 2)
+        payload = np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+        single = code.encode(payload)
+        [batched] = code.encode_batch([payload])
+        for s, b in zip(single, batched):
+            assert s.index == b.index
+            np.testing.assert_array_equal(s.data, b.data)
+
+    @given(
+        st.sampled_from([(2, 1), (4, 2), (8, 3)]),
+        st.integers(1, 3000),
+        st.integers(0, 2**32 - 1),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_decode_with_all_data_shards_surviving(self, km, size, seed, data):
+        # Systematic fast path: the k data shards alone must reconstruct.
+        k, m = km
+        code = RSCode(k, m)
+        payload = np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+        shards = code.encode(payload)
+        assert code.decode(shards[:k], size) == payload.tobytes()
+        # And any k survivors (including parity) also reconstruct.
+        idx = data.draw(st.permutations(range(k + m)))[:k]
+        survivors = [shards[i] for i in sorted(idx)]
+        assert code.decode(survivors, size) == payload.tobytes()
+
+    def test_zero_payload_bytes_encode_to_zero_parity(self):
+        code = RSCode(4, 2)
+        shards = code.encode(np.zeros(64, dtype=np.uint8))
+        for shard in shards:
+            assert not shard.data.any()

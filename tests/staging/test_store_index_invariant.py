@@ -62,6 +62,34 @@ def check_lockstep(srv: StagingServer) -> None:
         assert index.versions(name) == store.versions(name)
     assert index.nbytes() == store.nbytes
     assert len(index) == store.object_count
+    check_running_aggregates(srv)
+
+
+def check_running_aggregates(srv: StagingServer) -> None:
+    """The O(1) running totals must equal full recomputes from raw state.
+
+    Both the index and the store maintain incremental aggregates (byte
+    totals, entry counts, per-name version sets) instead of scanning; any
+    missed update path would silently skew flow control and GC decisions.
+    """
+    index, store = srv.index, srv.store
+    entries = [e for es in index._entries.values() for e in es]
+    assert index._total_bytes == sum(e.nbytes for e in entries)
+    assert index._logged_bytes == sum(e.nbytes for e in entries if e.logged)
+    assert index._count == len(entries)
+    index_versions = {}
+    for name, version in index._entries:
+        index_versions.setdefault(name, set()).add(version)
+    assert index._versions == index_versions
+    objects = store._objects
+    assert store._count == sum(len(frags) for frags in objects.values())
+    assert store.nbytes == sum(
+        f.data.nbytes for frags in objects.values() for f in frags
+    )
+    store_versions = {}
+    for name, version in objects:
+        store_versions.setdefault(name, set()).add(version)
+    assert store._versions == store_versions
 
 
 @settings(max_examples=200, deadline=None)
