@@ -1,0 +1,128 @@
+"""Degraded-read microbenchmark: what does surviving a server loss cost?
+
+Not a paper figure. Measures the resilient client's read throughput in four
+regimes over the same payloads:
+
+* **unprotected** — the plain scatter/gather data path (no protection);
+* **protected, clean** — RS-protected puts, all servers healthy, so every
+  read is served from the systematic data shards (no decode);
+* **degraded, 1 lost** — one server crashed: reads reconstruct its shard
+  from survivors + parity via the CoREC decode path;
+* **degraded, 2 lost** — both tolerated losses in play (parity = 2), the
+  worst case the protection level still covers byte-identically.
+
+The gap between *clean* and *degraded* is the reconstruction cost a consumer
+pays while a rebuild is pending; the gap between *unprotected* and
+*protected, clean* is the steady-state bookkeeping overhead of protection.
+
+Results are printed only — this benchmark does not feed ``BENCH_micro.json``
+(degraded reads are a fault-path, not a steady-state guarantee).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_degraded_reads.py
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+
+import numpy as np
+
+from repro.descriptors import ObjectDescriptor
+from repro.faults import FaultPlan, inject_faults
+from repro.geometry import Domain
+from repro.staging import ProtectionConfig, StagingClient, StagingGroup
+
+# 128 KiB float64 payloads over 4 servers: large enough that the RS decode
+# shows up, small enough that the whole sweep stays under a few seconds.
+DOMAIN = Domain((32, 32, 16))
+NUM_SERVERS = 4
+PARITY = 2
+VERSIONS = 8
+GET_REPS = 5
+
+
+def _timed(fn, *args) -> float:
+    t0 = perf_counter()
+    fn(*args)
+    return perf_counter() - t0
+
+
+def _best_of(reps: int, fn, *args) -> float:
+    """Best wall time of ``reps`` runs (1 warmup) — least-noise estimator."""
+    fn(*args)
+    return min(_timed(fn, *args) for _ in range(reps))
+
+
+def _fresh_client(protection: ProtectionConfig | None) -> StagingClient:
+    group = StagingGroup.create(DOMAIN, num_servers=NUM_SERVERS, protection=protection)
+    return StagingClient(group, client_id="bench")
+
+
+def _descs() -> list[ObjectDescriptor]:
+    return [ObjectDescriptor("field", v, DOMAIN.bbox) for v in range(1, VERSIONS + 1)]
+
+
+def _payloads() -> list[np.ndarray]:
+    rng = np.random.default_rng(11)
+    return [rng.standard_normal(DOMAIN.shape) for _ in range(VERSIONS)]
+
+
+def _get_all(client: StagingClient, descs: list[ObjectDescriptor]) -> None:
+    for desc in descs:
+        client.get(desc)
+
+
+def bench_degraded_reads() -> dict:
+    descs, payloads = _descs(), _payloads()
+    rs = ProtectionConfig(mode="rs", parity=PARITY)
+    results: dict[str, float] = {}
+
+    client = _fresh_client(None)
+    for desc, data in zip(descs, payloads):
+        client.put(desc, data)
+    results["unprotected"] = VERSIONS / _best_of(GET_REPS, _get_all, client, descs)
+
+    client = _fresh_client(rs)
+    for desc, data in zip(descs, payloads):
+        client.put(desc, data)
+    results["protected_clean"] = VERSIONS / _best_of(GET_REPS, _get_all, client, descs)
+
+    for lost in (1, 2):
+        client = _fresh_client(rs)
+        for desc, data in zip(descs, payloads):
+            client.put(desc, data)
+        inject_faults(
+            client.group,
+            [FaultPlan(server=s, op=0, kind="crash") for s in range(lost)],
+        )
+        # Sanity: the degraded read must still be byte-identical before we
+        # bother timing it.
+        if not np.array_equal(client.get(descs[0]), payloads[0]):
+            raise AssertionError(f"degraded read with {lost} lost server(s) corrupted data")
+        results[f"degraded_{lost}_lost"] = VERSIONS / _best_of(
+            GET_REPS, _get_all, client, descs
+        )
+    return results
+
+
+def main() -> int:
+    payload_kb = int(np.prod(DOMAIN.shape)) * 8 // 1024
+    print(
+        f"== degraded reads: {NUM_SERVERS} servers, RS parity={PARITY}, "
+        f"{payload_kb} KiB payloads =="
+    )
+    results = bench_degraded_reads()
+    clean = results["protected_clean"]
+    for name, ops in results.items():
+        rel = f", {ops / clean:4.2f}x of clean" if name.startswith("degraded") else ""
+        print(f"  {name:18s} {ops:8.1f} gets/s{rel}")
+    overhead = results["unprotected"] / clean
+    print(f"  protection bookkeeping overhead on clean reads: {overhead:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench guard: fail when data-path throughput regresses vs the baseline.
+
+Re-runs the microbenchmark measurements (coding kernels + staging put/get)
+and compares every throughput metric against the committed ``BENCH_micro.json``
+at the repo root. Exits non-zero when any metric falls more than
+``--threshold`` (default 30 %) below its baseline value.
+
+The committed baseline is **never modified** by this script — refreshing it
+is an explicit act (``scripts/check.sh --bench``). Speed-ups over the
+baseline are reported but never fail the guard: CI machines vary, and the
+guard only protects against regressions, not against getting lucky.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_guard.py [--threshold 0.30] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
+
+# (section, metric) pairs guarded per entry; all are higher-is-better
+# throughputs. Seed-baseline and speedup columns are excluded: they describe
+# the *reference* implementation, whose speed this guard does not own.
+GUARDED_METRICS = {
+    "rs": ("encode_MBps", "decode_worstcase_MBps", "decode_fastpath_MBps"),
+    "staging": ("agg_ops_per_s",),
+}
+
+
+def _load_microbench():
+    """Import benchmarks/bench_microbench.py without running its main()."""
+    path = REPO_ROOT / "benchmarks" / "bench_microbench.py"
+    spec = importlib.util.spec_from_file_location("bench_microbench", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (failures, report_lines) for every guarded metric."""
+    failures: list[str] = []
+    lines: list[str] = []
+    for section, metrics in GUARDED_METRICS.items():
+        base_section = baseline.get(section, {})
+        cur_section = current.get(section, {})
+        for entry, base_row in sorted(base_section.items()):
+            cur_row = cur_section.get(entry)
+            if cur_row is None:
+                failures.append(f"{section}[{entry}]: missing from current run")
+                continue
+            for metric in metrics:
+                base_val = base_row.get(metric)
+                cur_val = cur_row.get(metric)
+                if not base_val:
+                    continue  # zero/absent baseline: nothing to guard
+                ratio = cur_val / base_val
+                status = "ok"
+                if ratio < 1.0 - threshold:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{section}[{entry}].{metric}: {cur_val:.1f} vs "
+                        f"baseline {base_val:.1f} ({ratio:.0%})"
+                    )
+                lines.append(
+                    f"  {section}[{entry}].{metric}: {cur_val:.1f} "
+                    f"(baseline {base_val:.1f}, {ratio:.0%}) {status}"
+                )
+    return failures, lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        help="also write the current measurements to this path "
+        "(the committed baseline is never touched)",
+    )
+    args = parser.parse_args()
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run scripts/check.sh --bench first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    bench = _load_microbench()
+    print("== bench guard: measuring ==")
+    current = {"rs": bench.bench_rs(), "staging": bench.bench_staging()}
+    if args.json is not None:
+        args.json.write_text(json.dumps(current, indent=2) + "\n")
+
+    failures, lines = compare(baseline, current, args.threshold)
+    print(f"== bench guard: comparison (threshold {args.threshold:.0%}) ==")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"BENCH GUARD FAILED: {len(failures)} regression(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # One-command gate: lint (if ruff is installed) + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--bench] [extra pytest args]
-#   --bench   additionally run the data-path/coding microbenchmarks and
-#             refresh BENCH_micro.json at the repo root
+# Usage: scripts/check.sh [--fast] [--bench] [--bench-guard] [extra pytest args]
+#   --fast         skip the slow suites (perfsim + integration): the quick
+#                  inner-loop signal, also the per-Python matrix job in CI
+#   --bench        additionally run the data-path/coding microbenchmarks and
+#                  refresh BENCH_micro.json at the repo root
+#   --bench-guard  run the benchmarks in *guard* mode: compare against the
+#                  committed BENCH_micro.json and fail on >30 % regression
+#                  (never rewrites the baseline)
+# Flags may appear in any order and mix freely with pytest args.
 # Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -11,22 +17,40 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
 
 RUN_BENCH=0
-if [[ "${1:-}" == "--bench" ]]; then
-    RUN_BENCH=1
-    shift
-fi
+RUN_GUARD=0
+FAST=0
+PYTEST_ARGS=()
+for arg in "$@"; do
+    case "$arg" in
+        --bench) RUN_BENCH=1 ;;
+        --bench-guard) RUN_GUARD=1 ;;
+        --fast) FAST=1 ;;
+        *) PYTEST_ARGS+=("$arg") ;;
+    esac
+done
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
-    ruff check src tests benchmarks
+    ruff check src tests benchmarks scripts
 else
     echo "== ruff not installed; skipping lint (config in pyproject.toml) =="
 fi
 
 echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q "$@"
+if [[ "$FAST" == "1" ]]; then
+    PYTHONPATH=src python -m pytest -x -q \
+        --ignore=tests/perfsim --ignore=tests/integration \
+        "${PYTEST_ARGS[@]+"${PYTEST_ARGS[@]}"}"
+else
+    PYTHONPATH=src python -m pytest -x -q "${PYTEST_ARGS[@]+"${PYTEST_ARGS[@]}"}"
+fi
 
 if [[ "$RUN_BENCH" == "1" ]]; then
     echo "== microbenchmarks (BENCH_micro.json) =="
     PYTHONPATH=src python benchmarks/bench_microbench.py
+fi
+
+if [[ "$RUN_GUARD" == "1" ]]; then
+    echo "== bench guard (vs committed BENCH_micro.json) =="
+    PYTHONPATH=src python scripts/bench_guard.py
 fi

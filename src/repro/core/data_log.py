@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ObjectNotFound
+from repro.errors import ObjectNotFound, ServerUnavailable, TransientServerError
 from repro.obs import registry as _obs
 from repro.staging.client import StagingGroup
 
@@ -120,7 +120,15 @@ class DataLog:
             raise ObjectNotFound(f"{name!r} v{version} not in data log")
         freed = 0
         for server in self.group.servers:
-            freed += server.evict(name, version)
+            # A crashed or flapping server cannot be asked to free memory —
+            # skip it (its contents die with it; a rebuild starts from the
+            # protection records, which are dropped below, so nothing gets
+            # resurrected).
+            try:
+                freed += server.evict(name, version)
+            except (ServerUnavailable, TransientServerError):
+                continue
+        self.group.records.evict(name, version)
         _EVICTIONS.inc()
         _LOGGED_BYTES.add(-rec.nbytes)
         return freed

@@ -30,7 +30,13 @@ from repro.core.event_queue import EventQueue, ReplayScript
 from repro.core.events import EventKind, WChkId, payload_digest
 from repro.core.garbage import GarbageCollector, GCReport
 from repro.descriptors.odsc import ObjectDescriptor
-from repro.errors import ObjectNotFound, ReplayError, StagingError
+from repro.errors import (
+    ObjectNotFound,
+    ReplayError,
+    ServerUnavailable,
+    StagingError,
+    TransientServerError,
+)
 from repro.obs import registry as _obs
 from repro.obs import trace as _trace
 from repro.staging.client import StagingClient, StagingGroup
@@ -216,7 +222,11 @@ class WorkflowStaging:
                 floor = self.frontier_source(desc.name)
             if floor is None:
                 for server in self.group.servers:
-                    server.keep_only_latest(desc.name)
+                    try:
+                        server.keep_only_latest(desc.name)
+                    except (ServerUnavailable, TransientServerError):
+                        continue
+                self._trim_records_latest(desc.name)
             else:
                 self.drop_consumed(desc.name, floor)
         return PutResult(desc=desc, stored=True, suppressed=False, shards=shards)
@@ -225,12 +235,27 @@ class WorkflowStaging:
         """Non-logged retention: evict versions every consumer has read.
 
         The latest version is always kept even when fully consumed, so the
-        stale-latest fallback keeps something to serve.
+        stale-latest fallback keeps something to serve. Unreachable servers
+        are skipped — their memory cannot be reclaimed by asking nicely —
+        and protection records follow the same floor so degraded reads never
+        resurrect an evicted version.
         """
         for server in self.group.servers:
             latest = server.store.latest_version(name)
             if latest is not None:
-                server.evict_older_than_version(name, min(floor, latest))
+                try:
+                    server.evict_older_than_version(name, min(floor, latest))
+                except (ServerUnavailable, TransientServerError):
+                    continue
+        rec_versions = self.group.records.versions(name)
+        if rec_versions:
+            self.group.records.evict_older_than(name, min(floor, rec_versions[-1]))
+
+    def _trim_records_latest(self, name: str) -> None:
+        """Latest-only retention for protection records (non-logged mode)."""
+        versions = self.group.records.versions(name)
+        for v in versions[:-1]:
+            self.group.records.evict(name, v)
 
     def handle_put(
         self, component: str, desc: ObjectDescriptor, data: np.ndarray, step: int

@@ -117,6 +117,21 @@ class RSCode:
             col += shard_len
         return out
 
+    def encode_parity(self, data_matrix: np.ndarray) -> np.ndarray:
+        """Parity rows for an explicit ``(k, L)`` uint8 shard matrix.
+
+        Callers that already hold their payload as k equal-length shards
+        (e.g. the staging client's per-server shard groups) compute parity
+        directly without the split/pad round-trip of :meth:`encode`. Row j of
+        the result is the shard at codeword index ``k + j``.
+        """
+        data_matrix = np.ascontiguousarray(data_matrix, dtype=np.uint8)
+        if data_matrix.ndim != 2 or data_matrix.shape[0] != self.k:
+            raise EncodingError(
+                f"data matrix shape {data_matrix.shape} incompatible with k={self.k}"
+            )
+        return GF256.matmul(self.matrix[self.k :, :], data_matrix)
+
     # -------------------------------------------------------------- decode
 
     def decode(self, shards: list[Shard], nbytes: int) -> bytes:

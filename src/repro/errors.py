@@ -13,6 +13,9 @@ __all__ = [
     "StagingError",
     "ObjectNotFound",
     "VersionConflict",
+    "ServerUnavailable",
+    "TransientServerError",
+    "StagingDegradedError",
     "EncodingError",
     "DecodingError",
     "ConsistencyError",
@@ -43,6 +46,29 @@ class ObjectNotFound(StagingError):
 
 class VersionConflict(StagingError):
     """A put would overwrite an existing version with different payload."""
+
+
+class ServerUnavailable(StagingError):
+    """A staging server suffered a fail-stop loss; requests to it cannot
+    succeed until it is rebuilt (clients must not retry, only route around)."""
+
+    def __init__(self, server_id: int, message: str = ""):
+        self.server_id = server_id
+        super().__init__(message or f"staging server {server_id} unavailable")
+
+
+class TransientServerError(StagingError):
+    """A staging-server request failed transiently (timeout, dropped message);
+    safe to retry with backoff."""
+
+    def __init__(self, server_id: int, message: str = ""):
+        self.server_id = server_id
+        super().__init__(message or f"transient failure on staging server {server_id}")
+
+
+class StagingDegradedError(StagingError):
+    """More staging servers are lost than the protection scheme tolerates;
+    the requested data cannot be served or reconstructed."""
 
 
 class EncodingError(ReproError):

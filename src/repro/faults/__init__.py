@@ -1,0 +1,20 @@
+"""Staging-area fault injection: deterministic, RNG-scheduled server faults
+(crash / slow / flaky / corrupt) delivered through a drop-in server proxy.
+
+The application-process analogue lives in :mod:`repro.runtime.failures`; this
+package covers the *other* half of the paper's failure model — the staging
+area itself — so the resilient client data path (erasure-coded degraded
+reads, retry/backoff, health routing) can be exercised reproducibly.
+"""
+
+from repro.faults.plan import FAULT_KINDS, FaultInjector, FaultPlan, random_fault_plans
+from repro.faults.proxy import FaultyServer, inject_faults
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyServer",
+    "inject_faults",
+    "random_fault_plans",
+]

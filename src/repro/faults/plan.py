@@ -1,0 +1,153 @@
+"""Fault plans and their injector for the staging area.
+
+Mirrors the runtime's application-failure API (:mod:`repro.runtime.failures`):
+a :class:`FaultPlan` is one scheduled fault against one staging server, a
+:class:`FaultInjector` delivers each plan exactly once, and
+:func:`random_fault_plans` draws RNG-scheduled plans from a named
+:class:`~repro.util.rng.RngRegistry` stream so any fault schedule is exactly
+reproducible from a root seed.
+
+Where application failures fire at *step* boundaries, staging faults fire at
+*operation* boundaries: each server-side data-path call (put/get/covers/...)
+advances that server's op counter, and a plan is due once the counter reaches
+``plan.op``. This lets a schedule target "the 3rd get this server serves"
+deterministically, independent of wall-clock timing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.rng import RngRegistry
+
+__all__ = ["FaultPlan", "FaultInjector", "FAULT_KINDS", "random_fault_plans"]
+
+#: Supported staging fault kinds.
+#:
+#: ``crash``   fail-stop server loss: every subsequent request raises
+#:             :class:`~repro.errors.ServerUnavailable` until the server is
+#:             rebuilt (``calls`` is ignored).
+#: ``slow``    adds ``latency`` seconds of service time to the next ``calls``
+#:             requests (``calls=0``: every request until healed).
+#: ``flaky``   the next ``calls`` requests raise
+#:             :class:`~repro.errors.TransientServerError`, then the server
+#:             recovers on its own.
+#: ``corrupt`` the next ``calls`` successful reads return payloads with one
+#:             byte flipped (a silent digest mismatch on get).
+FAULT_KINDS = ("crash", "slow", "flaky", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One planned staging-server fault: target, op index, kind, shape."""
+
+    server: int
+    op: int
+    kind: str
+    calls: int = 1
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigError(f"fault server must be >= 0, got {self.server}")
+        if self.op < 0:
+            raise ConfigError(f"fault op must be >= 0, got {self.op}")
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"fault kind must be one of {'|'.join(FAULT_KINDS)}, got {self.kind!r}"
+            )
+        if self.calls < 0:
+            raise ConfigError(f"fault calls must be >= 0, got {self.calls}")
+        if self.kind == "slow" and self.latency <= 0:
+            raise ConfigError("slow faults need a positive latency")
+        if self.latency < 0:
+            raise ConfigError(f"fault latency must be >= 0, got {self.latency}")
+
+
+class FaultInjector:
+    """Thread-safe one-shot fault delivery, one plan per poll.
+
+    Each plan fires exactly once: the first time its target server polls at
+    (or after) the planned op index. The proxy turns a fired plan into local
+    fault state (crashed flag, remaining slow/flaky/corrupt calls); the
+    injector only decides *when* a plan becomes active.
+    """
+
+    def __init__(self, plans: list[FaultPlan] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._pending: list[FaultPlan] = sorted(
+            plans or [], key=lambda p: (p.op, p.server, p.kind)
+        )
+        self.fired: list[FaultPlan] = []
+
+    def schedule(self, plan: FaultPlan) -> None:
+        """Add one more planned fault."""
+        with self._lock:
+            self._pending.append(plan)
+            self._pending.sort(key=lambda p: (p.op, p.server, p.kind))
+
+    def poll(self, server: int, op: int) -> FaultPlan | None:
+        """Fire and return the next due plan for ``server``, if any.
+
+        A plan is due when ``op >= plan.op``; plans that already fired never
+        re-fire (fail-stop and transient faults alike are one-shot — a
+        repeated fault is simply two plans).
+        """
+        with self._lock:
+            for i, plan in enumerate(self._pending):
+                if plan.server == server and op >= plan.op:
+                    self.fired.append(plan)
+                    del self._pending[i]
+                    return plan
+            return None
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def pending_for(self, server: int) -> list[FaultPlan]:
+        """Unfired plans targeting ``server``."""
+        with self._lock:
+            return [p for p in self._pending if p.server == server]
+
+
+def random_fault_plans(
+    rng: RngRegistry,
+    stream: str,
+    num_servers: int,
+    horizon_ops: int,
+    count: int,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    max_calls: int = 3,
+    max_latency: float = 0.02,
+) -> list[FaultPlan]:
+    """Draw ``count`` reproducible fault plans from one registry stream.
+
+    Servers, op indices, kinds, and shapes are all drawn from the same named
+    stream, so two registries with the same root seed produce the identical
+    schedule — the staging-side analogue of
+    :func:`repro.runtime.failures.mtbf_failure_steps`.
+    """
+    if num_servers <= 0:
+        raise ConfigError(f"num_servers must be positive, got {num_servers}")
+    if horizon_ops <= 0:
+        raise ConfigError(f"horizon_ops must be positive, got {horizon_ops}")
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {kind!r}")
+    plans: list[FaultPlan] = []
+    for _ in range(count):
+        kind = kinds[rng.integers(stream, 0, len(kinds))]
+        plans.append(
+            FaultPlan(
+                server=rng.integers(stream, 0, num_servers),
+                op=rng.integers(stream, 0, horizon_ops),
+                kind=kind,
+                calls=rng.integers(stream, 1, max_calls + 1),
+                latency=rng.uniform(stream, 1e-4, max_latency) if kind == "slow" else 0.0,
+            )
+        )
+    return plans

@@ -30,6 +30,7 @@ from repro.perfsim.config import WorkflowConfig
 from repro.perfsim.engine import Engine, all_of
 from repro.perfsim.resources import FifoResource
 from repro.staging.hashing import PlacementMap
+from repro.staging.resilience import ProtectionIndex
 from repro.util.timeline import Counter, Timeline
 
 __all__ = ["AccountingServer", "AccountingGroup", "StagingModel"]
@@ -68,9 +69,11 @@ class AccountingServer:
 
 @dataclass
 class AccountingGroup:
-    """Duck-typed staging group for :class:`DataLog` (``.servers`` only)."""
+    """Duck-typed staging group for :class:`DataLog` (``.servers`` plus an
+    always-empty protection index so eviction bookkeeping type-checks)."""
 
     servers: list[AccountingServer] = field(default_factory=list)
+    records: ProtectionIndex = field(default_factory=ProtectionIndex)
 
     @property
     def total_bytes(self) -> int:

@@ -424,6 +424,13 @@ class SynchronizedStaging:
                 return {
                     "servers": [srv.snapshot() for srv in self.group.servers],
                     "frontier": dict(self._frontier),
+                    # Resilience state rolls back with the data it describes:
+                    # stale protection records after a rollback would trigger
+                    # spurious reconstructions (or mask genuinely absent
+                    # data), and health is rewound so a server downed after
+                    # the checkpoint is re-probed rather than routed around.
+                    "protection": self.group.records.snapshot(),
+                    "health": self.group.health.snapshot(),
                 }
             finally:
                 self._release_data_plane()
@@ -448,9 +455,33 @@ class SynchronizedStaging:
                 for srv, s in zip(self.group.servers, snaps):
                     srv.restore(s)
                 self._frontier = dict(snap["frontier"])
+                # Legacy snapshots (pre-resilience) carry no records/health;
+                # leave the live state alone for those.
+                if "protection" in snap:
+                    self.group.records.restore(snap["protection"])
+                if "health" in snap:
+                    self.group.health.restore(snap["health"])
             finally:
                 self._release_data_plane()
             self._data_arrived.notify_all()
+
+    def rebuild_server(self, server_id: int, replacement=None) -> int:
+        """Rebuild a lost staging server from survivors, then resume.
+
+        Quiesces the data plane (a rebuild swaps the server object out from
+        under concurrent puts/gets otherwise), delegates to
+        :meth:`StagingGroup.rebuild`, and wakes blocked consumers — versions
+        that were only degraded-readable become directly servable again.
+        Returns the number of payload bytes rebuilt.
+        """
+        with self._meta:
+            self._quiesce_data_plane()
+            try:
+                rebuilt = self.group.rebuild(server_id, replacement)
+            finally:
+                self._release_data_plane()
+            self._data_arrived.notify_all()
+            return rebuilt
 
     # -------------------------------------------------------------- metrics
 

@@ -4,6 +4,14 @@ servers and the client-side geometric put/get API."""
 from repro.staging.client import StagingClient, StagingGroup
 from repro.staging.hashing import PlacementMap
 from repro.staging.index import IndexEntry, SpatialIndex
+from repro.staging.resilience import (
+    GroupHealth,
+    ProtectionConfig,
+    ProtectionIndex,
+    PutRecord,
+    RetryPolicy,
+    rebuild_server,
+)
 from repro.staging.server import StagingServer
 from repro.staging.store import ObjectStore, StoredObject
 
@@ -16,4 +24,10 @@ __all__ = [
     "StagingServer",
     "ObjectStore",
     "StoredObject",
+    "GroupHealth",
+    "ProtectionConfig",
+    "ProtectionIndex",
+    "PutRecord",
+    "RetryPolicy",
+    "rebuild_server",
 ]

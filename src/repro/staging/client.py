@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -24,11 +25,20 @@ from time import perf_counter
 import numpy as np
 
 from repro.descriptors.odsc import ObjectDescriptor
-from repro.errors import ObjectNotFound
+from repro.errors import ObjectNotFound, ServerUnavailable, TransientServerError
 from repro.geometry.bbox import BBox
 from repro.geometry.domain import Domain
 from repro.obs import registry as _obs
 from repro.staging.hashing import PlacementMap
+from repro.staging.resilience import (
+    GroupHealth,
+    ProtectionConfig,
+    ProtectionIndex,
+    RetryPolicy,
+    protected_put,
+    read_record,
+    rebuild_server,
+)
 from repro.staging.server import StagingServer
 
 __all__ = ["StagingClient", "StagingGroup"]
@@ -40,6 +50,9 @@ _GET_COUNT = _obs.counter("staging.client.get.count")
 _GET_SECONDS = _obs.histogram("staging.client.get.seconds")
 _POOL_TASKS = _obs.counter("staging.pool.tasks")
 _POOL_PARALLEL_OPS = _obs.counter("staging.pool.parallel_ops")
+_RETRIES = _obs.counter("staging.client.retries")
+_BACKOFF_SECONDS = _obs.histogram("staging.client.backoff.seconds")
+_DEADLINE_EXCEEDED = _obs.counter("staging.client.deadline_exceeded")
 
 # Fan out to the pool only when a request's payload is at least this large;
 # below it, pool submit/wake latency exceeds the shard memcpy.
@@ -82,6 +95,20 @@ class StagingGroup:
     placement: PlacementMap
     parallel: bool = field(default=True, compare=False)
     parallel_threshold: int = field(default=PARALLEL_THRESHOLD_BYTES, compare=False)
+    # Resilience state (always present; coding/degraded reads engage only
+    # when ``protection`` is set, so the unprotected fast path is untouched).
+    protection: ProtectionConfig | None = field(default=None, compare=False)
+    retry: RetryPolicy = field(default_factory=RetryPolicy, compare=False)
+    health: GroupHealth = field(default=None, compare=False)  # type: ignore[assignment]
+    records: ProtectionIndex = field(default_factory=ProtectionIndex, compare=False)
+    # Backoff jitter draws; deterministic so retry timing is reproducible.
+    jitter_rng: np.random.Generator = field(default=None, compare=False, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.health is None:
+            self.health = GroupHealth(len(self.servers))
+        if self.jitter_rng is None:
+            self.jitter_rng = np.random.default_rng(0xC0DEC)
 
     @classmethod
     def create(
@@ -91,20 +118,45 @@ class StagingGroup:
         blocks_per_server: int = 4,
         curve: str = "hilbert",
         parallel: bool | None = None,
+        protection: ProtectionConfig | None = None,
+        retry: RetryPolicy | None = None,
+        down_after: int = 3,
     ) -> "StagingGroup":
         """Construct ``num_servers`` empty servers and their placement map.
 
         ``parallel=None`` (the default) enables pool fan-out only when the
         host has more than one CPU: on a single core, shipping shard memcpy
         to worker threads is pure overhead. Pass True/False to force.
+
+        ``protection`` opts the group's clients into CoREC shard-group
+        coding (parity or replication) with verified, degraded-capable
+        reads; ``retry``/``down_after`` shape the transient-failure policy.
         """
         if parallel is None:
             parallel = (os.cpu_count() or 1) > 1
         placement = PlacementMap(domain, num_servers, blocks_per_server, curve)
         servers = [StagingServer(i) for i in range(num_servers)]
         return cls(
-            domain=domain, servers=servers, placement=placement, parallel=parallel
+            domain=domain,
+            servers=servers,
+            placement=placement,
+            parallel=parallel,
+            protection=protection,
+            retry=retry if retry is not None else RetryPolicy(),
+            health=GroupHealth(num_servers, down_after=down_after),
         )
+
+    def rebuild(self, server_id: int, replacement=None) -> int:
+        """Rebuild a lost server's protected contents from survivors and
+        swap the (fresh or provided) replacement into the group. Returns
+        bytes rebuilt. See :func:`repro.staging.resilience.rebuild_server`.
+        """
+        return rebuild_server(self, server_id, replacement)
+
+    def drop_protection(self) -> None:
+        """Disable protection and forget all records (test/bench helper)."""
+        self.protection = None
+        self.records = ProtectionIndex()
 
     @property
     def executor(self) -> ThreadPoolExecutor:
@@ -157,6 +209,46 @@ class StagingClient:
             and len(by_server) >= 2
         )
 
+    def _server_op(self, server_id: int, fn):
+        """Run one server call under the group's retry/health policy.
+
+        Transient errors retry with capped exponential backoff + jitter
+        until the attempt budget or per-call deadline runs out (each
+        failure feeds the health state machine). A fail-stop
+        :class:`ServerUnavailable` marks the server down immediately — no
+        retry can help a crashed server. ``ObjectNotFound`` is a *healthy*
+        response (the server answered; the data is absent) and propagates
+        untouched, preserving blocking-get wait semantics upstream.
+        """
+        policy = self.group.retry
+        health = self.group.health
+        deadline = perf_counter() + policy.deadline
+        attempt = 1
+        while True:
+            try:
+                result = fn()
+            except ServerUnavailable:
+                health.mark_down(server_id)
+                raise
+            except ObjectNotFound:
+                health.mark_success(server_id)
+                raise
+            except TransientServerError:
+                health.mark_failure(server_id)
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.backoff_for(attempt, self.group.jitter_rng)
+                if perf_counter() + delay > deadline:
+                    _DEADLINE_EXCEEDED.inc()
+                    raise
+                _RETRIES.inc()
+                _BACKOFF_SECONDS.record(delay)
+                time.sleep(delay)
+                attempt += 1
+            else:
+                health.mark_success(server_id)
+                return result
+
     # ------------------------------------------------------------------ put
 
     def put(self, desc: ObjectDescriptor, data: np.ndarray) -> int:
@@ -168,6 +260,12 @@ class StagingClient:
         data = np.asarray(data)
         shards = self.group.placement.shards(desc.bbox)
         by_server = self._by_server(shards)
+        if self.group.protection is not None:
+            protected_put(self, desc, data, by_server)
+            _PUT_COUNT.inc()
+            _PUT_FANOUT.record(len(shards))
+            _PUT_SECONDS.record(perf_counter() - t0)
+            return len(shards)
         if not self._use_pool(by_server, int(data.nbytes)):
             for server_id, boxes in by_server.items():
                 self._scatter_to(server_id, boxes, desc, data)
@@ -203,6 +301,11 @@ class StagingClient:
             raise ObjectNotFound(f"{desc}: region outside staged domain")
         out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
         by_server = self._by_server(shards)
+        if self.group.protection is not None:
+            self._protected_get(desc, out)
+            _GET_COUNT.inc()
+            _GET_SECONDS.record(perf_counter() - t0)
+            return out
         if not self._use_pool(by_server, int(out.nbytes)):
             for server_id, boxes in by_server.items():
                 self._gather_from(server_id, boxes, desc, out)
@@ -231,23 +334,92 @@ class StagingClient:
         for sub, part in zip(boxes, parts):
             out[sub.slices(desc.bbox)] = part
 
+    def _protected_get(self, desc: ObjectDescriptor, out: np.ndarray) -> None:
+        """Serve a read through protection records (verified, degraded-capable).
+
+        Regions covered by a put's record are read shard-aligned so every
+        shard is digest-checked and lost servers are reconstructed around;
+        any leftover region (data written before protection was enabled)
+        falls back to the direct geometric path under the retry policy.
+        """
+        remaining: list[BBox] = [desc.bbox]
+        for rec in self.group.records.overlapping(desc):
+            read_record(self, rec, desc, out)
+            remaining = [
+                piece for r in remaining for piece in r.subtract(rec.desc.bbox)
+            ]
+            if not remaining:
+                return
+        for region in remaining:
+            sub_desc = desc.with_bbox(region)
+            for server_id, boxes in self._by_server(
+                self.group.placement.shards(region)
+            ).items():
+                self._server_op(
+                    server_id,
+                    lambda s=server_id, b=boxes, d=sub_desc: self._gather_from(
+                        s, b, d, out[region.slices(desc.bbox)]
+                    ),
+                )
+
     def covers(self, desc: ObjectDescriptor) -> bool:
-        """True when every owning server can serve its shard of ``desc``."""
+        """True when ``desc`` is servable — directly, or degraded via records.
+
+        A crashed or persistently failing server makes its regions
+        non-covering (rather than raising), unless a protection record can
+        still reconstruct them from survivors.
+        """
         shards = self.group.placement.shards(desc.bbox)
         if not shards:
             return False
-        return all(
-            self.group.servers[server_id].covers_all(
-                [desc.with_bbox(sub) for sub in boxes]
-            )
-            for server_id, boxes in self._by_server(shards).items()
-        )
+        remaining: list[BBox] = [desc.bbox]
+        if self.group.protection is not None:
+            for rec in self.group.records.overlapping(desc):
+                if not rec.readable_with(self.group.health):
+                    return False
+                remaining = [
+                    piece for r in remaining for piece in r.subtract(rec.desc.bbox)
+                ]
+                if not remaining:
+                    return True
+        for region in remaining:
+            sub_desc = desc.with_bbox(region)
+            for server_id, boxes in self._by_server(
+                self.group.placement.shards(region)
+            ).items():
+                server = self.group.servers[server_id]
+                descs = [sub_desc.with_bbox(sub) for sub in boxes]
+                try:
+                    ok = self._server_op(
+                        server_id, lambda s=server, d=descs: s.covers_all(d)
+                    )
+                except (ServerUnavailable, TransientServerError):
+                    return False
+                if not ok:
+                    return False
+        return True
 
     def latest_version(self, name: str) -> int | None:
-        """Highest version of ``name`` present on any server."""
+        """Highest version of ``name`` present on any reachable server.
+
+        Down or unresponsive servers are skipped — with protection on, the
+        records index fills in versions whose only live fragments died with
+        a server (they are still readable via degraded reads).
+        """
         latest: int | None = None
         for server in self.group.servers:
-            versions = server.query_versions(name)
+            if self.group.health.is_down(server.server_id):
+                continue
+            try:
+                versions = self._server_op(
+                    server.server_id, lambda s=server: s.query_versions(name)
+                )
+            except (ServerUnavailable, TransientServerError):
+                continue
             if versions and (latest is None or versions[-1] > latest):
                 latest = versions[-1]
+        if self.group.protection is not None:
+            for v in self.group.records.versions(name):
+                if latest is None or v > latest:
+                    latest = v
         return latest

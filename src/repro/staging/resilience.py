@@ -1,0 +1,896 @@
+"""Staging-area resilience: protection records, health, degraded reads.
+
+This module makes the *live* staging data path survive server loss, the
+property the paper delegates to CoREC ("data staging can contain data
+resilience mechanism such as data replication or erasure coding"). The unit
+of protection is one put's **shard group**: the per-server sub-payloads the
+placement map scatters a write into. For a put that lands on ``k`` servers:
+
+* ``rs`` mode treats the ``k`` per-server payloads (padded to a common
+  length) as the data shards of a systematic RS(k, m) codeword and stores
+  the ``m`` parity shards on ``m`` *other* servers;
+* ``replication`` mode stores full copies of each per-server payload on
+  other servers.
+
+A :class:`PutRecord` remembers the geometry (which boxes each shard holds,
+in which order), per-shard digests, and where parity/copies live, so a later
+get can (a) verify every shard it reads against its digest (catching silent
+corruption) and (b) reconstruct the shards of lost servers from survivors —
+a **degraded read** returning byte-identical data with no workflow rollback,
+as long as the number of lost servers does not exceed the protection level.
+Beyond that level, reads raise :class:`~repro.errors.StagingDegradedError`.
+
+Records live in the group's :class:`ProtectionIndex` and are snapshot/
+restored alongside the servers by the synchronized service, and evicted
+alongside fragments by the data log and retention paths — so the index never
+points at payloads that rolled back or were collected.
+
+Server health is tracked per group (:class:`GroupHealth`): a fail-stop
+:class:`~repro.errors.ServerUnavailable` marks a server ``down``
+immediately, repeated transient failures walk it through ``suspect`` to
+``down``, and clients route around down servers instead of burning their
+retry budget on them. :func:`rebuild_server` repopulates a replacement
+server from survivors (reconstructing data shards, recomputing parity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.corec.reedsolomon import RSCode, Shard
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import (
+    ConfigError,
+    DecodingError,
+    ObjectNotFound,
+    ServerUnavailable,
+    StagingDegradedError,
+    TransientServerError,
+)
+from repro.geometry.bbox import BBox
+from repro.obs import registry as _obs
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (client imports us)
+    from repro.staging.client import StagingClient, StagingGroup
+
+__all__ = [
+    "ProtectionConfig",
+    "RetryPolicy",
+    "GroupHealth",
+    "ShardInfo",
+    "ParityInfo",
+    "PutRecord",
+    "ProtectionIndex",
+    "rebuild_server",
+]
+
+_DEGRADED_READS = _obs.counter("staging.client.degraded_reads")
+_DEGRADED_READ_SECONDS = _obs.histogram("staging.client.degraded_read.seconds")
+_DEGRADED_PUTS = _obs.counter("staging.client.degraded_puts")
+_VERIFY_FAILURES = _obs.counter("staging.client.verify_failures")
+_PROTECTED_PUTS = _obs.counter("staging.protect.puts")
+_PARITY_BYTES = _obs.counter("staging.protect.parity_bytes")
+_HEALTH_TRANSITIONS = _obs.counter("staging.health.transitions")
+_REBUILDS = _obs.counter("staging.rebuild.count")
+_REBUILD_BYTES = _obs.counter("staging.rebuild.bytes")
+_REBUILD_SECONDS = _obs.histogram("staging.rebuild.seconds")
+_REBUILD_SKIPPED = _obs.counter("staging.rebuild.skipped_records")
+
+
+def _digest(buf: np.ndarray | bytes) -> str:
+    """Payload digest for shard verification (blake2b, 12-byte)."""
+    if isinstance(buf, np.ndarray):
+        buf = np.ascontiguousarray(buf)
+    return hashlib.blake2b(buf, digest_size=12).hexdigest()
+
+
+# ------------------------------------------------------------- configuration
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """How the client protects each put's shard group.
+
+    Parameters
+    ----------
+    mode:
+        ``"rs"`` — RS(k, ``parity``) erasure coding over the per-server
+        shards; ``"replication"`` — ``replicas`` full copies of each shard.
+    parity:
+        Parity shard count m; the put tolerates losing any m of its servers.
+    replicas:
+        Extra full copies per shard in replication mode.
+    verify_reads:
+        Digest-check every shard read against the put-time digest. Catches
+        silent corruption (a mismatching shard is treated as an erasure and
+        reconstructed); reads are then served shard-aligned through the
+        protection records rather than the raw geometric fast path.
+    """
+
+    mode: str = "rs"
+    parity: int = 2
+    replicas: int = 1
+    verify_reads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("rs", "replication"):
+            raise ConfigError(f"protection mode must be rs|replication, got {self.mode!r}")
+        if self.mode == "rs" and self.parity < 1:
+            raise ConfigError(f"rs protection needs parity >= 1, got {self.parity}")
+        if self.mode == "replication" and self.replicas < 1:
+            raise ConfigError(f"replication needs replicas >= 1, got {self.replicas}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter for transient server errors.
+
+    ``deadline`` bounds one logical client call (all attempts plus backoff):
+    no new attempt starts once it would overrun the deadline, so a flaky or
+    slow server cannot stall a get indefinitely.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 0.005
+    max_backoff: float = 0.1
+    jitter: float = 0.5
+    deadline: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < self.base_backoff:
+            raise ConfigError("need 0 <= base_backoff <= max_backoff")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline <= 0:
+            raise ConfigError(f"deadline must be positive, got {self.deadline}")
+
+    def backoff_for(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based), with jitter."""
+        raw = min(self.max_backoff, self.base_backoff * (2.0 ** (attempt - 1)))
+        if rng is None or self.jitter <= 0:
+            return raw
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+# ------------------------------------------------------------------- health
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+class GroupHealth:
+    """Per-server health state machine: up -> suspect -> down.
+
+    A fail-stop :class:`ServerUnavailable` downs a server immediately;
+    transient failures accumulate (``suspect`` after the first, ``down``
+    after ``down_after`` consecutive ones); any success resets to ``up``.
+    Down servers are routed around until :func:`rebuild_server` resets them.
+    """
+
+    def __init__(self, num_servers: int, down_after: int = 3) -> None:
+        if down_after < 1:
+            raise ConfigError(f"down_after must be >= 1, got {down_after}")
+        self.down_after = down_after
+        self._lock = threading.Lock()
+        self._states = [UP] * num_servers
+        self._failures = [0] * num_servers
+
+    def state(self, server_id: int) -> str:
+        return self._states[server_id]
+
+    def is_down(self, server_id: int) -> bool:
+        return self._states[server_id] == DOWN
+
+    def mark_success(self, server_id: int) -> None:
+        # Fast path: a healthy server stays healthy without taking the lock
+        # (hot-path call; a racy read costs at most one redundant transition).
+        if self._states[server_id] == UP and not self._failures[server_id]:
+            return
+        with self._lock:
+            if self._states[server_id] != UP:
+                _HEALTH_TRANSITIONS.inc()
+            self._states[server_id] = UP
+            self._failures[server_id] = 0
+
+    def mark_failure(self, server_id: int) -> None:
+        """Record one transient failure; may demote to suspect or down."""
+        with self._lock:
+            self._failures[server_id] += 1
+            if self._states[server_id] == DOWN:
+                return
+            nxt = DOWN if self._failures[server_id] >= self.down_after else SUSPECT
+            if nxt != self._states[server_id]:
+                _HEALTH_TRANSITIONS.inc()
+                self._states[server_id] = nxt
+
+    def mark_down(self, server_id: int) -> None:
+        """Fail-stop: the server is gone until rebuilt."""
+        with self._lock:
+            if self._states[server_id] != DOWN:
+                _HEALTH_TRANSITIONS.inc()
+            self._states[server_id] = DOWN
+
+    def reset(self, server_id: int) -> None:
+        """A rebuilt/replaced server starts healthy."""
+        with self._lock:
+            if self._states[server_id] != UP:
+                _HEALTH_TRANSITIONS.inc()
+            self._states[server_id] = UP
+            self._failures[server_id] = 0
+
+    def alive(self) -> list[int]:
+        return [i for i, s in enumerate(self._states) if s != DOWN]
+
+    def down_servers(self) -> list[int]:
+        return [i for i, s in enumerate(self._states) if s == DOWN]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"states": list(self._states), "failures": list(self._failures)}
+
+    def restore(self, snap: dict) -> None:
+        with self._lock:
+            self._states = list(snap["states"])
+            self._failures = list(snap["failures"])
+
+
+# ------------------------------------------------------------------ records
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One data shard of a protected put: owner, geometry, size, digest."""
+
+    server: int
+    boxes: tuple[BBox, ...]
+    nbytes: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class ParityInfo:
+    """One placed parity shard: its codeword group, row j, and holder."""
+
+    group: int
+    j: int
+    server: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class PutRecord:
+    """Everything needed to verify and reconstruct one protected put.
+
+    RS mode codes the data shards in *placement subgroups* (``groups``): a
+    put spanning all servers leaves no distinct server for parity, so the
+    shards are partitioned into runs of at most ``num_servers - m``, each an
+    independent RS(len(run), m) codeword whose parity lives on servers
+    *outside* the run. Losing any m servers then costs each codeword at most
+    m shards — every subgroup stays decodable.
+    """
+
+    record_id: str
+    desc: ObjectDescriptor
+    mode: str  # "rs" | "replication"
+    parity_count: int  # m each codeword was built with (rs mode)
+    shard_len: int  # padded shard byte length
+    shards: tuple[ShardInfo, ...]  # data shards, in placement order
+    groups: tuple[tuple[int, ...], ...] = ()  # rs: shard indices per codeword
+    parity: tuple[ParityInfo, ...] = ()  # rs: placed parity (may be < m per group)
+    copies: tuple[tuple[int, ...], ...] = ()  # replication: per-shard copy holders
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.desc.name, self.desc.version)
+
+    def parity_blob_key(self, group: int, j: int) -> str:
+        return f"{self.record_id}#g{group}p{j}"
+
+    def copy_blob_key(self, i: int) -> str:
+        return f"{self.record_id}#s{i}"
+
+    def group_of(self, shard: int) -> int:
+        for gi, members in enumerate(self.groups):
+            if shard in members:
+                return gi
+        raise KeyError(shard)
+
+    def readable_with(self, health: GroupHealth) -> bool:
+        """Health-based estimate: can this record still be served?"""
+        if self.mode == "rs":
+            for gi, members in enumerate(self.groups):
+                alive = sum(
+                    1 for i in members if not health.is_down(self.shards[i].server)
+                )
+                alive += sum(
+                    1
+                    for p in self.parity
+                    if p.group == gi and not health.is_down(p.server)
+                )
+                if alive < len(members):
+                    return False
+            return True
+        return all(
+            not health.is_down(s.server)
+            or any(not health.is_down(c) for c in self.copies[i])
+            for i, s in enumerate(self.shards)
+        )
+
+
+def record_id_for(desc: ObjectDescriptor) -> str:
+    """Deterministic identity of one put's protection record."""
+    return f"{desc.name}@v{desc.version}:{desc.bbox}"
+
+
+class ProtectionIndex:
+    """Thread-safe (name, version) -> {record_id: PutRecord} map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[tuple[str, int], dict[str, PutRecord]] = {}
+
+    def add(self, rec: PutRecord) -> None:
+        with self._lock:
+            self._records.setdefault(rec.key, {})[rec.record_id] = rec
+
+    def overlapping(self, desc: ObjectDescriptor) -> list[PutRecord]:
+        """Records of (name, version) whose bbox intersects ``desc.bbox``."""
+        with self._lock:
+            recs = self._records.get(desc.key)
+            if not recs:
+                return []
+            return [r for r in recs.values() if r.desc.bbox.intersects(desc.bbox)]
+
+    def for_key(self, name: str, version: int) -> list[PutRecord]:
+        with self._lock:
+            return list(self._records.get((name, version), {}).values())
+
+    def all_records(self) -> list[PutRecord]:
+        with self._lock:
+            return [r for recs in self._records.values() for r in recs.values()]
+
+    def versions(self, name: str) -> list[int]:
+        with self._lock:
+            return sorted(v for (n, v) in self._records if n == name)
+
+    def evict(self, name: str, version: int) -> int:
+        """Drop all records of (name, version); returns the count dropped."""
+        with self._lock:
+            recs = self._records.pop((name, version), None)
+            return len(recs) if recs else 0
+
+    def evict_older_than(self, name: str, version: int) -> int:
+        """Drop records of ``name`` strictly below ``version``."""
+        with self._lock:
+            doomed = [(n, v) for (n, v) in self._records if n == name and v < version]
+            dropped = 0
+            for key in doomed:
+                dropped += len(self._records.pop(key))
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(r) for r in self._records.values())
+
+    def snapshot(self) -> dict:
+        """Records are frozen; snapshotting copies only the containers."""
+        with self._lock:
+            return {"records": {k: dict(v) for k, v in self._records.items()}}
+
+    def restore(self, snap: dict) -> None:
+        with self._lock:
+            self._records = {k: dict(v) for k, v in snap["records"].items()}
+
+
+# ------------------------------------------------------------ protected put
+
+
+def _as_bytes(part: np.ndarray) -> np.ndarray:
+    """Flatten one sub-box payload to a 1-D uint8 view (contiguous)."""
+    return np.ascontiguousarray(part).reshape(-1).view(np.uint8)
+
+
+def _shard_buffer(desc: ObjectDescriptor, data: np.ndarray, boxes) -> np.ndarray:
+    """Concatenated bytes of one server's sub-boxes, in box order."""
+    chunks = [_as_bytes(data[b.slices(desc.bbox)]) for b in boxes]
+    return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+
+def _padded(buf: np.ndarray, shard_len: int) -> np.ndarray:
+    if buf.size == shard_len:
+        return buf
+    out = np.zeros(shard_len, dtype=np.uint8)
+    out[: buf.size] = buf
+    return out
+
+
+def _parity_candidates(
+    group: "StagingGroup", data_servers: list[int]
+) -> list[int]:
+    """Non-owner servers in deterministic rotation order, healthy first."""
+    n = len(group.servers)
+    taken = set(data_servers)
+    start = (max(data_servers) + 1) % n
+    order = [(start + i) % n for i in range(n)]
+    others = [s for s in order if s not in taken]
+    return [s for s in others if not group.health.is_down(s)] + [
+        s for s in others if group.health.is_down(s)
+    ]
+
+
+def protected_put(
+    client: "StagingClient",
+    desc: ObjectDescriptor,
+    data: np.ndarray,
+    by_server: dict[int, list[BBox]],
+) -> None:
+    """Scatter a put's data shards and place its parity/copies.
+
+    Data shards go to their placement owners as ordinary fragments (so
+    unprotected readers and coverage queries still work); parity/copies go
+    to distinct non-owner servers as protection blobs. Owners that are down
+    (or fail past the retry budget) are skipped — their shard then lives
+    only in parity until the server is rebuilt — and the put fails with
+    :class:`StagingDegradedError` only when more shards were lost than the
+    placed protection can reconstruct.
+    """
+    group = client.group
+    cfg = group.protection
+    health = group.health
+    data = np.ascontiguousarray(data, dtype=np.dtype(desc.dtype))
+    data_servers = sorted(by_server)
+    k = len(data_servers)
+
+    infos: list[ShardInfo] = []
+    bufs: list[np.ndarray] = []
+    for s in data_servers:
+        boxes = tuple(by_server[s])
+        buf = _shard_buffer(desc, data, boxes)
+        infos.append(
+            ShardInfo(server=s, boxes=boxes, nbytes=int(buf.nbytes), digest=_digest(buf))
+        )
+        bufs.append(buf)
+    shard_len = max((b.size for b in bufs), default=1) or 1
+
+    failed: list[int] = []
+    for i, (s, info) in enumerate(zip(data_servers, infos)):
+        if health.is_down(s):
+            failed.append(i)
+            continue
+        items = [(desc.with_bbox(b), data[b.slices(desc.bbox)]) for b in info.boxes]
+        server = group.servers[s]
+        try:
+            client._server_op(s, lambda srv=server, it=items: srv.put_many(it))
+        except (ServerUnavailable, TransientServerError):
+            failed.append(i)
+
+    record_id = record_id_for(desc)
+    parity: list[ParityInfo] = []
+    groups: tuple[tuple[int, ...], ...] = ()
+    copies: tuple[tuple[int, ...], ...] = ()
+    overloaded: list[str] = []
+    if cfg.mode == "rs":
+        g_max = max(1, len(group.servers) - cfg.parity)
+        groups = tuple(
+            tuple(range(lo, min(lo + g_max, k))) for lo in range(0, k, g_max)
+        )
+        for gi, members in enumerate(groups):
+            gk = len(members)
+            mat = np.zeros((gk, shard_len), dtype=np.uint8)
+            for row, i in enumerate(members):
+                mat[row, : bufs[i].size] = bufs[i]
+            rows = RSCode(gk, cfg.parity).encode_parity(mat)
+            candidates = _parity_candidates(group, [data_servers[i] for i in members])
+            ci = 0
+            for j in range(cfg.parity):
+                placed = False
+                while ci < len(candidates) and not placed:
+                    s = candidates[ci]
+                    ci += 1
+                    if health.is_down(s):
+                        continue
+                    row = rows[j]
+                    server = group.servers[s]
+                    try:
+                        client._server_op(
+                            s,
+                            lambda srv=server, r=row, g=gi, jj=j: srv.put_blob(
+                                desc.name, desc.version, f"{record_id}#g{g}p{jj}", r
+                            ),
+                        )
+                    except (ServerUnavailable, TransientServerError):
+                        continue
+                    parity.append(
+                        ParityInfo(group=gi, j=j, server=s, digest=_digest(row))
+                    )
+                    _PARITY_BYTES.inc(shard_len)
+                    placed = True
+            lost = sum(1 for i in failed if i in members)
+            placed_parity = sum(1 for p in parity if p.group == gi)
+            if lost > placed_parity:
+                overloaded.append(
+                    f"group {gi}: {lost} shard(s) lost, {placed_parity} parity placed"
+                )
+    else:
+        placed_copies: list[tuple[int, ...]] = []
+        for i, (s, buf) in enumerate(zip(data_servers, bufs)):
+            holders: list[int] = []
+            candidates = _parity_candidates(group, [s])
+            for c in candidates:
+                if len(holders) >= cfg.replicas:
+                    break
+                if health.is_down(c):
+                    continue
+                server = group.servers[c]
+                try:
+                    client._server_op(
+                        c,
+                        lambda srv=server, b=buf, ii=i: srv.put_blob(
+                            desc.name, desc.version, f"{record_id}#s{ii}", b
+                        ),
+                    )
+                except (ServerUnavailable, TransientServerError):
+                    continue
+                holders.append(c)
+                _PARITY_BYTES.inc(int(buf.nbytes))
+            placed_copies.append(tuple(holders))
+        copies = tuple(placed_copies)
+        overloaded = [f"shard {i}: no copy placed" for i in failed if not copies[i]]
+
+    record = PutRecord(
+        record_id=record_id,
+        desc=desc,
+        mode=cfg.mode,
+        parity_count=cfg.parity,
+        shard_len=shard_len,
+        shards=tuple(infos),
+        groups=groups,
+        parity=tuple(parity),
+        copies=copies,
+    )
+    group.records.add(record)
+    _PROTECTED_PUTS.inc()
+
+    if failed:
+        _DEGRADED_PUTS.inc()
+        if overloaded:
+            raise StagingDegradedError(
+                f"put {desc}: {len(failed)} of {k} shard server(s) lost beyond "
+                f"protection ({'; '.join(overloaded)})"
+            )
+
+
+# ------------------------------------------------------------ protected get
+
+
+def _verify_reads(group: "StagingGroup") -> bool:
+    """Digest-check reads? (Records can outlive a dropped protection config.)"""
+    cfg = group.protection
+    return cfg.verify_reads if cfg is not None else True
+
+
+def _fetch_shard(client: "StagingClient", rec: PutRecord, i: int) -> np.ndarray:
+    """One data shard's bytes, digest-verified. Raises ServerUnavailable /
+    TransientServerError on loss or corruption, ObjectNotFound when a healthy
+    server simply does not hold the fragments (absent ≠ lost)."""
+    si = rec.shards[i]
+    group = client.group
+    if group.health.is_down(si.server):
+        raise ServerUnavailable(si.server)
+    descs = [rec.desc.with_bbox(b) for b in si.boxes]
+    server = group.servers[si.server]
+    parts = client._server_op(si.server, lambda srv=server, d=descs: srv.get_many(d))
+    chunks = [_as_bytes(p) for p in parts]
+    buf = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    if _verify_reads(group) and _digest(buf) != si.digest:
+        _VERIFY_FAILURES.inc()
+        group.health.mark_failure(si.server)
+        raise TransientServerError(si.server, f"shard digest mismatch for {rec.desc}")
+    return buf
+
+
+def _fetch_parity(client: "StagingClient", rec: PutRecord, p: ParityInfo) -> np.ndarray:
+    group = client.group
+    server = group.servers[p.server]
+    key = rec.parity_blob_key(p.group, p.j)
+    blob = client._server_op(
+        p.server,
+        lambda srv=server: srv.get_blob(rec.desc.name, rec.desc.version, key),
+    )
+    buf = _as_bytes(blob)
+    if _verify_reads(group) and _digest(buf) != p.digest:
+        _VERIFY_FAILURES.inc()
+        group.health.mark_failure(p.server)
+        raise TransientServerError(p.server, "parity digest mismatch")
+    return buf
+
+
+def _reconstruct(
+    client: "StagingClient",
+    rec: PutRecord,
+    bufs: dict[int, np.ndarray],
+    erased: set[int],
+) -> dict[int, np.ndarray]:
+    """Recover the erased data shards of one record from survivors.
+
+    ``bufs`` holds already-fetched shards and is extended in place with any
+    additional survivors fetched here. Raises :class:`StagingDegradedError`
+    when too few shards survive, or :class:`ObjectNotFound` when nothing was
+    lost to server faults and the data is simply absent (e.g. rolled back).
+    """
+    group = client.group
+    k = len(rec.shards)
+    fault_losses = set(erased)
+    absent = 0
+
+    if rec.mode == "rs":
+        # Decoding is per subgroup: fetch the surviving members of every
+        # codeword that lost a shard (other subgroups are untouched).
+        affected = {rec.group_of(i) for i in erased}
+        needed = [i for gi in affected for i in rec.groups[gi]]
+    else:
+        needed = []
+    for i in needed:
+        if i in bufs or i in erased:
+            continue
+        try:
+            bufs[i] = _fetch_shard(client, rec, i)
+        except (ServerUnavailable, TransientServerError):
+            erased.add(i)
+            fault_losses.add(i)
+        except ObjectNotFound:
+            erased.add(i)
+            absent += 1
+
+    if rec.mode == "replication":
+        recovered: dict[int, np.ndarray] = {}
+        for i in sorted(erased):
+            si = rec.shards[i]
+            buf = None
+            for c in rec.copies[i] if i < len(rec.copies) else ():
+                if group.health.is_down(c):
+                    continue
+                server = group.servers[c]
+                key = rec.copy_blob_key(i)
+                try:
+                    blob = client._server_op(
+                        c,
+                        lambda srv=server, kk=key: srv.get_blob(
+                            rec.desc.name, rec.desc.version, kk
+                        ),
+                    )
+                except (ServerUnavailable, TransientServerError, ObjectNotFound):
+                    continue
+                flat = _as_bytes(blob)
+                if _verify_reads(group) and _digest(flat) != si.digest:
+                    _VERIFY_FAILURES.inc()
+                    continue
+                buf = flat[: si.nbytes]
+                break
+            if buf is None:
+                if not fault_losses:
+                    raise ObjectNotFound(f"{rec.desc}: shard {i} absent (not lost)")
+                raise StagingDegradedError(
+                    f"{rec.desc}: shard {i} and all its copies are unavailable"
+                )
+            recovered[i] = buf
+        return recovered
+
+    recovered: dict[int, np.ndarray] = {}
+    for gi in sorted({rec.group_of(i) for i in erased}):
+        members = rec.groups[gi]
+        gk = len(members)
+        group_erased = [i for i in members if i in erased]
+        survivors = [
+            Shard(index=row, data=_padded(bufs[i], rec.shard_len))
+            for row, i in enumerate(members)
+            if i in bufs
+        ]
+        for p in rec.parity:
+            if len(survivors) >= gk:
+                break
+            if p.group != gi or group.health.is_down(p.server):
+                continue
+            try:
+                survivors.append(
+                    Shard(index=gk + p.j, data=_fetch_parity(client, rec, p))
+                )
+            except (ServerUnavailable, TransientServerError, ObjectNotFound):
+                continue
+        if len(survivors) < gk:
+            if not fault_losses and absent:
+                raise ObjectNotFound(
+                    f"{rec.desc}: {absent} shard(s) absent with no server faults"
+                )
+            raise StagingDegradedError(
+                f"{rec.desc}: codeword {gi} lost {len(group_erased)} of {gk} data "
+                f"shard(s), only {len(survivors)} codeword shard(s) survive (need {gk})"
+            )
+        try:
+            flat = RSCode(gk, rec.parity_count).decode(survivors, gk * rec.shard_len)
+        except DecodingError as exc:
+            raise StagingDegradedError(
+                f"{rec.desc}: reconstruction failed: {exc}"
+            ) from exc
+        raw = np.frombuffer(flat, dtype=np.uint8)
+        for i in group_erased:
+            row = members.index(i)
+            recovered[i] = raw[
+                row * rec.shard_len : row * rec.shard_len + rec.shards[i].nbytes
+            ]
+    return recovered
+
+
+def _fill_from_shards(
+    rec: PutRecord,
+    bufs: dict[int, np.ndarray],
+    indices: list[int],
+    desc: ObjectDescriptor,
+    out: np.ndarray,
+    need: BBox,
+) -> None:
+    """Copy the needed region of each shard's boxes into ``out``."""
+    dtype = np.dtype(rec.desc.dtype)
+    for i in indices:
+        si = rec.shards[i]
+        buf = bufs[i]
+        offset = 0
+        for b in si.boxes:
+            nb = b.volume * dtype.itemsize
+            sub = b.intersect(need)
+            if sub is not None:
+                arr = buf[offset : offset + nb].view(dtype).reshape(b.shape)
+                out[sub.slices(desc.bbox)] = arr[sub.slices(b)]
+            offset += nb
+
+
+def read_record(
+    client: "StagingClient",
+    rec: PutRecord,
+    desc: ObjectDescriptor,
+    out: np.ndarray,
+) -> bool:
+    """Serve ``rec.desc.bbox ∩ desc.bbox`` into ``out``; True if degraded."""
+    need = rec.desc.bbox.intersect(desc.bbox)
+    if need is None:
+        return False
+    k = len(rec.shards)
+    needed = [
+        i for i in range(k) if any(b.intersects(need) for b in rec.shards[i].boxes)
+    ]
+    bufs: dict[int, np.ndarray] = {}
+    erased: set[int] = set()
+    for i in needed:
+        try:
+            bufs[i] = _fetch_shard(client, rec, i)
+        except (ServerUnavailable, TransientServerError):
+            erased.add(i)
+    if erased:
+        t0 = perf_counter()
+        bufs.update(_reconstruct(client, rec, bufs, erased))
+        _DEGRADED_READS.inc()
+        _DEGRADED_READ_SECONDS.record(perf_counter() - t0)
+    _fill_from_shards(rec, bufs, needed, desc, out, need)
+    return bool(erased)
+
+
+def collect_shards(
+    client: "StagingClient", rec: PutRecord, want: set[int] | None = None
+) -> dict[int, np.ndarray]:
+    """All (or ``want``) data shards of a record, reconstructing as needed."""
+    k = len(rec.shards)
+    indices = sorted(want) if want is not None else list(range(k))
+    bufs: dict[int, np.ndarray] = {}
+    erased: set[int] = set()
+    for i in indices:
+        try:
+            bufs[i] = _fetch_shard(client, rec, i)
+        except (ServerUnavailable, TransientServerError):
+            erased.add(i)
+    if erased:
+        bufs.update(_reconstruct(client, rec, bufs, erased))
+    return bufs
+
+
+# ----------------------------------------------------------------- rebuild
+
+
+def rebuild_server(
+    group: "StagingGroup", server_id: int, replacement=None
+) -> int:
+    """Repopulate a lost server from survivors and swap it into the group.
+
+    Every protection record referencing ``server_id`` is replayed: its data
+    shards are reconstructed (degraded-read machinery) and re-stored as
+    ordinary fragments; its parity shards are recomputed from the data
+    shards; replication copies are re-placed. Only *protected* data can be
+    rebuilt — fragments that were written without protection died with the
+    server. Records whose surviving shards are insufficient are skipped and
+    counted (``staging.rebuild.skipped_records``).
+
+    Returns the number of payload bytes rebuilt onto the new server.
+    """
+    from repro.staging.client import StagingClient
+    from repro.staging.server import StagingServer
+
+    t0 = perf_counter()
+    fresh = replacement if replacement is not None else StagingServer(server_id)
+    client = StagingClient(group, client_id=f"rebuild-{server_id}")
+    group.health.mark_down(server_id)  # route every fetch to survivors
+    rebuilt = 0
+    for rec in group.records.all_records():
+        try:
+            rebuilt += _rebuild_record(client, rec, server_id, fresh)
+        except (ObjectNotFound, StagingDegradedError):
+            _REBUILD_SKIPPED.inc()
+    group.servers[server_id] = fresh
+    group.health.reset(server_id)
+    _REBUILDS.inc()
+    _REBUILD_BYTES.inc(rebuilt)
+    _REBUILD_SECONDS.record(perf_counter() - t0)
+    return rebuilt
+
+
+def _rebuild_record(
+    client: "StagingClient", rec: PutRecord, server_id: int, fresh
+) -> int:
+    """Restore one record's shards/parity/copies onto ``fresh``."""
+    group = client.group
+    dtype = np.dtype(rec.desc.dtype)
+    rebuilt = 0
+
+    own_data = [i for i, s in enumerate(rec.shards) if s.server == server_id]
+    own_parity = [p for p in rec.parity if p.server == server_id]
+    own_copies = [i for i, holders in enumerate(rec.copies) if server_id in holders]
+    if not (own_data or own_parity or own_copies):
+        return 0
+
+    want = set(own_data) | set(own_copies)
+    for p in own_parity:  # parity recompute needs its codeword's shards
+        want |= set(rec.groups[p.group])
+    bufs = collect_shards(client, rec, want or None)
+
+    for i in own_data:
+        si = rec.shards[i]
+        buf = bufs[i]
+        offset = 0
+        items = []
+        for b in si.boxes:
+            nb = b.volume * dtype.itemsize
+            arr = buf[offset : offset + nb].view(dtype).reshape(b.shape)
+            items.append((rec.desc.with_bbox(b), arr))
+            offset += nb
+        fresh.put_many(items)
+        rebuilt += si.nbytes
+
+    for p in own_parity:
+        members = rec.groups[p.group]
+        gk = len(members)
+        mat = np.zeros((gk, rec.shard_len), dtype=np.uint8)
+        for row, i in enumerate(members):
+            mat[row, : bufs[i].size] = bufs[i]
+        rows = RSCode(gk, rec.parity_count).encode_parity(mat)
+        fresh.put_blob(
+            rec.desc.name,
+            rec.desc.version,
+            rec.parity_blob_key(p.group, p.j),
+            rows[p.j],
+        )
+        rebuilt += rec.shard_len
+
+    for i in own_copies:
+        fresh.put_blob(
+            rec.desc.name, rec.desc.version, rec.copy_blob_key(i), bufs[i]
+        )
+        rebuilt += rec.shards[i].nbytes
+
+    return rebuilt

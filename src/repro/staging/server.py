@@ -55,6 +55,12 @@ class StagingServer:
         self.store = ObjectStore()
         self.index = SpatialIndex()
         self.lock = threading.RLock()
+        # Protection side-store: opaque uint8 blobs (parity shards, shard
+        # copies) keyed by (name, version) -> {blob key: bytes}. Kept outside
+        # the ObjectStore so the store/index lockstep invariant stays exact;
+        # evicting a (name, version) drops its blobs with it.
+        self._blobs: dict[tuple[str, int], dict[str, np.ndarray]] = {}
+        self._blob_bytes = 0
 
     # ------------------------------------------------------------------ ops
 
@@ -118,6 +124,36 @@ class StagingServer:
             _GET_COUNT.inc(len(descs))
             _GET_SECONDS.record(perf_counter() - t0)
 
+    # ------------------------------------------------------------------ blobs
+
+    def put_blob(self, name: str, version: int, key: str, data: np.ndarray) -> None:
+        """Store one opaque protection blob under (name, version, key).
+
+        Re-puts overwrite (protection records are idempotent per record id);
+        the payload is copied so the caller's buffer stays private.
+        """
+        arr = np.ascontiguousarray(data, dtype=np.uint8).reshape(-1).copy()
+        with self.lock:
+            bucket = self._blobs.setdefault((name, version), {})
+            old = bucket.get(key)
+            if old is not None:
+                self._blob_bytes -= int(old.nbytes)
+            bucket[key] = arr
+            self._blob_bytes += int(arr.nbytes)
+
+    def get_blob(self, name: str, version: int, key: str) -> np.ndarray:
+        """Fetch one protection blob (served by reference; treat as immutable)."""
+        with self.lock:
+            bucket = self._blobs.get((name, version))
+            if bucket is None or key not in bucket:
+                raise ObjectNotFound(f"no blob {key!r} for {name!r} v{version}")
+            return bucket[key]
+
+    def blob_keys(self, name: str, version: int) -> list[str]:
+        """Keys of blobs held for (name, version)."""
+        with self.lock:
+            return sorted(self._blobs.get((name, version), ()))
+
     def covers(self, desc: ObjectDescriptor) -> bool:
         """True when this server can fully serve ``desc``."""
         with self.lock:
@@ -134,10 +170,16 @@ class StagingServer:
             return self.store.versions(name)
 
     def evict(self, name: str, version: int) -> int:
-        """Drop (name, version); returns bytes freed."""
+        """Drop (name, version) — fragments *and* protection blobs; returns
+        bytes freed."""
         with self.lock:
             self.index.remove_version(name, version)
             freed = self.store.evict(name, version)
+            blobs = self._blobs.pop((name, version), None)
+            if blobs:
+                blob_bytes = sum(int(b.nbytes) for b in blobs.values())
+                self._blob_bytes -= blob_bytes
+                freed += blob_bytes
         _EVICT_COUNT.inc()
         _EVICT_BYTES.inc(freed)
         return freed
@@ -171,9 +213,14 @@ class StagingServer:
     # ------------------------------------------------------------ snapshot
 
     def snapshot(self) -> dict:
-        """Capture store *and* index for coordinated checkpointing."""
+        """Capture store, index, *and* protection blobs for coordinated
+        checkpointing (blob payloads are immutable; only containers copy)."""
         with self.lock:
-            return {"store": self.store.snapshot(), "index": self.index.snapshot()}
+            return {
+                "store": self.store.snapshot(),
+                "index": self.index.snapshot(),
+                "blobs": {k: dict(v) for k, v in self._blobs.items()},
+            }
 
     @staticmethod
     def empty_snapshot() -> dict:
@@ -181,14 +228,16 @@ class StagingServer:
         return {
             "store": {"objects": {}, "bytes": 0},
             "index": {"entries": {}},
+            "blobs": {},
         }
 
     def restore(self, snap: dict) -> None:
-        """Roll store and index back together (coordinated rollback).
+        """Roll store, index, and blobs back together (coordinated rollback).
 
         Also accepts a legacy store-only snapshot (no ``"index"`` key); the
         index is then rebuilt from the restored fragments so a rollback can
         never leave the metadata layer pointing at rolled-back versions.
+        Snapshots predating the protection side-store restore to empty blobs.
         """
         with self.lock:
             if "store" in snap:
@@ -197,6 +246,10 @@ class StagingServer:
             else:
                 self.store.restore(snap)
                 self.rebuild_index()
+            self._blobs = {k: dict(v) for k, v in snap.get("blobs", {}).items()}
+            self._blob_bytes = sum(
+                int(b.nbytes) for bucket in self._blobs.values() for b in bucket.values()
+            )
 
     def rebuild_index(self) -> None:
         """Regenerate the index from the store's fragments."""
@@ -210,14 +263,20 @@ class StagingServer:
 
     @property
     def nbytes(self) -> int:
-        """Payload bytes resident on this server."""
+        """Payload bytes resident on this server (excludes protection blobs)."""
         return self.store.nbytes
+
+    @property
+    def protection_nbytes(self) -> int:
+        """Bytes held in protection blobs (parity shards, shard copies)."""
+        return self._blob_bytes
 
     def summary(self) -> dict:
         """Small diagnostic snapshot for logging and tests."""
         return {
             "server_id": self.server_id,
             "nbytes": self.nbytes,
+            "protection_nbytes": self.protection_nbytes,
             "fragments": self.store.object_count,
             "names": self.index.names(),
         }

@@ -1,0 +1,93 @@
+"""Unit tests for fault plans, the injector, and schedule generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan, random_fault_plans
+from repro.util.rng import RngRegistry
+
+
+class TestFaultPlan:
+    def test_valid_kinds(self):
+        for kind in FAULT_KINDS:
+            latency = 0.01 if kind == "slow" else 0.0
+            plan = FaultPlan(server=0, op=3, kind=kind, latency=latency)
+            assert plan.kind == kind
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"server": -1, "op": 0, "kind": "crash"},
+            {"server": 0, "op": -2, "kind": "crash"},
+            {"server": 0, "op": 0, "kind": "meteor"},
+            {"server": 0, "op": 0, "kind": "flaky", "calls": -1},
+            {"server": 0, "op": 0, "kind": "slow"},  # slow needs latency
+            {"server": 0, "op": 0, "kind": "slow", "latency": -0.5},
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+
+class TestFaultInjector:
+    def test_fires_once_at_or_after_op(self):
+        inj = FaultInjector([FaultPlan(server=1, op=5, kind="crash")])
+        assert inj.poll(1, 4) is None
+        assert inj.poll(0, 10) is None  # wrong server
+        fired = inj.poll(1, 7)  # past the op index still fires
+        assert fired is not None and fired.kind == "crash"
+        assert inj.poll(1, 8) is None  # one-shot
+        assert inj.fired == [fired]
+        assert inj.pending_count == 0
+
+    def test_plans_delivered_in_op_order(self):
+        plans = [
+            FaultPlan(server=0, op=9, kind="flaky"),
+            FaultPlan(server=0, op=2, kind="corrupt"),
+        ]
+        inj = FaultInjector(plans)
+        assert inj.poll(0, 100).kind == "corrupt"
+        assert inj.poll(0, 100).kind == "flaky"
+
+    def test_schedule_and_pending_for(self):
+        inj = FaultInjector()
+        inj.schedule(FaultPlan(server=2, op=0, kind="crash"))
+        assert [p.server for p in inj.pending_for(2)] == [2]
+        assert inj.pending_for(0) == []
+
+
+class TestRandomFaultPlans:
+    def test_same_seed_same_schedule(self):
+        a = random_fault_plans(RngRegistry(7), "faults", 4, 100, 10)
+        b = random_fault_plans(RngRegistry(7), "faults", 4, 100, 10)
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = random_fault_plans(RngRegistry(7), "faults", 4, 100, 10)
+        b = random_fault_plans(RngRegistry(8), "faults", 4, 100, 10)
+        assert a != b
+
+    def test_draws_respect_bounds(self):
+        plans = random_fault_plans(
+            RngRegistry(0), "faults", 3, 50, 40, max_calls=2, max_latency=0.01
+        )
+        assert len(plans) == 40
+        for p in plans:
+            assert 0 <= p.server < 3
+            assert 0 <= p.op < 50
+            assert p.kind in FAULT_KINDS
+            assert 1 <= p.calls <= 2
+            if p.kind == "slow":
+                assert 0 < p.latency <= 0.01
+
+    def test_bad_arguments_rejected(self):
+        reg = RngRegistry(0)
+        with pytest.raises(ConfigError):
+            random_fault_plans(reg, "s", 0, 10, 1)
+        with pytest.raises(ConfigError):
+            random_fault_plans(reg, "s", 2, 0, 1)
+        with pytest.raises(ConfigError):
+            random_fault_plans(reg, "s", 2, 10, 1, kinds=("meteor",))

@@ -1,0 +1,140 @@
+"""Unit tests for the fault-injecting server proxy."""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.descriptors import ObjectDescriptor
+from repro.errors import ServerUnavailable, TransientServerError
+from repro.faults import FaultInjector, FaultPlan, FaultyServer, inject_faults
+from repro.geometry import BBox
+from repro.staging import StagingServer
+from repro.util.rng import RngRegistry
+
+
+def _server_with_data() -> tuple[StagingServer, ObjectDescriptor, np.ndarray]:
+    server = StagingServer(0)
+    desc = ObjectDescriptor("x", 1, BBox((0, 0), (4, 4)))
+    data = np.arange(16, dtype=np.float64).reshape(4, 4)
+    server.put(desc, data)
+    return server, desc, data
+
+
+def _wrap(server: StagingServer, *plans: FaultPlan) -> FaultyServer:
+    return FaultyServer(server, FaultInjector(list(plans)))
+
+
+class TestCrash:
+    def test_crash_refuses_every_data_op(self):
+        inner, desc, _ = _server_with_data()
+        proxy = _wrap(inner, FaultPlan(server=0, op=0, kind="crash"))
+        with pytest.raises(ServerUnavailable):
+            proxy.get(desc)
+        with pytest.raises(ServerUnavailable):  # stays crashed
+            proxy.covers(desc)
+        assert proxy.crashed
+
+    def test_heal_restores_service(self):
+        inner, desc, data = _server_with_data()
+        proxy = _wrap(inner, FaultPlan(server=0, op=0, kind="crash"))
+        with pytest.raises(ServerUnavailable):
+            proxy.get(desc)
+        proxy.heal()
+        np.testing.assert_array_equal(proxy.get(desc), data)
+
+    def test_control_plane_passes_through_a_crash(self):
+        inner, desc, _ = _server_with_data()
+        proxy = _wrap(inner, FaultPlan(server=0, op=0, kind="crash"))
+        with pytest.raises(ServerUnavailable):
+            proxy.get(desc)
+        # snapshot/restore model the checkpoint protocol, not client traffic.
+        snap = proxy.snapshot()
+        proxy.restore(snap)
+        assert proxy.nbytes == inner.nbytes
+
+
+class TestFlaky:
+    def test_flaky_raises_for_n_calls_then_recovers(self):
+        inner, desc, data = _server_with_data()
+        proxy = _wrap(inner, FaultPlan(server=0, op=0, kind="flaky", calls=2))
+        for _ in range(2):
+            with pytest.raises(TransientServerError):
+                proxy.get(desc)
+        np.testing.assert_array_equal(proxy.get(desc), data)
+
+
+class TestSlow:
+    def test_slow_adds_latency_for_n_calls(self):
+        inner, desc, _ = _server_with_data()
+        proxy = _wrap(
+            inner, FaultPlan(server=0, op=0, kind="slow", calls=2, latency=0.03)
+        )
+        t0 = perf_counter()
+        proxy.get(desc)
+        assert perf_counter() - t0 >= 0.03
+        proxy.get(desc)
+        t0 = perf_counter()
+        proxy.get(desc)  # third call: fault expired
+        assert perf_counter() - t0 < 0.03
+
+
+class TestCorrupt:
+    def test_corrupt_flips_exactly_one_byte(self):
+        inner, desc, data = _server_with_data()
+        proxy = _wrap(inner, FaultPlan(server=0, op=0, kind="corrupt", calls=1))
+        damaged = proxy.get(desc)
+        clean = proxy.get(desc)  # budget spent: second read is clean
+        np.testing.assert_array_equal(clean, data)
+        diff = damaged.view(np.uint8) != data.view(np.uint8)
+        assert int(diff.sum()) == 1
+
+    def test_corruption_of_blob_reads_never_damages_the_stored_blob(self):
+        inner = StagingServer(0)
+        blob = np.arange(32, dtype=np.uint8)
+        inner.put_blob("x", 1, "k", blob)
+        proxy = _wrap(inner, FaultPlan(server=0, op=0, kind="corrupt", calls=1))
+        damaged = proxy.get_blob("x", 1, "k")
+        assert not np.array_equal(damaged, blob)
+        np.testing.assert_array_equal(proxy.get_blob("x", 1, "k"), blob)
+
+    def test_corruption_offset_reproducible_from_seed(self):
+        offsets = []
+        for _ in range(2):
+            inner, desc, data = _server_with_data()
+            proxy = FaultyServer(
+                inner,
+                FaultInjector([FaultPlan(server=0, op=0, kind="corrupt")]),
+                rng=RngRegistry(42).get("corrupt"),
+            )
+            damaged = proxy.get(desc)
+            diff = damaged.view(np.uint8) != data.view(np.uint8)
+            offsets.append(int(np.flatnonzero(diff.reshape(-1))[0]))
+        assert offsets[0] == offsets[1]
+
+
+class TestOpScheduling:
+    def test_fault_fires_at_planned_op_index(self):
+        inner, desc, data = _server_with_data()
+        proxy = _wrap(inner, FaultPlan(server=0, op=2, kind="flaky", calls=1))
+        np.testing.assert_array_equal(proxy.get(desc), data)  # op 0
+        np.testing.assert_array_equal(proxy.get(desc), data)  # op 1
+        with pytest.raises(TransientServerError):
+            proxy.get(desc)  # op 2
+        assert proxy.op_count == 3
+
+
+class TestInjectFaults:
+    def test_wraps_every_group_server_with_shared_injector(self, group):
+        injector = inject_faults(group, [FaultPlan(server=3, op=0, kind="crash")])
+        assert all(isinstance(s, FaultyServer) for s in group.servers)
+        assert all(s.injector is injector for s in group.servers)
+
+    def test_rewrap_replaces_injector_not_proxy(self, group):
+        inject_faults(group, [])
+        proxies = list(group.servers)
+        injector = inject_faults(group, [FaultPlan(server=0, op=0, kind="crash")])
+        assert list(group.servers) == proxies
+        assert all(s.injector is injector for s in group.servers)
