@@ -10,6 +10,9 @@ the north-star ("as fast as the hardware allows").
   1/2/4/8 servers, against a baseline that restores the seed's costs:
   single-lock request servicing (``parallel=False``), linear-scan
   placement lookups with no shard memo, and ``tobytes()``-copy digests.
+* **Checkpoint snapshot** — capture/restore rate of the coordinated staging
+  snapshot at ~10 % churn: the incremental copy-on-write chain (O(mutations)
+  per capture) against the seed's full-copy path (O(staged fragments)).
 
 Results land in ``BENCH_micro.json`` at the repo root so perf PRs have a
 committed before/after record. Run directly::
@@ -58,6 +61,13 @@ RS_REPS = 3
 STAGING_DOMAIN = Domain((16, 16, 8))
 STAGING_OPS = 60
 SERVER_COUNTS = (1, 2, 4, 8)
+# Snapshot bench: a populated service checkpointed at ~10 % churn. Full-copy
+# capture is O(staged fragments); incremental capture is O(mutations since
+# the last epoch), so the gap widens with resident state.
+SNAPSHOT_SERVERS = 4
+SNAPSHOT_VERSIONS = 200
+SNAPSHOT_CHURN = 20  # versions mutated between checkpoints (10 %)
+SNAPSHOT_REPS = 5
 
 
 # ------------------------------------------------------- seed kernel baselines
@@ -317,6 +327,71 @@ def bench_staging() -> dict:
     return results
 
 
+# ------------------------------------------------------------ snapshot bench
+
+
+def _populated_service(versions: int) -> SynchronizedStaging:
+    # Producer-only (no coupled consumer): retention must keep every staged
+    # version resident so capture cost reflects the full state size.
+    group = StagingGroup.create(STAGING_DOMAIN, num_servers=SNAPSHOT_SERVERS)
+    svc = SynchronizedStaging(
+        WorkflowStaging(group, enable_logging=True), poll_timeout=0.05, max_wait=30.0
+    )
+    svc.register("sim")
+    rng = np.random.default_rng(3)
+    for v in range(versions):
+        desc = ObjectDescriptor("field", v, STAGING_DOMAIN.bbox)
+        svc.put("sim", desc, rng.standard_normal(STAGING_DOMAIN.shape), step=v)
+    return svc
+
+
+def bench_snapshot() -> dict:
+    """Checkpoint capture/restore: full copy vs incremental COW chain."""
+    state_mb = SNAPSHOT_VERSIONS * int(np.prod(STAGING_DOMAIN.shape)) * 8 / MB
+
+    # Full-copy path (seed semantics: journaling never enabled).
+    svc = _populated_service(SNAPSHOT_VERSIONS)
+    t_full = _best_of(SNAPSHOT_REPS, svc.snapshot, True)
+    full_snap = svc.snapshot(True)
+    t_full_restore = _best_of(SNAPSHOT_REPS, svc.restore, full_snap)
+    svc.shutdown()
+
+    # Incremental path: base capture once, then steady-state churn (one new
+    # version in, the oldest out — resident state stays constant) + delta
+    # capture.
+    svc = _populated_service(SNAPSHOT_VERSIONS)
+    svc.snapshot()  # base; starts the mutation journals
+    rng = np.random.default_rng(5)
+    version = SNAPSHOT_VERSIONS
+    times = []
+    for _ in range(SNAPSHOT_REPS):
+        for _ in range(SNAPSHOT_CHURN):
+            desc = ObjectDescriptor("field", version, STAGING_DOMAIN.bbox)
+            svc.put("sim", desc, rng.standard_normal(STAGING_DOMAIN.shape), step=version)
+            oldest = version - SNAPSHOT_VERSIONS
+            for srv in svc.group.servers:
+                srv.evict("field", oldest)
+            version += 1
+        times.append(_timed(svc.snapshot))
+    t_inc = min(times)
+    inc_snap = svc.snapshot()
+    t_inc_restore = _best_of(SNAPSHOT_REPS, svc.restore, inc_snap)
+    svc.shutdown()
+
+    return {
+        f"{SNAPSHOT_CHURN * 100 // SNAPSHOT_VERSIONS}pct_churn": {
+            "state_mb": round(state_mb, 2),
+            "versions": SNAPSHOT_VERSIONS,
+            "churn_versions": SNAPSHOT_CHURN,
+            "captures_per_s": round(1.0 / t_inc, 1),
+            "full_captures_per_s": round(1.0 / t_full, 1),
+            "capture_speedup": round(t_full / t_inc, 2),
+            "restores_per_s": round(1.0 / t_inc_restore, 1),
+            "full_restores_per_s": round(1.0 / t_full_restore, 1),
+        }
+    }
+
+
 # ----------------------------------------------------------------------- main
 
 
@@ -339,6 +414,16 @@ def main() -> int:
             f"(seed baseline {row['seed_baseline_ops_per_s']:.0f}, "
             f"x{row['speedup']:.1f})"
         )
+    print("== checkpoint snapshot (full copy vs incremental) ==")
+    snapshot = bench_snapshot()
+    for name, row in snapshot.items():
+        print(
+            f"  {name} ({row['state_mb']:.1f} MB staged): "
+            f"{row['captures_per_s']:.0f} captures/s "
+            f"(full copy {row['full_captures_per_s']:.0f}, "
+            f"x{row['capture_speedup']:.1f}), "
+            f"restore {row['restores_per_s']:.0f}/s"
+        )
     out = {
         "host": {
             "cpu_count": os.cpu_count(),
@@ -349,17 +434,28 @@ def main() -> int:
             "rs_payload_bytes": RS_PAYLOAD_BYTES,
             "staging_domain": list(STAGING_DOMAIN.shape),
             "staging_ops": STAGING_OPS,
+            "snapshot_versions": SNAPSHOT_VERSIONS,
+            "snapshot_churn": SNAPSHOT_CHURN,
         },
         "rs": rs,
         "staging": staging,
+        "snapshot": snapshot,
     }
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
-    ok = rs["rs(8,3)"]["encode_speedup"] >= 3.0 and all(
-        staging[str(n)]["speedup"] >= 2.0 for n in SERVER_COUNTS if n >= 4
+    snap_ok = all(row["capture_speedup"] >= 5.0 for row in snapshot.values())
+    ok = (
+        rs["rs(8,3)"]["encode_speedup"] >= 3.0
+        and all(
+            staging[str(n)]["speedup"] >= 2.0 for n in SERVER_COUNTS if n >= 4
+        )
+        and snap_ok
     )
     if not ok:
-        print("WARNING: perf targets missed (>=3x RS(8,3) encode, >=2x staging at 4+)")
+        print(
+            "WARNING: perf targets missed (>=3x RS(8,3) encode, "
+            ">=2x staging at 4+, >=5x snapshot capture at 10% churn)"
+        )
     return 0 if ok else 1
 
 

@@ -32,6 +32,7 @@ BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
 GUARDED_METRICS = {
     "rs": ("encode_MBps", "decode_worstcase_MBps", "decode_fastpath_MBps"),
     "staging": ("agg_ops_per_s",),
+    "snapshot": ("captures_per_s", "restores_per_s"),
 }
 
 
@@ -103,7 +104,11 @@ def main() -> int:
 
     bench = _load_microbench()
     print("== bench guard: measuring ==")
-    current = {"rs": bench.bench_rs(), "staging": bench.bench_staging()}
+    current = {
+        "rs": bench.bench_rs(),
+        "staging": bench.bench_staging(),
+        "snapshot": bench.bench_snapshot(),
+    }
     if args.json is not None:
         args.json.write_text(json.dumps(current, indent=2) + "\n")
 

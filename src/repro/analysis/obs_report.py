@@ -14,7 +14,7 @@ import pathlib
 from repro.analysis.report import banner, format_table
 from repro.obs import registry as _default_registry
 
-__all__ = ["metrics_table", "write_snapshot"]
+__all__ = ["metrics_table", "checkpoint_report", "write_snapshot"]
 
 
 def _fmt(value: float) -> str:
@@ -63,6 +63,57 @@ def metrics_table(snapshot: dict[str, dict] | None = None, title: str = "obs met
     if not counters and not histograms:
         parts.append("(no metrics recorded)")
     return "\n\n".join(parts)
+
+
+def checkpoint_report(snapshot: dict[str, dict] | None = None) -> str:
+    """A focused section on the ``checkpoint.*`` metrics.
+
+    Summarizes the incremental copy-on-write checkpoint pipeline: how many
+    captures were full vs delta, the bytes a delta shipped relative to live
+    state (delta ratio), how long capture/compose took, and — the headline
+    number — how long the data plane was actually gated (the quiescence
+    window, which incremental capture keeps O(mutations), not O(state)).
+    Returns an empty string when no checkpoint activity was recorded.
+    """
+    if snapshot is None:
+        snapshot = _default_registry.snapshot()
+    section = {
+        name: state for name, state in snapshot.items()
+        if name.startswith("checkpoint.")
+    }
+    activity = any(
+        state.get("value") or state.get("count") for state in section.values()
+    )
+    if not section or not activity:
+        return ""
+    full = section.get("checkpoint.captures.full", {}).get("value", 0)
+    incremental = section.get("checkpoint.captures.incremental", {}).get("value", 0)
+    delta_bytes = section.get("checkpoint.delta.bytes", {}).get("value", 0)
+    rows = [
+        ["captures (full / incremental)", f"{int(full)} / {int(incremental)}"],
+        ["delta bytes shipped", _fmt(delta_bytes)],
+        ["chain length (now)", _fmt(section.get("checkpoint.chain.length", {}).get("value", 0))],
+        ["compactions", _fmt(section.get("checkpoint.compactions", {}).get("value", 0))],
+    ]
+    ratio = section.get("checkpoint.delta.ratio", {})
+    if ratio.get("count"):
+        rows.append(["delta ratio (mean / p95)", f"{_fmt(ratio['mean'])} / {_fmt(ratio['p95'])}"])
+    for label, name in (
+        ("gate (quiesce window) s", "checkpoint.gate.seconds"),
+        ("capture s", "checkpoint.capture.seconds"),
+        ("compose s", "checkpoint.compose.seconds"),
+        ("restore s", "checkpoint.restore.seconds"),
+        ("workflow_check s", "checkpoint.workflow_check.seconds"),
+        ("workflow_restart s", "checkpoint.workflow_restart.seconds"),
+    ):
+        hist = section.get(name, {})
+        if hist.get("count"):
+            rows.append(
+                [label, f"n={hist['count']} mean={_fmt(hist['mean'])} max={_fmt(hist['max'])}"]
+            )
+    return "\n\n".join(
+        [banner("checkpointing"), format_table(["metric", "value"], rows)]
+    )
 
 
 def write_snapshot(path: str | pathlib.Path, snapshot: dict[str, dict] | None = None, extra: dict | None = None) -> dict:

@@ -22,6 +22,7 @@ consistency-unsafe) comparison point, selected with ``enable_logging=False``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -40,12 +41,17 @@ from repro.errors import (
 from repro.obs import registry as _obs
 from repro.obs import trace as _trace
 from repro.staging.client import StagingClient, StagingGroup
+from repro.staging.cow import StagingCheckpointer, compose_chain, is_cow_snapshot
 
 __all__ = ["WorkflowStaging", "WorkflowClient", "PutResult", "GetResult", "GetPlan"]
 
 _SUPPRESSED_PUTS = _obs.counter("staging.replay.suppressed_puts")
 _REPLAYED_GETS = _obs.counter("staging.replay.served_gets")
 _REPLAYS_STARTED = _obs.counter("staging.replay.scripts_activated")
+_CHECK_COUNT = _obs.counter("checkpoint.workflow_check.count")
+_CHECK_SECONDS = _obs.histogram("checkpoint.workflow_check.seconds")
+_RESTART_COUNT = _obs.counter("checkpoint.workflow_restart.count")
+_RESTART_SECONDS = _obs.histogram("checkpoint.workflow_restart.seconds")
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,11 @@ class WorkflowStaging:
         self.gc = GarbageCollector(log=self.log, queues=self.queues)
         self._replay: dict[str, ReplayScript] = {}
         self.gc_reports: list[GCReport] = []
+        # Incremental copy-on-write checkpointing of the staging group
+        # (journals + base/delta chain). Idle until the first incremental
+        # snapshot: ``full=True`` captures never enable journaling, so the
+        # seed data path pays no per-mutation cost.
+        self.checkpointer = StagingCheckpointer(group)
 
     @property
     def client(self) -> StagingClient:
@@ -408,10 +419,13 @@ class WorkflowStaging:
             raise ReplayError(
                 f"{component!r} attempted workflow_check while replaying"
             )
+        t0 = perf_counter()
         queue = self._queue(component)
         ev = queue.record_checkpoint(step, durable=durable)
         if self.auto_gc:
             self.gc_reports.append(self.gc.collect())
+        _CHECK_COUNT.inc()
+        _CHECK_SECONDS.record(perf_counter() - t0)
         assert ev.chk_id is not None
         return ev.chk_id
 
@@ -433,6 +447,7 @@ class WorkflowStaging:
             # No log: the recovering component simply rejoins live execution.
             return ReplayScript(component=component, restored_chk=None, events=[])
         with _trace.span("staging.restart", component=component, step=step):
+            t0 = perf_counter()
             if self.in_replay(component):
                 del self._replay[component]
                 self.gc.unpin_replay(component)
@@ -448,6 +463,8 @@ class WorkflowStaging:
                     if ev.op is EventKind.GET and ev.desc is not None
                 }
                 self.gc.pin_replay(component, pins)
+            _RESTART_COUNT.inc()
+            _RESTART_SECONDS.record(perf_counter() - t0)
             return script
 
     def _finish_replay_if_done(self, component: str) -> None:
@@ -455,6 +472,51 @@ class WorkflowStaging:
         if script is not None and script.exhausted:
             del self._replay[component]
             self.gc.unpin_replay(component)
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self, full: bool = False) -> dict:
+        """Capture the staging group's state (unsynchronized path).
+
+        Default is incremental: the first call takes a full base capture and
+        starts the mutation journals; later calls seal + package only the
+        delta since the previous one. ``full=True`` is the seed-compatible
+        path, returning a plain full snapshot (and never engaging journaling
+        on a group that has not checkpointed incrementally).
+
+        Callers running concurrent mutators must use the synchronized
+        service's snapshot instead — this path takes no locks.
+        """
+        ckpt = self.checkpointer
+        if full:
+            snap = ckpt.capture_full(
+                {}, start_chain=ckpt.journaling, parallel=False
+            )
+            ckpt.release_discarded()
+            return snap
+        if ckpt.wants_full():
+            ckpt.capture_full({}, parallel=False)
+            ckpt.release_discarded()
+            return ckpt.chain_view()
+        sealed = ckpt.seal()
+        sealed["frontier"] = {}
+        return ckpt.materialize(sealed)
+
+    def restore(self, snap: dict) -> None:
+        """Roll the staging group back to ``snap`` (full or incremental)."""
+        cow = is_cow_snapshot(snap)
+        full = compose_chain(snap["chain"]) if cow else snap
+        for srv, server_snap in zip(self.group.servers, full["servers"]):
+            srv.restore(server_snap)
+        if "protection" in full:
+            self.group.records.restore(full["protection"])
+        if "health" in full:
+            self.group.health.restore(full["health"])
+        if cow:
+            self.checkpointer.rebase(snap)
+            self.checkpointer.release_discarded()
+        else:
+            self.checkpointer.mark_dirty()
 
     # -------------------------------------------------------------- metrics
 

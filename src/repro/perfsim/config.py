@@ -58,6 +58,11 @@ class MachineParams:
     # Coordinated-scheme extras.
     barrier_latency_per_log2_ranks: float = 15e-6
     staging_snapshot_bandwidth: float = 4.0e9  # per server, local memcpy
+    # Fixed cost of sealing one incremental-checkpoint epoch: quiesce the
+    # data plane and swap every server's mutation journal (O(1) per server;
+    # see repro.staging.cow). Paid instead of the full-copy time once a
+    # base snapshot exists.
+    staging_snapshot_seal_overhead: float = 2.0e-4
     # Staging runtime footprint beyond stored payloads (RDMA-registered
     # receive buffers, DHT index, operational double-buffers) as a fraction
     # of one step's transferred volume. Present in both the original and the
@@ -99,6 +104,10 @@ class WorkflowConfig:
     analytic_state_factor: float = 0.5
     machine: MachineParams = field(default=CORI)
     seed: int = 2020
+    # Coordinated checkpoints capture only the bytes staged since the last
+    # snapshot (copy-on-write chain) instead of re-copying every server.
+    # False restores the seed full-copy cost model.
+    incremental_staging_snapshots: bool = True
 
     def __post_init__(self) -> None:
         if min(self.sim_cores, self.staging_cores, self.analytic_cores) <= 0:

@@ -212,7 +212,9 @@ class CoordinatedScheme(SchemeBase):
             # image); draining it to the PFS proceeds asynchronously, SCR
             # style, but still occupies the shared PFS channel.
             yield self.engine.timeout(self.staging.snapshot_time())
-            staged = self.staging.total_bytes
+            # The PFS drain ships what the snapshot captured: the full image
+            # the first time, the copy-on-write delta afterwards.
+            staged = self.staging.last_snapshot_bytes
             if staged:
                 self.engine.process(
                     self.pfs.write(staged, self.staging.config.staging_nodes),

@@ -124,6 +124,16 @@ class StagingModel:
             * config.subset_fraction
         )
 
+        # Incremental-checkpoint accounting: bytes newly staged per server
+        # since the last snapshot epoch (the size of that server's
+        # copy-on-write journal payload). Evictions only shrink a journal's
+        # replay cost, so they are not tracked.
+        self._dirty_bytes: dict[int, int] = {}
+        self._has_snapshot = False
+        # Bytes the most recent snapshot actually captured (delta once a
+        # base exists); read by the coordinated scheme's PFS drain.
+        self.last_snapshot_bytes = 0
+
         # Metrics.
         self.write_response = Counter("write_response")
         self.read_response = Counter("read_response")
@@ -232,6 +242,7 @@ class StagingModel:
         total = 0
         for sid, nbytes in self._shard_bytes(desc, fraction).items():
             self.group.servers[sid].add(desc.name, desc.version, nbytes)
+            self._dirty_bytes[sid] = self._dirty_bytes.get(sid, 0) + nbytes
             total += nbytes
         if self.logging_enabled:
             self.register(component)
@@ -326,11 +337,33 @@ class StagingModel:
     # ------------------------------------------------------------ snapshots
 
     def snapshot_time(self) -> float:
-        """Cost of capturing all staging servers (coordinated checkpoints)."""
-        per_server = max(
-            (s.nbytes for s in self.group.servers), default=0
+        """Cost of capturing all staging servers (coordinated checkpoints).
+
+        The first snapshot (and every snapshot when incremental capture is
+        disabled) copies each server's full contents; afterwards an
+        epoch-seal captures only the bytes newly staged since the previous
+        snapshot — the copy-on-write delta — plus the fixed seal overhead.
+        Servers capture in parallel, so the cost is the slowest server's.
+        Also updates :attr:`last_snapshot_bytes` (what this snapshot ships).
+        """
+        incremental = (
+            getattr(self.config, "incremental_staging_snapshots", True)
+            and self._has_snapshot
         )
-        return per_server / self.machine.staging_snapshot_bandwidth
+        if incremental:
+            per_server = max(self._dirty_bytes.values(), default=0)
+            self.last_snapshot_bytes = sum(self._dirty_bytes.values())
+            t = (
+                self.machine.staging_snapshot_seal_overhead
+                + per_server / self.machine.staging_snapshot_bandwidth
+            )
+        else:
+            per_server = max((s.nbytes for s in self.group.servers), default=0)
+            self.last_snapshot_bytes = self.group.total_bytes
+            t = per_server / self.machine.staging_snapshot_bandwidth
+        self._has_snapshot = True
+        self._dirty_bytes = {}
+        return t
 
     def rollback_retention(self, restored_version: int) -> None:
         """Global rollback: drop staged versions newer than the snapshot."""
@@ -339,6 +372,9 @@ class StagingModel:
                 for v in server.versions(name):
                     if v > restored_version:
                         server.evict(name, v)
+        # The surviving state is exactly the snapshot again: the next
+        # incremental capture's delta restarts from zero.
+        self._dirty_bytes = {}
         for (name, v) in list(self.log.records):
             if v > restored_version:
                 self.log.records.pop((name, v), None)

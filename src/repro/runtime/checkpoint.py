@@ -60,6 +60,20 @@ class CheckpointStore:
         self._by_component: dict[str, list[Checkpoint]] = {}
         self._counters: dict[str, int] = {}
         self.bytes_written = 0
+        # label -> bytes persisted outside component state (e.g. the staging
+        # snapshot a coordinated checkpoint writes alongside the components).
+        self.external_bytes: dict[str, int] = {}
+
+    def record_external(self, label: str, nbytes: int) -> None:
+        """Account bytes persisted to reliable storage outside `save()`.
+
+        Used by the coordinated protocol for the staging snapshot: with
+        incremental checkpointing those bytes are the *delta* since the last
+        epoch, so ``bytes_written`` reflects what a real checkpoint actually
+        ships to the PFS.
+        """
+        self.external_bytes[label] = self.external_bytes.get(label, 0) + nbytes
+        self.bytes_written += nbytes
 
     def save(
         self,

@@ -41,6 +41,7 @@ from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound, StagingError
 from repro.obs import registry as _obs
 from repro.staging.client import StagingGroup
+from repro.staging.cow import compose_chain, is_cow_snapshot
 
 __all__ = ["SynchronizedStaging", "WaitInterrupted"]
 
@@ -53,6 +54,9 @@ _WAITS_INTERRUPTED = _obs.counter("staging.service.waits_interrupted")
 _DATA_PHASES = _obs.counter("staging.service.data_phase.count")
 _DATA_PHASE_RETRIES = _obs.counter("staging.service.data_phase.retries")
 _QUIESCE_WAIT_SECONDS = _obs.histogram("staging.service.quiesce_wait.seconds")
+_CAPTURE_SECONDS = _obs.histogram("checkpoint.capture.seconds")
+_GATE_SECONDS = _obs.histogram("checkpoint.gate.seconds")
+_RESTORE_SECONDS = _obs.histogram("checkpoint.restore.seconds")
 
 
 class WaitInterrupted(StagingError):
@@ -94,6 +98,15 @@ class SynchronizedStaging:
         self._flow_consumers: dict[str, set[str]] = {}
         # (name, component) -> highest version read.
         self._frontier: dict[tuple[str, str], int] = {}
+        # Frontier entries changed since the last checkpoint epoch — the
+        # frontier's mutation journal (it only ever advances per key, so a
+        # dict of latest values is an exact journal).
+        self._frontier_dirty: dict[tuple[str, str], int] = {}
+        # Serializes whole checkpoint/restore operations against each other
+        # so chain updates that happen *outside* the metadata lock (delta
+        # materialization, compose) stay ordered. Acquired before _meta;
+        # nothing holding _meta ever takes it, so ordering is acyclic.
+        self._ckpt_lock = threading.Lock()
         # Finished consumers no longer gate producers.
         self._retired: set[str] = set()
         staging.frontier_source = self._unconsumed_floor
@@ -375,6 +388,7 @@ class SynchronizedStaging:
         (caller holds ``_meta``)."""
         key = (desc.name, component)
         self._frontier[key] = max(self._frontier.get(key, -1), result.served_version)
+        self._frontier_dirty[key] = self._frontier[key]
         if not self.staging.enable_logging:
             # Original-DataSpaces retention drops consumed versions at read
             # time, not only at the producer's next put: this keeps the
@@ -410,60 +424,108 @@ class SynchronizedStaging:
 
     # ------------------------------------------------------------- snapshot
 
-    def snapshot(self) -> dict:
+    def snapshot(self, full: bool = False) -> dict:
         """Capture staging state (global coordinated checkpoint).
 
         Includes the consumer read frontiers: they are coupling state, and a
         global rollback must rewind them alongside the stores or retention
         would evict versions the rolled-back consumers still need. The data
         plane is quiesced first so no in-flight put tears the snapshot.
+
+        Default is **incremental**: the first call takes a full base capture
+        (fanned out per server on the shard pool) and starts the mutation
+        journals; every later call's work under the quiescence gate is just
+        sealing those journals — O(mutations since the last epoch), not
+        O(state) — and the delta is packaged after the gate reopens.
+        ``full=True`` is the seed-compatible path: a plain full snapshot
+        in the legacy format (restorable by older code), which never turns
+        journaling on by itself.
         """
-        with self._meta:
-            self._quiesce_data_plane()
-            try:
-                return {
-                    "servers": [srv.snapshot() for srv in self.group.servers],
-                    "frontier": dict(self._frontier),
-                    # Resilience state rolls back with the data it describes:
-                    # stale protection records after a rollback would trigger
-                    # spurious reconstructions (or mask genuinely absent
-                    # data), and health is rewound so a server downed after
-                    # the checkpoint is re-probed rather than routed around.
-                    "protection": self.group.records.snapshot(),
-                    "health": self.group.health.snapshot(),
-                }
-            finally:
-                self._release_data_plane()
+        t0 = time.monotonic()
+        ckpt = self.staging.checkpointer
+        with self._ckpt_lock:
+            sealed: dict | None = None
+            with self._meta:
+                self._quiesce_data_plane()
+                t_gate = time.monotonic()
+                try:
+                    if full or ckpt.wants_full():
+                        snap = ckpt.capture_full(
+                            self._frontier,
+                            # An explicit full=True capture on a group that
+                            # never checkpointed incrementally stays purely
+                            # seed-shaped; once a chain exists it doubles as
+                            # a fresh base.
+                            start_chain=(not full) or ckpt.journaling,
+                        )
+                        self._frontier_dirty.clear()
+                        if not full:
+                            snap = ckpt.chain_view()
+                    else:
+                        sealed = ckpt.seal()
+                        sealed["frontier"] = dict(self._frontier_dirty)
+                        self._frontier_dirty.clear()
+                finally:
+                    _GATE_SECONDS.record(time.monotonic() - t_gate)
+                    self._release_data_plane()
+            if sealed is not None:
+                # Delta packaging + chain upkeep run outside the metadata
+                # lock: the data plane is already moving again.
+                snap = ckpt.materialize(sealed)
+            # Journals a re-base discarded are freed here, after the gate:
+            # they can hold the last reference to evicted payloads, and that
+            # deallocation cascade must not stall the data plane.
+            ckpt.release_discarded()
+        _CAPTURE_SECONDS.record(time.monotonic() - t0)
+        return snap
 
     def restore(self, snap: dict) -> None:
-        """Roll staging back to a captured snapshot.
+        """Roll staging back to a captured snapshot (full or incremental).
 
-        Each server restores its store *and* its spatial index together
-        (:meth:`StagingServer.restore`): restoring only the store would
-        leave the metadata layer with stale entries for rolled-back versions
-        and missing entries for versions the snapshot re-adds.
+        Incremental snapshots are composed back into the full format
+        *before* the data plane is quiesced, so the gate closes only for the
+        in-place restore. Each server restores its store *and* its spatial
+        index together (:meth:`StagingServer.restore`): restoring only the
+        store would leave the metadata layer with stale entries for
+        rolled-back versions and missing entries for versions the snapshot
+        re-adds. After an incremental restore the checkpointer rebases onto
+        the restored chain, so the next checkpoint is a delta against the
+        rolled-back state; after a legacy full restore the chain is marked
+        dirty and the next checkpoint re-bases with a full capture.
         """
-        with self._meta:
-            snaps = snap["servers"]
-            if len(snaps) != len(self.group.servers):
-                raise StagingError(
-                    f"snapshot covers {len(snaps)} servers, group has "
-                    f"{len(self.group.servers)}"
-                )
-            self._quiesce_data_plane()
-            try:
-                for srv, s in zip(self.group.servers, snaps):
-                    srv.restore(s)
-                self._frontier = dict(snap["frontier"])
-                # Legacy snapshots (pre-resilience) carry no records/health;
-                # leave the live state alone for those.
-                if "protection" in snap:
-                    self.group.records.restore(snap["protection"])
-                if "health" in snap:
-                    self.group.health.restore(snap["health"])
-            finally:
-                self._release_data_plane()
-            self._data_arrived.notify_all()
+        t0 = time.monotonic()
+        ckpt = self.staging.checkpointer
+        with self._ckpt_lock:
+            cow = is_cow_snapshot(snap)
+            full = compose_chain(snap["chain"]) if cow else snap
+            with self._meta:
+                snaps = full["servers"]
+                if len(snaps) != len(self.group.servers):
+                    raise StagingError(
+                        f"snapshot covers {len(snaps)} servers, group has "
+                        f"{len(self.group.servers)}"
+                    )
+                self._quiesce_data_plane()
+                try:
+                    for srv, s in zip(self.group.servers, snaps):
+                        srv.restore(s)
+                    self._frontier = dict(full["frontier"])
+                    self._frontier_dirty = {}
+                    # Legacy snapshots (pre-resilience) carry no records/
+                    # health; leave the live state alone for those.
+                    if "protection" in full:
+                        self.group.records.restore(full["protection"])
+                    if "health" in full:
+                        self.group.health.restore(full["health"])
+                    if cow:
+                        ckpt.rebase(snap)
+                    else:
+                        ckpt.mark_dirty()
+                finally:
+                    self._release_data_plane()
+                self._data_arrived.notify_all()
+            ckpt.release_discarded()
+        _RESTORE_SECONDS.record(time.monotonic() - t0)
 
     def rebuild_server(self, server_id: int, replacement=None) -> int:
         """Rebuild a lost staging server from survivors, then resume.
@@ -478,6 +540,10 @@ class SynchronizedStaging:
             self._quiesce_data_plane()
             try:
                 rebuilt = self.group.rebuild(server_id, replacement)
+                # The rebuild swapped a server object: its journals no
+                # longer describe the chain's lineage, so the next
+                # checkpoint must re-base with a full capture.
+                self.staging.checkpointer.mark_dirty()
             finally:
                 self._release_data_plane()
             self._data_arrived.notify_all()

@@ -37,6 +37,7 @@ from repro.runtime.failures import FailureInjector, FailurePlan
 from repro.runtime.staging_service import SynchronizedStaging
 from repro.runtime.ulfm import FailureDetector, SparePool
 from repro.staging.client import StagingGroup
+from repro.staging.cow import snapshot_cost_bytes
 from repro.staging.server import StagingServer
 
 __all__ = [
@@ -188,6 +189,9 @@ class CoordinatedProtocol:
                     self.chk_store.save(name, step, pickle.loads(data))
                 self._pending_saves.clear()
                 self._staging_snapshot = self.staging.snapshot()
+                self.chk_store.record_external(
+                    "staging", snapshot_cost_bytes(self._staging_snapshot)
+                )
                 self._snapshot_step = comp.state["step"] - 1
                 self._ckpt_epoch += 1
                 comp.stats.checkpoints_taken += 1
@@ -227,6 +231,9 @@ class CoordinatedProtocol:
                     self.chk_store.save(name, step, pickle.loads(data))
                 self._pending_saves.clear()
                 self._staging_snapshot = self.staging.snapshot()
+                self.chk_store.record_external(
+                    "staging", snapshot_cost_bytes(self._staging_snapshot)
+                )
                 self._ckpt_epoch += 1
             self._cond.notify_all()
             while len(self._done) < self.parties:

@@ -2,6 +2,12 @@
 servers and the client-side geometric put/get API."""
 
 from repro.staging.client import StagingClient, StagingGroup
+from repro.staging.cow import (
+    StagingCheckpointer,
+    compose_chain,
+    is_cow_snapshot,
+    snapshot_cost_bytes,
+)
 from repro.staging.hashing import PlacementMap
 from repro.staging.index import IndexEntry, SpatialIndex
 from repro.staging.resilience import (
@@ -18,6 +24,10 @@ from repro.staging.store import ObjectStore, StoredObject
 __all__ = [
     "StagingClient",
     "StagingGroup",
+    "StagingCheckpointer",
+    "compose_chain",
+    "is_cow_snapshot",
+    "snapshot_cost_bytes",
     "PlacementMap",
     "IndexEntry",
     "SpatialIndex",

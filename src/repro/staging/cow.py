@@ -1,0 +1,482 @@
+"""Incremental copy-on-write checkpointing for the staging group.
+
+The seed's coordinated checkpoint deep-copies every server's full container
+structure on every epoch — O(total fragments) even when almost nothing
+changed. This module makes checkpoint capture O(mutations since the last
+epoch) instead:
+
+* every mutable staging layer (:class:`~repro.staging.store.ObjectStore`,
+  :class:`~repro.staging.index.SpatialIndex`, the server blob side-store and
+  the group :class:`~repro.staging.resilience.ProtectionIndex`) keeps a
+  **mutation journal** — one tuple per effective put/evict/clear;
+* sealing an epoch detaches those journals in O(1) per layer (a list swap),
+  which is the *only* work done under the service's quiescence gate;
+* the sealed journals are packaged into a **delta** outside any lock, and
+  appended to a chain hanging off a full **base** snapshot;
+* restore composes ``base + deltas`` back into the seed snapshot format,
+  so every existing restore path (including legacy full snapshots) keeps
+  working unchanged.
+
+Chains are bounded: once a chain exceeds ``max_chain`` deltas the checkpointer
+folds it into a new base (compaction) outside the gate, so restore cost and
+chain memory never creep. When an epoch's journal grows to the same order as
+the live state (high churn), sealing falls back to a fresh full capture —
+replaying the journal would cost more than re-snapshotting.
+
+All journaled values (fragments, index entries, protection records, blob
+payloads) are immutable by repo convention, so journals and deltas share
+them with the live structures — a delta's memory cost is its container
+tuples, never payload bytes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.obs import registry as _obs
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.staging.client import StagingGroup
+
+__all__ = [
+    "COW_FORMAT",
+    "StagingCheckpointer",
+    "is_cow_snapshot",
+    "compose_chain",
+    "snapshot_cost_bytes",
+    "full_snapshot_bytes",
+]
+
+COW_FORMAT = "corec-cow-v1"
+
+_CHAIN_LENGTH = _obs.gauge("checkpoint.chain.length")
+_COMPACTIONS = _obs.counter("checkpoint.compactions")
+_FULL_CAPTURES = _obs.counter("checkpoint.captures.full")
+_DELTA_CAPTURES = _obs.counter("checkpoint.captures.incremental")
+_DELTA_BYTES = _obs.counter("checkpoint.delta.bytes")
+_DELTA_RATIO = _obs.histogram("checkpoint.delta.ratio")
+_COMPOSE_SECONDS = _obs.histogram("checkpoint.compose.seconds")
+
+
+def is_cow_snapshot(snap: dict) -> bool:
+    """True when ``snap`` is an incremental (chain) snapshot."""
+    return snap.get("format") == COW_FORMAT
+
+
+# ----------------------------------------------------------- journal replay
+#
+# Each _compose_* helper replays one layer's journals on top of that layer's
+# base snapshot, maintaining the running aggregates the live structures keep
+# (so a composed snapshot restores without any rescans). Replay mirrors the
+# recording sites exactly: journals only record *effective* mutations, so no
+# existence checks beyond what the live code does are needed.
+
+
+def _compose_store(base: dict, journals: list[list[tuple]]) -> dict:
+    objects = {k: list(v) for k, v in base["objects"].items()}
+    nbytes = base["bytes"]
+    if "count" in base and "versions" in base:
+        count = base["count"]
+        versions = {name: set(vs) for name, vs in base["versions"].items()}
+    else:  # legacy aggregate-free base
+        count = sum(len(v) for v in objects.values())
+        versions = {}
+        for name, version in objects:
+            versions.setdefault(name, set()).add(version)
+    for journal in journals:
+        for mut in journal:
+            op = mut[0]
+            if op == "put":
+                obj = mut[1]
+                objects.setdefault(obj.desc.key, []).append(obj)
+                nbytes += obj.nbytes
+                count += 1
+                versions.setdefault(obj.desc.name, set()).add(obj.desc.version)
+            elif op == "evict":
+                _, name, version = mut
+                frags = objects.pop((name, version), None)
+                if frags:
+                    nbytes -= sum(f.nbytes for f in frags)
+                    count -= len(frags)
+                    vs = versions.get(name)
+                    if vs is not None:
+                        vs.discard(version)
+                        if not vs:
+                            del versions[name]
+            else:  # clear
+                objects = {}
+                nbytes = 0
+                count = 0
+                versions = {}
+    return {"objects": objects, "bytes": nbytes, "count": count, "versions": versions}
+
+
+def _compose_index(base: dict, journals: list[list[tuple]]) -> dict:
+    entries = {k: list(v) for k, v in base["entries"].items()}
+    agg = base.get("aggregates")
+    if agg is not None:
+        versions = {name: set(vs) for name, vs in agg["versions"].items()}
+        total_bytes = agg["total_bytes"]
+        logged_bytes = agg["logged_bytes"]
+        count = agg["count"]
+        volumes = dict(agg["volumes"])
+    else:  # legacy aggregate-free base
+        versions = {}
+        total_bytes = logged_bytes = count = 0
+        volumes = {}
+        for (name, version), ents in entries.items():
+            versions.setdefault(name, set()).add(version)
+            count += len(ents)
+            for e in ents:
+                total_bytes += e.nbytes
+                if e.logged:
+                    logged_bytes += e.nbytes
+                volumes[(name, version)] = (
+                    volumes.get((name, version), 0) + e.desc.bbox.volume
+                )
+    for journal in journals:
+        for mut in journal:
+            op = mut[0]
+            if op == "insert":
+                e = mut[1]
+                key = e.desc.key
+                entries.setdefault(key, []).append(e)
+                versions.setdefault(e.desc.name, set()).add(e.desc.version)
+                total_bytes += e.nbytes
+                if e.logged:
+                    logged_bytes += e.nbytes
+                count += 1
+                volumes[key] = volumes.get(key, 0) + e.desc.bbox.volume
+            elif op == "remove":
+                _, name, version = mut
+                dropped = entries.pop((name, version), None)
+                if dropped:
+                    vs = versions.get(name)
+                    if vs is not None:
+                        vs.discard(version)
+                        if not vs:
+                            del versions[name]
+                    for e in dropped:
+                        total_bytes -= e.nbytes
+                        if e.logged:
+                            logged_bytes -= e.nbytes
+                    count -= len(dropped)
+                    volumes.pop((name, version), None)
+            else:  # clear
+                entries = {}
+                versions = {}
+                total_bytes = logged_bytes = count = 0
+                volumes = {}
+    return {
+        "entries": entries,
+        "aggregates": {
+            "versions": versions,
+            "total_bytes": total_bytes,
+            "logged_bytes": logged_bytes,
+            "count": count,
+            "volumes": volumes,
+        },
+    }
+
+
+def _compose_blobs(base: dict, journals: list[list[tuple]]) -> dict:
+    blobs = {k: dict(v) for k, v in base.items()}
+    for journal in journals:
+        for mut in journal:
+            if mut[0] == "blob_put":
+                _, key, blob_key, arr = mut
+                blobs.setdefault(key, {})[blob_key] = arr
+            else:  # blob_evict
+                blobs.pop(mut[1], None)
+    return blobs
+
+
+def _compose_protection(base: dict, journals: list[list[tuple]]) -> dict:
+    records = {k: dict(v) for k, v in base["records"].items()}
+    for journal in journals:
+        for mut in journal:
+            if mut[0] == "add":
+                rec = mut[1]
+                records.setdefault(rec.key, {})[rec.record_id] = rec
+            else:  # evict
+                records.pop(mut[1], None)
+    return {"records": records}
+
+
+def compose_chain(chain: dict) -> dict:
+    """Fold ``base + deltas`` into one seed-format full snapshot.
+
+    Pure function of immutable inputs — safe to run outside every lock, and
+    never mutates the chain it reads (compaction and older snapshots may
+    still reference the same base/delta objects).
+    """
+    t0 = perf_counter()
+    base = chain["base"]
+    deltas = chain["deltas"]
+    servers = []
+    for i, server_base in enumerate(base["servers"]):
+        journals = [d["servers"][i] for d in deltas]
+        servers.append(
+            {
+                "store": _compose_store(
+                    server_base["store"], [j["store"] for j in journals]
+                ),
+                "index": _compose_index(
+                    server_base["index"], [j["index"] for j in journals]
+                ),
+                "blobs": _compose_blobs(
+                    server_base.get("blobs", {}), [j["blobs"] for j in journals]
+                ),
+            }
+        )
+    frontier = dict(base["frontier"])
+    for d in deltas:
+        # Read frontiers only advance within a chain (restores rebase the
+        # chain), so replay is a plain per-key overwrite.
+        frontier.update(d["frontier"])
+    protection = _compose_protection(
+        base["protection"], [d["protection"] for d in deltas]
+    )
+    health = deltas[-1]["health"] if deltas else base["health"]
+    composed = {
+        "servers": servers,
+        "frontier": frontier,
+        "protection": protection,
+        "health": health,
+    }
+    _COMPOSE_SECONDS.record(perf_counter() - t0)
+    return composed
+
+
+# ------------------------------------------------------------ cost helpers
+
+
+def full_snapshot_bytes(snap: dict) -> int:
+    """Payload bytes referenced by a seed-format full snapshot."""
+    total = 0
+    for server in snap["servers"]:
+        store = server["store"] if "store" in server else server
+        total += store["bytes"]
+        for bucket in server.get("blobs", {}).values():
+            total += sum(int(b.nbytes) for b in bucket.values())
+    return total
+
+
+def snapshot_cost_bytes(snap: dict) -> int:
+    """Bytes a checkpoint of ``snap`` newly persists.
+
+    For an incremental snapshot that is the latest delta's payload bytes
+    (the base and earlier deltas were persisted by earlier checkpoints);
+    for a freshly rebased chain or a full snapshot it is the full image.
+    """
+    if is_cow_snapshot(snap):
+        deltas = snap["chain"]["deltas"]
+        if deltas:
+            return deltas[-1]["nbytes"]
+        return full_snapshot_bytes(snap["chain"]["base"])
+    return full_snapshot_bytes(snap)
+
+
+# ------------------------------------------------------------- checkpointer
+
+
+class StagingCheckpointer:
+    """Owns the journal lifecycle and the base + delta chain for one group.
+
+    Locking contract: :meth:`capture_full` and :meth:`seal` must be called
+    while the owner holds whatever makes the group quiescent (the service's
+    metadata lock + data-plane gate); they do O(state) and O(1) work
+    respectively. :meth:`materialize`, :func:`compose_chain` and compaction
+    run on immutable sealed data and need no group locks — the owner only
+    has to serialize whole checkpoint/restore operations against each other
+    (the service's ``_ckpt_lock``).
+    """
+
+    def __init__(
+        self,
+        group: StagingGroup,
+        max_chain: int = 8,
+        full_fallback_ratio: float = 1.0,
+    ) -> None:
+        self.group = group
+        # Deltas kept before folding the chain into a new base.
+        self.max_chain = max_chain
+        # Seal falls back to a full capture once journal length reaches
+        # ratio × (2 × live fragments): past that point replaying the
+        # journal costs as much as re-copying the containers.
+        self.full_fallback_ratio = full_fallback_ratio
+        self.epoch = 0
+        self.journaling = False
+        # Live state diverged from the journal lineage (legacy restore,
+        # server rebuild): the next capture must be full.
+        self.dirty = False
+        self._base: dict | None = None
+        self._deltas: list[dict] = []
+        # Journals detached-but-not-yet-freed by a re-base under the gate.
+        # A discarded journal may hold the last reference to megabytes of
+        # evicted fragment payloads; dropping it is a deallocation cascade
+        # that must not run inside the quiescence window. The owner calls
+        # :meth:`release_discarded` after reopening the data plane.
+        self._discarded: list = []
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def chain_length(self) -> int:
+        return len(self._deltas)
+
+    def wants_full(self) -> bool:
+        """True when the next capture cannot (or should not) be a delta."""
+        if not self.journaling or self.dirty or self._base is None:
+            return True
+        return self._delta_too_large()
+
+    def _delta_too_large(self) -> bool:
+        mutations = sum(s.journal_mutation_count() for s in self.group.servers)
+        mutations += self.group.records.journal_len()
+        if mutations <= 64:
+            return False
+        fragments = sum(s.store.object_count for s in self.group.servers)
+        return mutations >= self.full_fallback_ratio * 2 * max(1, fragments)
+
+    def mark_dirty(self) -> None:
+        """Invalidate the chain: live state no longer matches the journals."""
+        self.dirty = True
+
+    # ------------------------------------------------------------- capture
+
+    def _reset_journals(self) -> None:
+        """(Re)start every layer's journal empty — the new epoch base.
+
+        The discarded journals are parked on ``self._discarded`` instead of
+        being dropped: freeing them can cascade through every payload the
+        epoch evicted, and this method runs under the quiescence gate.
+        """
+        for server in self.group.servers:
+            server.enable_journal()
+            self._discarded.append(server.seal_delta())
+        self.group.records.enable_journal()
+        self._discarded.append(self.group.records.seal_journal())
+
+    def release_discarded(self) -> None:
+        """Free journals parked by a re-base; call outside the gate."""
+        self._discarded = []
+
+    def capture_full(
+        self, frontier: dict, *, start_chain: bool = True, parallel: bool | None = None
+    ) -> dict:
+        """Capture a seed-format full snapshot (caller holds the gate).
+
+        With ``start_chain`` the chain rebases onto this capture and
+        journaling (re)starts, so subsequent captures are deltas against it;
+        without it (the seed-compatible ``full=True`` path on a group that
+        never checkpointed incrementally) journaling stays off and no
+        per-mutation overhead is ever paid.
+        """
+        servers = self.group.servers
+        if parallel is None:
+            parallel = self.group.parallel and len(servers) > 1
+        if parallel:
+            futures: list[Future] = [
+                self.group.executor.submit(s.snapshot) for s in servers
+            ]
+            server_snaps = [f.result() for f in futures]
+        else:
+            server_snaps = [s.snapshot() for s in servers]
+        snap = {
+            "servers": server_snaps,
+            "frontier": dict(frontier),
+            "protection": self.group.records.snapshot(),
+            "health": self.group.health.snapshot(),
+        }
+        if start_chain:
+            self._reset_journals()
+            self.epoch += 1
+            # Park the superseded chain too: at high churn the old base holds
+            # the last references to every payload evicted since it was
+            # captured, and freeing those under the gate stalls the data
+            # plane for longer than the capture itself.
+            self._discarded.append((self._base, self._deltas))
+            self._base = snap
+            self._deltas = []
+            self.dirty = False
+            self.journaling = True
+            _CHAIN_LENGTH.set(0)
+        _FULL_CAPTURES.inc()
+        return snap
+
+    def chain_view(self) -> dict:
+        """The current chain as an immutable snapshot value."""
+        return {
+            "format": COW_FORMAT,
+            "epoch": self.epoch,
+            "chain": {"base": self._base, "deltas": tuple(self._deltas)},
+        }
+
+    def seal(self) -> dict:
+        """Flip the epoch: detach every layer's journal (caller holds the
+        gate). O(1) per layer — this is the entire quiescence-window cost of
+        an incremental checkpoint. The caller attaches the frontier delta."""
+        sealed_servers = [s.seal_delta() for s in self.group.servers]
+        self.epoch += 1
+        return {
+            "epoch": self.epoch,
+            "servers": sealed_servers,
+            "protection": self.group.records.seal_journal(),
+            # Health is a few ints per server; a full copy is cheaper than
+            # journaling its transitions.
+            "health": self.group.health.snapshot(),
+        }
+
+    def materialize(self, sealed: dict) -> dict:
+        """Package a sealed epoch into a delta and return the new snapshot.
+
+        Runs outside every group lock and in O(servers), not O(mutations):
+        each layer accumulated its journaled byte/mutation totals at record
+        time, so packaging only sums per-server counters. Compacts the chain
+        first when it is at ``max_chain``, so the returned snapshot always
+        carries this epoch as its latest delta and restore cost stays
+        bounded.
+        """
+        nbytes = sum(server["nbytes"] for server in sealed["servers"])
+        mutations = sum(server["mutations"] for server in sealed["servers"])
+        mutations += len(sealed["protection"]) + len(sealed["frontier"])
+        delta = dict(sealed)
+        delta["nbytes"] = nbytes
+        delta["mutations"] = mutations
+        if len(self._deltas) >= self.max_chain:
+            self._compact()
+        self._deltas.append(delta)
+        _DELTA_CAPTURES.inc()
+        _DELTA_BYTES.inc(nbytes)
+        live_bytes = sum(s.nbytes for s in self.group.servers)
+        if live_bytes > 0:
+            _DELTA_RATIO.record(nbytes / live_bytes)
+        _CHAIN_LENGTH.set(len(self._deltas))
+        return self.chain_view()
+
+    def _compact(self) -> None:
+        """Fold the chain into a new base (no group locks needed)."""
+        self._base = compose_chain({"base": self._base, "deltas": tuple(self._deltas)})
+        self._deltas = []
+        _COMPACTIONS.inc()
+
+    # ------------------------------------------------------------- restore
+
+    def rebase(self, snap: dict) -> None:
+        """Adopt a restored incremental snapshot's chain as the new lineage
+        (caller holds the gate, having just restored the composed state).
+
+        The next incremental capture produces a delta against ``snap`` —
+        exactly the state the group was rolled back to."""
+        chain = snap["chain"]
+        self._discarded.append((self._base, self._deltas))
+        self._base = chain["base"]
+        self._deltas = list(chain["deltas"])
+        self.epoch = snap["epoch"]
+        self._reset_journals()
+        self.journaling = True
+        self.dirty = False
+        _CHAIN_LENGTH.set(len(self._deltas))

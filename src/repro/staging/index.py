@@ -45,16 +45,52 @@ class SpatialIndex:
     _total_bytes: int = 0
     _logged_bytes: int = 0
     _count: int = 0
+    # (name, version) -> summed *unclipped* fragment volume, used by
+    # covered() as a necessary-condition early-out. Summed full volumes are
+    # an upper bound on the covered volume, so sum < region.volume proves
+    # non-coverage without any geometry walk.
+    _volumes: dict[tuple[str, int], int] = field(default_factory=dict)
+    # Mutation journal for incremental checkpointing; None = off. Same
+    # seal-in-O(1) contract as ObjectStore._journal.
+    _journal: list[tuple] | None = None
+
+    # ----------------------------------------------------------- journaling
+
+    def enable_journal(self) -> None:
+        """Start recording mutations (idempotent; keeps an open journal)."""
+        if self._journal is None:
+            self._journal = []
+
+    def disable_journal(self) -> None:
+        """Stop recording mutations and drop any pending journal."""
+        self._journal = None
+
+    @property
+    def journal_len(self) -> int:
+        """Mutations recorded since the last seal; O(1)."""
+        return len(self._journal) if self._journal is not None else 0
+
+    def seal_journal(self) -> list[tuple]:
+        """Detach and return the mutations since the last seal; O(1)."""
+        sealed = self._journal if self._journal is not None else []
+        self._journal = []
+        return sealed
+
+    # ------------------------------------------------------------ mutation
 
     def insert(self, desc: ObjectDescriptor, nbytes: int, logged: bool = False) -> IndexEntry:
         """Index one fragment; returns the entry created."""
         entry = IndexEntry(desc=desc, nbytes=nbytes, logged=logged)
-        self._entries.setdefault(desc.key, []).append(entry)
+        key = desc.key
+        self._entries.setdefault(key, []).append(entry)
         self._versions.setdefault(desc.name, set()).add(desc.version)
         self._total_bytes += nbytes
         if logged:
             self._logged_bytes += nbytes
         self._count += 1
+        self._volumes[key] = self._volumes.get(key, 0) + desc.bbox.volume
+        if self._journal is not None:
+            self._journal.append(("insert", entry))
         return entry
 
     def remove_version(self, name: str, version: int) -> int:
@@ -72,6 +108,9 @@ class SpatialIndex:
             if e.logged:
                 self._logged_bytes -= e.nbytes
         self._count -= len(entries)
+        self._volumes.pop((name, version), None)
+        if self._journal is not None:
+            self._journal.append(("remove", name, version))
         return len(entries)
 
     def query(self, name: str, version: int, region: BBox | None = None) -> list[IndexEntry]:
@@ -90,9 +129,25 @@ class SpatialIndex:
         return sorted(self._versions)
 
     def covered(self, name: str, version: int, region: BBox) -> bool:
-        """True when indexed fragments fully cover ``region``."""
+        """True when indexed fragments fully cover ``region``.
+
+        Two fast paths before the O(entries × pieces) subtract walk: the
+        summed fragment volume bounds the coverable volume from above, so a
+        deficit proves non-coverage in O(1); and any single fragment
+        containing the region proves coverage without subtraction.
+        """
+        key = (name, version)
+        entries = self._entries.get(key)
+        if not entries:
+            return False
+        if self._volumes.get(key, 0) < region.volume:
+            return False
+        if len(entries) == 1:
+            return entries[0].desc.bbox.contains(region)
         uncovered = [region]
-        for entry in self._entries.get((name, version), ()):
+        for entry in entries:
+            if entry.desc.bbox.contains(region):
+                return True
             uncovered = [
                 piece for box in uncovered for piece in box.subtract(entry.desc.bbox)
             ]
@@ -107,14 +162,38 @@ class SpatialIndex:
 
         Entries are immutable, so only the container structure is copied —
         the same in-place convention as :meth:`ObjectStore.snapshot`. The
-        aggregates are derived state and are rebuilt on restore.
+        running aggregates travel with the snapshot so restore is O(keys)
+        container copying, never an O(entries) rescan.
         """
-        return {"entries": {k: list(v) for k, v in self._entries.items()}}
+        return {
+            "entries": {k: list(v) for k, v in self._entries.items()},
+            "aggregates": {
+                "versions": {name: set(vs) for name, vs in self._versions.items()},
+                "total_bytes": self._total_bytes,
+                "logged_bytes": self._logged_bytes,
+                "count": self._count,
+                "volumes": dict(self._volumes),
+            },
+        }
 
     def restore(self, snap: dict) -> None:
-        """Roll the index back to a previously captured snapshot."""
+        """Roll the index back to a previously captured snapshot.
+
+        Aggregate-carrying snapshots restore without a rescan; legacy
+        snapshots (entries only) fall back to :meth:`_recount`.
+        """
         self._entries = {k: list(v) for k, v in snap["entries"].items()}
-        self._recount()
+        agg = snap.get("aggregates")
+        if agg is not None:
+            self._versions = {name: set(vs) for name, vs in agg["versions"].items()}
+            self._total_bytes = agg["total_bytes"]
+            self._logged_bytes = agg["logged_bytes"]
+            self._count = agg["count"]
+            self._volumes = dict(agg["volumes"])
+        else:
+            self._recount()
+        if self._journal is not None:
+            self._journal = []
 
     def clear(self) -> None:
         """Drop every entry."""
@@ -123,6 +202,9 @@ class SpatialIndex:
         self._total_bytes = 0
         self._logged_bytes = 0
         self._count = 0
+        self._volumes.clear()
+        if self._journal is not None:
+            self._journal.append(("clear",))
 
     def _recount(self) -> None:
         """Rebuild the incremental aggregates from ``_entries`` (restore path)."""
@@ -130,6 +212,7 @@ class SpatialIndex:
         self._total_bytes = 0
         self._logged_bytes = 0
         self._count = 0
+        self._volumes = {}
         for (name, version), entries in self._entries.items():
             self._versions.setdefault(name, set()).add(version)
             self._count += len(entries)
@@ -137,6 +220,9 @@ class SpatialIndex:
                 self._total_bytes += e.nbytes
                 if e.logged:
                     self._logged_bytes += e.nbytes
+                self._volumes[(name, version)] = (
+                    self._volumes.get((name, version), 0) + e.desc.bbox.volume
+                )
 
     # ------------------------------------------------------------- metrics
 

@@ -337,10 +337,40 @@ class ProtectionIndex:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: dict[tuple[str, int], dict[str, PutRecord]] = {}
+        # Mutation journal for incremental checkpointing; None = off. Same
+        # seal-in-O(1) contract as ObjectStore._journal.
+        self._journal: list[tuple] | None = None
+
+    # ----------------------------------------------------------- journaling
+
+    def enable_journal(self) -> None:
+        """Start recording mutations (idempotent)."""
+        with self._lock:
+            if self._journal is None:
+                self._journal = []
+
+    def disable_journal(self) -> None:
+        """Stop recording mutations and drop any pending journal."""
+        with self._lock:
+            self._journal = None
+
+    def journal_len(self) -> int:
+        """Mutations recorded since the last seal."""
+        with self._lock:
+            return len(self._journal) if self._journal is not None else 0
+
+    def seal_journal(self) -> list[tuple]:
+        """Detach and return the mutations since the last seal; O(1)."""
+        with self._lock:
+            sealed = self._journal if self._journal is not None else []
+            self._journal = []
+            return sealed
 
     def add(self, rec: PutRecord) -> None:
         with self._lock:
             self._records.setdefault(rec.key, {})[rec.record_id] = rec
+            if self._journal is not None:
+                self._journal.append(("add", rec))
 
     def overlapping(self, desc: ObjectDescriptor) -> list[PutRecord]:
         """Records of (name, version) whose bbox intersects ``desc.bbox``."""
@@ -366,6 +396,8 @@ class ProtectionIndex:
         """Drop all records of (name, version); returns the count dropped."""
         with self._lock:
             recs = self._records.pop((name, version), None)
+            if recs and self._journal is not None:
+                self._journal.append(("evict", (name, version)))
             return len(recs) if recs else 0
 
     def evict_older_than(self, name: str, version: int) -> int:
@@ -375,6 +407,8 @@ class ProtectionIndex:
             dropped = 0
             for key in doomed:
                 dropped += len(self._records.pop(key))
+                if self._journal is not None:
+                    self._journal.append(("evict", key))
             return dropped
 
     def __len__(self) -> int:
@@ -389,6 +423,8 @@ class ProtectionIndex:
     def restore(self, snap: dict) -> None:
         with self._lock:
             self._records = {k: dict(v) for k, v in snap["records"].items()}
+            if self._journal is not None:
+                self._journal = []
 
 
 # ------------------------------------------------------------ protected put

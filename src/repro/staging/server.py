@@ -19,6 +19,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.descriptors.odsc import ObjectDescriptor
+from repro.errors import ObjectNotFound
 from repro.obs import registry as _obs
 from repro.staging.index import SpatialIndex
 from repro.staging.store import ObjectStore, StoredObject
@@ -61,6 +62,60 @@ class StagingServer:
         # evicting a (name, version) drops its blobs with it.
         self._blobs: dict[tuple[str, int], dict[str, np.ndarray]] = {}
         self._blob_bytes = 0
+        # Blob mutation journal for incremental checkpointing; None = off.
+        # Journaled blob-put bytes are accumulated alongside so sealing a
+        # delta never re-walks the journal (same contract as the store's).
+        self._blob_journal: list[tuple] | None = None
+        self._blob_journal_bytes = 0
+
+    # ----------------------------------------------------------- journaling
+
+    def enable_journal(self) -> None:
+        """Start journaling store/index/blob mutations (idempotent)."""
+        with self.lock:
+            self.store.enable_journal()
+            self.index.enable_journal()
+            if self._blob_journal is None:
+                self._blob_journal = []
+
+    def disable_journal(self) -> None:
+        """Stop journaling and drop pending journals."""
+        with self.lock:
+            self.store.disable_journal()
+            self.index.disable_journal()
+            self._blob_journal = None
+            self._blob_journal_bytes = 0
+
+    def journal_mutation_count(self) -> int:
+        """Mutations journaled since the last seal, across all layers; O(1)."""
+        with self.lock:
+            blobs = len(self._blob_journal) if self._blob_journal is not None else 0
+            return self.store.journal_len + self.index.journal_len + blobs
+
+    def seal_delta(self) -> dict:
+        """Detach this epoch's journals in O(1) and start the next epoch.
+
+        Called under the service's quiescence gate, so the three journals
+        are sealed at one consistent cut. The returned dict is raw journal
+        lists plus the running totals (``nbytes``, ``mutations``) kept at
+        record time — packaging into a checkpoint delta happens outside any
+        lock and in O(1) (see :mod:`repro.staging.cow`).
+        """
+        with self.lock:
+            blobs = self._blob_journal if self._blob_journal is not None else []
+            nbytes = self.store.journal_put_bytes + self._blob_journal_bytes
+            mutations = (
+                self.store.journal_len + self.index.journal_len + len(blobs)
+            )
+            self._blob_journal = []
+            self._blob_journal_bytes = 0
+            return {
+                "store": self.store.seal_journal(),
+                "index": self.index.seal_journal(),
+                "blobs": blobs,
+                "nbytes": nbytes,
+                "mutations": mutations,
+            }
 
     # ------------------------------------------------------------------ ops
 
@@ -140,6 +195,9 @@ class StagingServer:
                 self._blob_bytes -= int(old.nbytes)
             bucket[key] = arr
             self._blob_bytes += int(arr.nbytes)
+            if self._blob_journal is not None:
+                self._blob_journal.append(("blob_put", (name, version), key, arr))
+                self._blob_journal_bytes += int(arr.nbytes)
 
     def get_blob(self, name: str, version: int, key: str) -> np.ndarray:
         """Fetch one protection blob (served by reference; treat as immutable)."""
@@ -180,6 +238,8 @@ class StagingServer:
                 blob_bytes = sum(int(b.nbytes) for b in blobs.values())
                 self._blob_bytes -= blob_bytes
                 freed += blob_bytes
+                if self._blob_journal is not None:
+                    self._blob_journal.append(("blob_evict", (name, version)))
         _EVICT_COUNT.inc()
         _EVICT_BYTES.inc(freed)
         return freed
@@ -250,6 +310,9 @@ class StagingServer:
             self._blob_bytes = sum(
                 int(b.nbytes) for bucket in self._blobs.values() for b in bucket.values()
             )
+            if self._blob_journal is not None:
+                self._blob_journal = []
+                self._blob_journal_bytes = 0
 
     def rebuild_index(self) -> None:
         """Regenerate the index from the store's fragments."""

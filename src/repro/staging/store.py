@@ -60,6 +60,47 @@ class ObjectStore:
         # blocking-get poll (latest_version) and non-logged retention pass,
         # so it must not be recomputed by scanning every (name, version) key.
         self._versions: dict[str, set[int]] = {}
+        # Mutation journal for incremental (copy-on-write) checkpointing.
+        # None = journaling off (seed behaviour, no per-put overhead). When
+        # enabled, every *effective* mutation appends one tuple; sealing an
+        # epoch swaps the list out in O(1). Fragments are immutable, so a
+        # journaled ("put", obj) shares the payload with the live store.
+        # Payload bytes of journaled puts are accumulated alongside, so
+        # packaging a sealed delta never has to re-walk the journal.
+        self._journal: list[tuple] | None = None
+        self._journal_put_bytes = 0
+
+    # ----------------------------------------------------------- journaling
+
+    def enable_journal(self) -> None:
+        """Start recording mutations (idempotent; keeps an open journal)."""
+        if self._journal is None:
+            self._journal = []
+
+    def disable_journal(self) -> None:
+        """Stop recording mutations and drop any pending journal."""
+        self._journal = None
+        self._journal_put_bytes = 0
+
+    @property
+    def journal_len(self) -> int:
+        """Mutations recorded since the last seal; O(1)."""
+        return len(self._journal) if self._journal is not None else 0
+
+    @property
+    def journal_put_bytes(self) -> int:
+        """Payload bytes of journaled puts since the last seal; O(1)."""
+        return self._journal_put_bytes
+
+    def seal_journal(self) -> list[tuple]:
+        """Detach and return the mutations since the last seal; O(1).
+
+        Journaling stays enabled: a fresh epoch starts immediately.
+        """
+        sealed = self._journal if self._journal is not None else []
+        self._journal = []
+        self._journal_put_bytes = 0
+        return sealed
 
     # ------------------------------------------------------------------ put
 
@@ -95,6 +136,9 @@ class ObjectStore:
         self._bytes += obj.nbytes
         self._count += 1
         self._versions.setdefault(desc.name, set()).add(desc.version)
+        if self._journal is not None:
+            self._journal.append(("put", obj))
+            self._journal_put_bytes += obj.nbytes
         return obj
 
     # ------------------------------------------------------------------ get
@@ -190,6 +234,8 @@ class ObjectStore:
             versions.discard(version)
             if not versions:
                 del self._versions[name]
+        if self._journal is not None:
+            self._journal.append(("evict", name, version))
         return freed
 
     def evict_older_than(self, name: str, version: int) -> int:
@@ -208,24 +254,37 @@ class ObjectStore:
         Fragment payloads are immutable once stored, so the snapshot only
         copies the container structure, not the bytes — matching how a real
         coordinated protocol would checkpoint staging servers in place.
+        The running aggregates travel with the snapshot so restore never
+        rescans the containers to rebuild them.
         """
         return {
             "objects": {k: list(v) for k, v in self._objects.items()},
             "bytes": self._bytes,
+            "count": self._count,
+            "versions": {name: set(vs) for name, vs in self._versions.items()},
         }
 
     def restore(self, snap: dict) -> None:
         """Roll the store back to a previously captured snapshot.
 
-        The byte total is part of the snapshot; the remaining aggregates are
-        derived state and are rebuilt here.
+        Snapshots carry the running aggregates; legacy snapshots (pre
+        aggregate-carrying format) fall back to rebuilding them by scanning.
+        Any open mutation journal restarts empty: the restored state is the
+        new epoch base.
         """
         self._objects = {k: list(v) for k, v in snap["objects"].items()}
         self._bytes = snap["bytes"]
-        self._count = sum(len(v) for v in self._objects.values())
-        self._versions = {}
-        for name, version in self._objects:
-            self._versions.setdefault(name, set()).add(version)
+        if "count" in snap and "versions" in snap:
+            self._count = snap["count"]
+            self._versions = {name: set(vs) for name, vs in snap["versions"].items()}
+        else:
+            self._count = sum(len(v) for v in self._objects.values())
+            self._versions = {}
+            for name, version in self._objects:
+                self._versions.setdefault(name, set()).add(version)
+        if self._journal is not None:
+            self._journal = []
+            self._journal_put_bytes = 0
 
     # ------------------------------------------------------------- metrics
 
@@ -245,3 +304,5 @@ class ObjectStore:
         self._bytes = 0
         self._count = 0
         self._versions.clear()
+        if self._journal is not None:
+            self._journal.append(("clear",))

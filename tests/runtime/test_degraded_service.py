@@ -73,7 +73,7 @@ class TestDegradedService:
     ):
         d0 = fdesc(domain, 0)
         service.put("sim", d0, make_payload(d0), 0)
-        snap = service.snapshot()
+        snap = service.snapshot(full=True)
         del snap["protection"]
         del snap["health"]
         service.restore(snap)  # must not raise

@@ -81,6 +81,10 @@ def check_running_aggregates(srv: StagingServer) -> None:
     for name, version in index._entries:
         index_versions.setdefault(name, set()).add(version)
     assert index._versions == index_versions
+    volumes = {}
+    for key, es in index._entries.items():
+        volumes[key] = sum(e.desc.bbox.volume for e in es)
+    assert index._volumes == volumes
     objects = store._objects
     assert store._count == sum(len(frags) for frags in objects.values())
     assert store.nbytes == sum(
