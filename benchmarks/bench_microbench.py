@@ -13,6 +13,10 @@ the north-star ("as fast as the hardware allows").
 * **Checkpoint snapshot** — capture/restore rate of the coordinated staging
   snapshot at ~10 % churn: the incremental copy-on-write chain (O(mutations)
   per capture) against the seed's full-copy path (O(staged fragments)).
+* **Garbage collection** (``bench_gc.py``) — candidate-driven pass latency
+  vs logged-state size (flat, O(drained candidates)) against the full
+  reference sweep, plus worst-case data-plane latency under the concurrent
+  background collector.
 
 Results land in ``BENCH_micro.json`` at the repo root so perf PRs have a
 committed before/after record. Run directly::
@@ -50,6 +54,23 @@ from repro.staging.hashing import PlacementMap
 from repro.staging.store import ObjectStore
 
 OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_micro.json"
+
+
+def _load_bench_gc():
+    """Load the sibling GC benchmark module (works under importlib loading)."""
+    import importlib.util
+
+    path = pathlib.Path(__file__).resolve().with_name("bench_gc.py")
+    spec = importlib.util.spec_from_file_location("bench_gc", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_gc() -> dict:
+    """GC pass latency + background-collection stalls (see bench_gc.py)."""
+    return _load_bench_gc().bench_gc()
 
 MB = 1024 * 1024
 RS_PAYLOAD_BYTES = 4 * MB
@@ -424,6 +445,20 @@ def main() -> int:
             f"x{row['capture_speedup']:.1f}), "
             f"restore {row['restores_per_s']:.0f}/s"
         )
+    print("== garbage collection (candidate-driven vs full sweep) ==")
+    gc_results = bench_gc()
+    for name, row in gc_results.items():
+        if name.endswith("_names"):
+            print(
+                f"  {row['logged_versions']} logged versions: "
+                f"{row['incremental_pass_us']:.0f} us/pass, full sweep "
+                f"{row['full_sweep_us']:.0f} us (x{row['full_sweep_speedup']:.0f})"
+            )
+        else:
+            print(
+                f"  background stall: p99 {row['put_get_p99_ms']:.2f} ms, "
+                f"max {row['put_get_max_ms']:.2f} ms put+get"
+            )
     out = {
         "host": {
             "cpu_count": os.cpu_count(),
@@ -440,21 +475,29 @@ def main() -> int:
         "rs": rs,
         "staging": staging,
         "snapshot": snapshot,
+        "gc": gc_results,
     }
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
     snap_ok = all(row["capture_speedup"] >= 5.0 for row in snapshot.values())
+    gc_ok = all(
+        row["full_sweep_speedup"] >= 10.0
+        for name, row in gc_results.items()
+        if name.endswith("_names")
+    )
     ok = (
         rs["rs(8,3)"]["encode_speedup"] >= 3.0
         and all(
             staging[str(n)]["speedup"] >= 2.0 for n in SERVER_COUNTS if n >= 4
         )
         and snap_ok
+        and gc_ok
     )
     if not ok:
         print(
             "WARNING: perf targets missed (>=3x RS(8,3) encode, "
-            ">=2x staging at 4+, >=5x snapshot capture at 10% churn)"
+            ">=2x staging at 4+, >=5x snapshot capture at 10% churn, "
+            ">=10x GC pass vs full sweep)"
         )
     return 0 if ok else 1
 

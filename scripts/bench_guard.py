@@ -33,6 +33,9 @@ GUARDED_METRICS = {
     "rs": ("encode_MBps", "decode_worstcase_MBps", "decode_fastpath_MBps"),
     "staging": ("agg_ops_per_s",),
     "snapshot": ("captures_per_s", "restores_per_s"),
+    # GC pass rate over a fixed candidate batch; rows without the metric
+    # (the background-stall entry, which is lower-is-better) are skipped.
+    "gc": ("passes_per_s",),
 }
 
 
@@ -108,6 +111,7 @@ def main() -> int:
         "rs": bench.bench_rs(),
         "staging": bench.bench_staging(),
         "snapshot": bench.bench_snapshot(),
+        "gc": bench.bench_gc(),
     }
     if args.json is not None:
         args.json.write_text(json.dumps(current, indent=2) + "\n")

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""GC soak: coupled workflow + concurrent background GC + injected faults.
+
+Runs the paper's two-component coupled workflow under the uncoordinated
+(logging) scheme with everything hostile turned on at once:
+
+* the **background collector** evicting dead versions concurrently with the
+  data plane (watermark-driven, one bounded batch per lock acquisition);
+* **component failures** mid-run, forcing rollback + staging replay while
+  the collector is live (GC must pause for the replay window);
+* **staging-server faults** (flaky + slow) landing on eviction RPCs, so
+  fragments ride the per-server pending-eviction queues and must drain
+  once the faults clear — never silently written off.
+
+Pass criteria, checked against a failure-free ``ds`` reference run:
+
+1. read stability (every (get, version) pair matches the reference);
+2. the collector actually collected versions concurrently (non-vacuous);
+3. every pending eviction drained to zero by shutdown (the leak this PR
+   fixes would show up here as a non-zero residue);
+4. all planned component failures fired.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak_gc.py [--steps 40] [--rounds 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults import FaultPlan
+from repro.geometry import Domain
+from repro.runtime.failures import FailurePlan
+from repro.runtime.workflow import ThreadedWorkflow
+from repro.workloads import coupled_specs
+
+DOMAIN = Domain((8, 8, 4))
+
+# Flaky bursts sized under the retry budget (max_attempts=4): a data-path
+# call that absorbs one rides the retries; an eviction that absorbs one is
+# queued pending and drained on a later pass. Op indices land mid-run.
+SERVER_FAULTS = [
+    FaultPlan(server=1, op=30, kind="flaky", calls=2),
+    FaultPlan(server=2, op=45, kind="slow", calls=10, latency=0.001),
+    FaultPlan(server=3, op=60, kind="flaky", calls=2),
+]
+
+
+def soak_round(steps: int, seed: int) -> list[str]:
+    """Run one reference + soak pair; return a list of failure strings."""
+    specs = coupled_specs(num_steps=steps, domain=DOMAIN)
+    reference = ThreadedWorkflow(specs, "ds").run()
+
+    failures = [
+        FailurePlan("analytic", step=max(2, steps // 3 + seed)),
+        FailurePlan("simulation", step=max(3, steps // 2 + seed)),
+    ]
+    run = ThreadedWorkflow(
+        specs,
+        "uncoordinated",
+        failures=failures,
+        background_gc=True,
+        gc_high_watermark=DOMAIN.volume * 8,  # pressure from the first version
+        server_faults=SERVER_FAULTS,
+    ).run()
+
+    problems: list[str] = []
+    try:
+        run.verify_against(reference)
+    except Exception as exc:  # ConsistencyError carries the diverging read
+        problems.append(f"read stability violated: {exc}")
+    collected = sum(r.versions_collected for r in run.gc_reports)
+    if collected == 0:
+        problems.append("background GC never collected a version (vacuous soak)")
+    if run.pending_evictions != 0:
+        problems.append(
+            f"{run.pending_evictions} pending eviction(s) leaked past shutdown"
+        )
+    if run.failures_injected != len(failures):
+        problems.append(
+            f"only {run.failures_injected}/{len(failures)} component failures fired"
+        )
+    print(
+        f"  round seed={seed}: {collected} versions collected, "
+        f"{run.failures_injected} component failures, "
+        f"{run.pending_evictions} pending evictions at shutdown, "
+        f"memory {run.memory_bytes / 1024:.0f} KiB "
+        f"(reference {reference.memory_bytes / 1024:.0f} KiB), "
+        f"wall {run.wall_seconds:.2f}s"
+    )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=40, help="workflow steps")
+    parser.add_argument(
+        "--rounds", type=int, default=2, help="independent soak rounds"
+    )
+    args = parser.parse_args()
+
+    print(f"== GC soak: {args.rounds} round(s) x {args.steps} steps ==")
+    problems: list[str] = []
+    for seed in range(args.rounds):
+        problems += soak_round(args.steps, seed)
+    if problems:
+        print(f"GC SOAK FAILED: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("GC soak passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

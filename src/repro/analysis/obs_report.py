@@ -14,7 +14,7 @@ import pathlib
 from repro.analysis.report import banner, format_table
 from repro.obs import registry as _default_registry
 
-__all__ = ["metrics_table", "checkpoint_report", "write_snapshot"]
+__all__ = ["metrics_table", "checkpoint_report", "gc_report", "write_snapshot"]
 
 
 def _fmt(value: float) -> str:
@@ -113,6 +113,67 @@ def checkpoint_report(snapshot: dict[str, dict] | None = None) -> str:
             )
     return "\n\n".join(
         [banner("checkpointing"), format_table(["metric", "value"], rows)]
+    )
+
+
+def gc_report(snapshot: dict[str, dict] | None = None) -> str:
+    """A focused section on the ``gc.*`` / ``datalog.evictions.*`` metrics.
+
+    Summarizes the incremental/concurrent collector: pass count and latency
+    percentiles (the headline number — flat regardless of logged-state
+    size), what the passes reclaimed, how the candidate queue behaved
+    (queued vs deferred under budget), the fault path (evictions queued
+    pending on transient failures, drained vs written off), and the
+    background collector's tick/batch/watermark activity. Returns an empty
+    string when no GC activity was recorded.
+    """
+    if snapshot is None:
+        snapshot = _default_registry.snapshot()
+    passes = snapshot.get("gc.passes", {}).get("value", 0)
+    if not passes:
+        return ""
+
+    def val(name: str) -> float:
+        return snapshot.get(name, {}).get("value", 0)
+
+    rows = [["passes", _fmt(passes)]]
+    lat = snapshot.get("gc.pass.seconds", {})
+    if lat.get("count"):
+        rows.append(
+            [
+                "pass latency s (p50 / p95 / p99 / max)",
+                f"{_fmt(lat['p50'])} / {_fmt(lat['p95'])} / "
+                f"{_fmt(lat['p99'])} / {_fmt(lat['max'])}",
+            ]
+        )
+    rows += [
+        ["versions collected", _fmt(val("gc.versions_collected"))],
+        ["bytes freed", _fmt(val("gc.bytes_freed"))],
+        ["events trimmed", _fmt(val("gc.events_trimmed"))],
+        [
+            "candidates (queued / deferred)",
+            f"{_fmt(val('gc.candidates_queued'))} / "
+            f"{_fmt(val('gc.candidates_deferred'))}",
+        ],
+        [
+            "pending evictions (queued / drained / written off)",
+            f"{_fmt(val('datalog.evictions.pending_queued'))} / "
+            f"{_fmt(val('datalog.evictions.pending_drained'))} / "
+            f"{_fmt(val('datalog.evictions.written_off'))}",
+        ],
+    ]
+    if val("gc.bg.ticks") or val("gc.bg.batches"):
+        rows.append(
+            [
+                "background (ticks / batches / watermark trips)",
+                f"{_fmt(val('gc.bg.ticks'))} / {_fmt(val('gc.bg.batches'))} / "
+                f"{_fmt(val('gc.bg.watermark_trips'))}",
+            ]
+        )
+        if val("gc.bg.errors"):
+            rows.append(["background errors", _fmt(val("gc.bg.errors"))])
+    return "\n\n".join(
+        [banner("garbage collection"), format_table(["metric", "value"], rows)]
     )
 
 

@@ -83,6 +83,16 @@ class EventQueue:
     _next_chk_counter: int = 0
     # Cached per-component depth gauge (resolved on first append).
     _depth_gauge: object = field(default=None, repr=False, compare=False)
+    # ---- O(1) caches (maintained at append time) ----
+    # Latest checkpoint event, any durability / durable only.
+    _latest_chk: CheckpointEvent | None = field(default=None, repr=False, compare=False)
+    _latest_durable_chk: CheckpointEvent | None = field(
+        default=None, repr=False, compare=False
+    )
+    # name -> min GET version observed since the latest *durable* checkpoint
+    # (the replayable window). Gives ``version_floor`` its O(1) lookup —
+    # the GC calls it per candidate, so it must not rescan the queue.
+    _floor_cache: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
 
     # ---------------------------------------------------------------- append
 
@@ -108,6 +118,10 @@ class EventQueue:
             digest=digest,
         )
         self.events.append(ev)
+        if op is EventKind.GET and desc is not None:
+            cur = self._floor_cache.get(desc.name)
+            if cur is None or desc.version < cur:
+                self._floor_cache[desc.name] = desc.version
         _APPENDS.inc()
         self._note_depth()
         return ev
@@ -129,6 +143,12 @@ class EventQueue:
             durable=durable,
         )
         self.events.append(ev)
+        self._latest_chk = ev
+        if durable:
+            # The replayable window restarts here: no event before a durable
+            # checkpoint can ever be replayed again.
+            self._latest_durable_chk = ev
+            self._floor_cache.clear()
         _APPENDS.inc()
         self._note_depth()
         return ev
@@ -149,11 +169,11 @@ class EventQueue:
     # ---------------------------------------------------------------- query
 
     def latest_checkpoint(self, durable_only: bool = False) -> CheckpointEvent | None:
-        """The most recent (optionally durable) checkpoint event, or None."""
-        for ev in reversed(self.events):
-            if isinstance(ev, CheckpointEvent) and (ev.durable or not durable_only):
-                return ev
-        return None
+        """The most recent (optionally durable) checkpoint event, or None.
+
+        Served from the append-time cache — O(1), no queue scan.
+        """
+        return self._latest_durable_chk if durable_only else self._latest_chk
 
     def data_events(self) -> list[DataEvent]:
         """All data events currently in the queue, oldest first."""
@@ -196,9 +216,31 @@ class EventQueue:
         dropped = [ev for ev in self.events if ev.seq < seq]
         if dropped:
             self.events = [ev for ev in self.events if ev.seq >= seq]
+            # The GC only trims below the durable checkpoint, so the caches
+            # normally survive; an arbitrary deeper trim must rebuild them.
+            if self._latest_chk is not None and self._latest_chk.seq < seq:
+                self._rescan_checkpoints()
             _TRIMMED.inc(len(dropped))
             self._note_depth()
         return dropped
+
+    def _rescan_checkpoints(self) -> None:
+        """Rebuild the checkpoint/floor caches after an out-of-band trim."""
+        self._latest_chk = None
+        self._latest_durable_chk = None
+        for ev in reversed(self.events):
+            if isinstance(ev, CheckpointEvent):
+                if self._latest_chk is None:
+                    self._latest_chk = ev
+                if ev.durable:
+                    self._latest_durable_chk = ev
+                    break
+        self._floor_cache = {}
+        for ev in self.events_after(self._latest_durable_chk):
+            if ev.op is EventKind.GET and ev.desc is not None:
+                cur = self._floor_cache.get(ev.desc.name)
+                if cur is None or ev.desc.version < cur:
+                    self._floor_cache[ev.desc.name] = ev.desc.version
 
     def trimmable_horizon(self) -> int:
         """Queue sequence below which events can never be replayed.
@@ -219,14 +261,9 @@ class EventQueue:
     def version_floor(self, name: str) -> int | None:
         """Oldest version of ``name`` this component could re-read on rollback.
 
-        Scans data events after the latest *durable* checkpoint (the deepest
-        restorable point); None when the component never reads ``name`` in
-        its replayable window.
+        Served from the append-time floor cache (min GET version since the
+        latest *durable* checkpoint — the deepest restorable point); O(1).
+        None when the component never reads ``name`` in its replayable
+        window.
         """
-        chk = self.latest_checkpoint(durable_only=True)
-        floor: int | None = None
-        for ev in self.events_after(chk):
-            if ev.op is EventKind.GET and ev.desc is not None and ev.desc.name == name:
-                if floor is None or ev.desc.version < floor:
-                    floor = ev.desc.version
-        return floor
+        return self._floor_cache.get(name)

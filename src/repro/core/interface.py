@@ -120,7 +120,13 @@ class WorkflowStaging:
         self._client = StagingClient(group, client_id="staging-internal")
         self.queues: dict[str, EventQueue] = {}
         self.log = DataLog(group=group)
-        self.gc = GarbageCollector(log=self.log, queues=self.queues)
+        # Queues resolve lazily through the provider callback: a component
+        # that registers *after* GC construction is still seen, and a
+        # consumer with no resolvable queue is treated conservatively
+        # (floor 0) instead of silently losing its rollback floor.
+        self.gc = GarbageCollector(
+            log=self.log, queues=self.queues, queue_provider=self.queues.get
+        )
         self._replay: dict[str, ReplayScript] = {}
         self.gc_reports: list[GCReport] = []
         # Incremental copy-on-write checkpointing of the staging group
@@ -161,6 +167,15 @@ class WorkflowStaging:
     def replay_script(self, component: str) -> ReplayScript | None:
         """The active replay script for ``component``, if any."""
         return self._replay.get(component)
+
+    def any_replaying(self) -> bool:
+        """True while *any* component is consuming a replay script.
+
+        The background collector pauses on this: replay scripts pin the
+        versions they still need, and deferring collection until the script
+        drains keeps GC entirely out of recovery's way.
+        """
+        return bool(self._replay)
 
     def _queue(self, component: str) -> EventQueue:
         queue = self.queues.get(component)
@@ -422,8 +437,13 @@ class WorkflowStaging:
         t0 = perf_counter()
         queue = self._queue(component)
         ev = queue.record_checkpoint(step, durable=durable)
+        # The checkpoint moved this component's rollback floors: queue the
+        # names it consumes (and its queue trim) as GC candidates.
+        self.gc.note_checkpoint(component)
         if self.auto_gc:
-            self.gc_reports.append(self.gc.collect())
+            # Candidate-driven drain: O(names this checkpoint affected),
+            # not a stop-the-world sweep of every logged variable.
+            self.gc_reports.append(self.gc.collect_incremental())
         _CHECK_COUNT.inc()
         _CHECK_SECONDS.record(perf_counter() - t0)
         assert ev.chk_id is not None
@@ -528,9 +548,24 @@ class WorkflowStaging:
         """Memory overhead of logging vs latest-only retention."""
         return self.log.logging_overhead()
 
-    def run_gc(self) -> GCReport:
-        """Force one garbage-collection pass."""
-        report = self.gc.collect()
+    def run_gc(
+        self,
+        full: bool = True,
+        max_versions: int | None = None,
+        max_seconds: float | None = None,
+    ) -> GCReport:
+        """Force one garbage-collection pass.
+
+        ``full=True`` (default) runs the reference full sweep; otherwise a
+        bounded incremental pass drains queued candidates within the given
+        budgets and reports what it deferred.
+        """
+        if full:
+            report = self.gc.collect()
+        else:
+            report = self.gc.collect_incremental(
+                max_versions=max_versions, max_seconds=max_seconds
+            )
         self.gc_reports.append(report)
         return report
 

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.event_queue import ReplayScript
 from repro.core.events import WChkId, payload_digest
+from repro.core.garbage import BackgroundCollector, GCReport
 from repro.core.interface import GetPlan, GetResult, PutResult, WorkflowStaging
 from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound, StagingError
@@ -110,6 +111,18 @@ class SynchronizedStaging:
         # Finished consumers no longer gate producers.
         self._retired: set[str] = set()
         staging.frontier_source = self._unconsumed_floor
+        # ---- background garbage collection --------------------------------
+        self._bg_gc: BackgroundCollector | None = None
+        self._bg_gc_prev_auto: bool | None = None
+        # Operations that must exclude GC (snapshot/restore/rebuild) bump
+        # this; the collector's pause predicate reads it. Guarded by its own
+        # lock so the predicate never has to touch ``_meta``.
+        self._gc_pause_lock = threading.Lock()
+        self._gc_excluded = 0
+        # An epoch boundary makes pre-epoch versions collectable: feed the
+        # GC's candidate queue whenever the checkpointer seals one. (Always
+        # registered — the synchronous incremental passes benefit too.)
+        staging.checkpointer.epoch_listeners.append(staging.gc.note_epoch)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -119,9 +132,121 @@ class SynchronizedStaging:
 
     def shutdown(self) -> None:
         """Wake every waiter with WaitInterrupted; used at teardown."""
+        # Join the collector before taking _meta: its batches acquire _meta,
+        # so joining while holding the lock could deadlock.
+        self.stop_background_gc()
         with self._meta:
             self._shutdown = True
             self._data_arrived.notify_all()
+
+    # ---------------------------------------------------- garbage collection
+
+    def gc_step(
+        self, max_versions: int | None = 1, max_seconds: float | None = None
+    ) -> GCReport:
+        """One bounded incremental GC batch under the metadata lock.
+
+        The default budget of a *single* eviction per batch is what bounds
+        the data plane's GC-induced stall: the lock is released between
+        batches, so a concurrent put/get waits for at most one candidate's
+        eviction, never a sweep.
+        """
+        with self._meta:
+            report = self.staging.gc.collect_incremental(
+                max_versions=max_versions, max_seconds=max_seconds
+            )
+            if (
+                report.versions_collected
+                or report.events_trimmed
+                or report.pending_drained
+            ):
+                # Idle no-op batches would swamp the report list.
+                self.staging.gc_reports.append(report)
+            return report
+
+    def _gc_paused(self) -> bool:
+        """Pause predicate for the background collector (lock-free-ish).
+
+        True while a snapshot/restore/rebuild excludes GC or any component
+        is mid-replay. Reads race benignly with the writers: a stale False
+        only means one more bounded batch, which still serializes correctly
+        through ``_meta``.
+        """
+        if self._gc_excluded:
+            return True
+        return self.staging.any_replaying()
+
+    def _exclude_gc(self) -> None:
+        with self._gc_pause_lock:
+            self._gc_excluded += 1
+
+    def _readmit_gc(self) -> None:
+        with self._gc_pause_lock:
+            self._gc_excluded -= 1
+
+    def start_background_gc(
+        self,
+        high_watermark: int,
+        low_watermark: int | None = None,
+        interval: float = 0.05,
+        batch_versions: int | None = 1,
+        batch_seconds: float | None = None,
+    ) -> BackgroundCollector:
+        """Start concurrent watermark-driven collection (idempotent).
+
+        Synchronous auto-GC on ``workflow_check`` is suspended while the
+        collector runs — checkpoints only queue candidates (O(1) under
+        ``_meta``) and nudge the collector, so the checkpoint path loses its
+        last collection work. Fault recovery wakes the collector too, via
+        the data log's ``recovery_waker``, so pending evictions queued
+        behind a transient fault drain as soon as the server heals.
+        """
+        if self._bg_gc is not None:
+            return self._bg_gc
+        collector = BackgroundCollector(
+            run_batch=lambda: self.gc_step(batch_versions, batch_seconds),
+            pressure_bytes=self.staging.log.logged_bytes,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+            interval=interval,
+            paused=self._gc_paused,
+        )
+        with self._meta:
+            self._bg_gc_prev_auto = self.staging.auto_gc
+            self.staging.auto_gc = False
+            self.staging.log.recovery_waker = collector.wakeup
+            self.staging.checkpointer.epoch_listeners.append(collector.wakeup)
+        self._bg_gc = collector
+        collector.start()
+        return collector
+
+    def stop_background_gc(self, final_pass: bool = True) -> None:
+        """Stop the collector thread and restore synchronous auto-GC.
+
+        ``final_pass`` runs one last *unbounded* incremental pass after the
+        thread joins, so candidates queued between its final batch and the
+        stop are not stranded (teardown determinism for tests/benchmarks).
+        """
+        collector = self._bg_gc
+        if collector is None:
+            return
+        self._bg_gc = None
+        collector.stop()
+        with self._meta:
+            self.staging.log.recovery_waker = None
+            listeners = self.staging.checkpointer.epoch_listeners
+            if collector.wakeup in listeners:
+                listeners.remove(collector.wakeup)
+            if self._bg_gc_prev_auto is not None:
+                self.staging.auto_gc = self._bg_gc_prev_auto
+                self._bg_gc_prev_auto = None
+        if final_pass:
+            self.gc_step(max_versions=None, max_seconds=None)
+
+    @property
+    def background_gc(self) -> BackgroundCollector | None:
+        """The running background collector, if any."""
+        return self._bg_gc
 
     # -------------------------------------------------------- data-phase gate
 
@@ -443,6 +568,16 @@ class SynchronizedStaging:
         """
         t0 = time.monotonic()
         ckpt = self.staging.checkpointer
+        # GC pauses for the whole operation (not just the gated window):
+        # delta packaging outside the gate still reads sealed journals that
+        # share payload references with the stores.
+        self._exclude_gc()
+        try:
+            return self._snapshot_excluded(full, ckpt, t0)
+        finally:
+            self._readmit_gc()
+
+    def _snapshot_excluded(self, full: bool, ckpt, t0: float) -> dict:
         with self._ckpt_lock:
             sealed: dict | None = None
             with self._meta:
@@ -495,6 +630,14 @@ class SynchronizedStaging:
         """
         t0 = time.monotonic()
         ckpt = self.staging.checkpointer
+        self._exclude_gc()
+        try:
+            self._restore_excluded(snap, ckpt)
+        finally:
+            self._readmit_gc()
+        _RESTORE_SECONDS.record(time.monotonic() - t0)
+
+    def _restore_excluded(self, snap: dict, ckpt) -> None:
         with self._ckpt_lock:
             cow = is_cow_snapshot(snap)
             full = compose_chain(snap["chain"]) if cow else snap
@@ -525,7 +668,6 @@ class SynchronizedStaging:
                     self._release_data_plane()
                 self._data_arrived.notify_all()
             ckpt.release_discarded()
-        _RESTORE_SECONDS.record(time.monotonic() - t0)
 
     def rebuild_server(self, server_id: int, replacement=None) -> int:
         """Rebuild a lost staging server from survivors, then resume.
@@ -536,18 +678,22 @@ class SynchronizedStaging:
         that were only degraded-readable become directly servable again.
         Returns the number of payload bytes rebuilt.
         """
-        with self._meta:
-            self._quiesce_data_plane()
-            try:
-                rebuilt = self.group.rebuild(server_id, replacement)
-                # The rebuild swapped a server object: its journals no
-                # longer describe the chain's lineage, so the next
-                # checkpoint must re-base with a full capture.
-                self.staging.checkpointer.mark_dirty()
-            finally:
-                self._release_data_plane()
-            self._data_arrived.notify_all()
-            return rebuilt
+        self._exclude_gc()
+        try:
+            with self._meta:
+                self._quiesce_data_plane()
+                try:
+                    rebuilt = self.group.rebuild(server_id, replacement)
+                    # The rebuild swapped a server object: its journals no
+                    # longer describe the chain's lineage, so the next
+                    # checkpoint must re-base with a full capture.
+                    self.staging.checkpointer.mark_dirty()
+                finally:
+                    self._release_data_plane()
+                self._data_arrived.notify_all()
+                return rebuilt
+        finally:
+            self._readmit_gc()
 
     # -------------------------------------------------------------- metrics
 

@@ -259,6 +259,9 @@ class WorkflowResult:
     checkpoint_bytes: int
     wall_seconds: float
     gc_reports: list = field(default_factory=list)
+    # Fragments still queued for eviction at shutdown (after the final GC
+    # pass). Non-zero means a transient server fault was never drained.
+    pending_evictions: int = 0
 
     def verify_against(self, reference: "WorkflowResult") -> None:
         """Raise ConsistencyError unless this run is read-stable vs reference."""
@@ -277,6 +280,9 @@ class ThreadedWorkflow:
         spare_processes: int = 16,
         coordinated_period: int | None = None,
         join_timeout: float = 120.0,
+        background_gc: bool = False,
+        gc_high_watermark: int | None = None,
+        server_faults: list | None = None,
     ) -> None:
         if scheme not in SCHEMES:
             raise ConfigError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
@@ -295,6 +301,14 @@ class ThreadedWorkflow:
         self.spare_processes = spare_processes
         self.coordinated_period = coordinated_period
         self.join_timeout = join_timeout
+        # Concurrent watermark-driven GC instead of synchronous auto-GC on
+        # every workflow_check (only meaningful for logging schemes).
+        self.background_gc = background_gc
+        self.gc_high_watermark = gc_high_watermark
+        # Staging-server fault plans (FaultPlan list) injected into the
+        # group before the run — the GC/fault soak drives eviction through
+        # crashing/slow/flaky servers this way.
+        self.server_faults = server_faults or []
         if scheme in ("ds", "coordinated", "individual"):
             self.enable_logging = False
         else:
@@ -305,7 +319,19 @@ class ThreadedWorkflow:
     def run(self) -> WorkflowResult:
         domain = self.specs[0].domain
         group = StagingGroup.create(domain, num_servers=self.num_servers)
+        if self.server_faults:
+            from repro.faults.proxy import inject_faults  # local import (optional path)
+
+            inject_faults(group, list(self.server_faults))
         staging = SynchronizedStaging(WorkflowStaging(group, enable_logging=self.enable_logging))
+        if self.background_gc and self.enable_logging:
+            # Retention trimming leaves the checkpoint path: checks only
+            # queue candidates; the collector evicts concurrently, one
+            # bounded batch per lock acquisition.
+            high = self.gc_high_watermark
+            if high is None:
+                high = 1 << 20
+            staging.start_background_gc(high_watermark=high)
         for spec in self.specs:
             if spec.kind == "consumer":
                 for var in spec.variables:
@@ -375,6 +401,7 @@ class ThreadedWorkflow:
             checkpoint_bytes=chk_store.bytes_written,
             wall_seconds=wall,
             gc_reports=list(ws.gc_reports),
+            pending_evictions=ws.log.pending_eviction_count(),
         )
 
     # ------------------------------------------------------------- plumbing

@@ -287,8 +287,9 @@ class StagingClient:
     def _scatter_to(
         self, server_id: int, boxes: list[BBox], desc: ObjectDescriptor, data: np.ndarray
     ) -> None:
-        self.group.servers[server_id].put_many(
-            [(desc.with_bbox(sub), data[sub.slices(desc.bbox)]) for sub in boxes]
+        shards = [(desc.with_bbox(sub), data[sub.slices(desc.bbox)]) for sub in boxes]
+        self._server_op(
+            server_id, lambda: self.group.servers[server_id].put_many(shards)
         )
 
     # ------------------------------------------------------------------ get
@@ -328,8 +329,9 @@ class StagingClient:
     def _gather_from(
         self, server_id: int, boxes: list[BBox], desc: ObjectDescriptor, out: np.ndarray
     ) -> None:
-        parts = self.group.servers[server_id].get_many(
-            [desc.with_bbox(sub) for sub in boxes]
+        descs = [desc.with_bbox(sub) for sub in boxes]
+        parts = self._server_op(
+            server_id, lambda: self.group.servers[server_id].get_many(descs)
         )
         for sub, part in zip(boxes, parts):
             out[sub.slices(desc.bbox)] = part
@@ -355,11 +357,9 @@ class StagingClient:
             for server_id, boxes in self._by_server(
                 self.group.placement.shards(region)
             ).items():
-                self._server_op(
-                    server_id,
-                    lambda s=server_id, b=boxes, d=sub_desc: self._gather_from(
-                        s, b, d, out[region.slices(desc.bbox)]
-                    ),
+                # _gather_from runs under the retry policy itself.
+                self._gather_from(
+                    server_id, boxes, sub_desc, out[region.slices(desc.bbox)]
                 )
 
     def covers(self, desc: ObjectDescriptor) -> bool:

@@ -320,6 +320,15 @@ class StagingCheckpointer:
         # that must not run inside the quiescence window. The owner calls
         # :meth:`release_discarded` after reopening the data plane.
         self._discarded: list = []
+        # Called (no args) whenever the checkpoint epoch advances. The GC
+        # subscribes: an epoch boundary is the retention event after which
+        # pre-epoch versions become collectable, so it refreshes candidates.
+        # Listeners run under the quiescence gate — they must be O(small).
+        self.epoch_listeners: list = []
+
+    def _notify_epoch(self) -> None:
+        for listener in self.epoch_listeners:
+            listener()
 
     # ------------------------------------------------------------- queries
 
@@ -404,6 +413,7 @@ class StagingCheckpointer:
             self.dirty = False
             self.journaling = True
             _CHAIN_LENGTH.set(0)
+            self._notify_epoch()
         _FULL_CAPTURES.inc()
         return snap
 
@@ -421,6 +431,7 @@ class StagingCheckpointer:
         an incremental checkpoint. The caller attaches the frontier delta."""
         sealed_servers = [s.seal_delta() for s in self.group.servers]
         self.epoch += 1
+        self._notify_epoch()
         return {
             "epoch": self.epoch,
             "servers": sealed_servers,

@@ -183,6 +183,10 @@ class GroupHealth:
         self._lock = threading.Lock()
         self._states = [UP] * num_servers
         self._failures = [0] * num_servers
+        # Optional hook fired (outside the lock) when a server transitions
+        # from suspect/down back to up — e.g. the data log drains that
+        # server's pending-eviction queue on recovery.
+        self.on_recovered: "callable | None" = None
 
     def state(self, server_id: int) -> str:
         return self._states[server_id]
@@ -196,10 +200,13 @@ class GroupHealth:
         if self._states[server_id] == UP and not self._failures[server_id]:
             return
         with self._lock:
-            if self._states[server_id] != UP:
+            recovered = self._states[server_id] != UP
+            if recovered:
                 _HEALTH_TRANSITIONS.inc()
             self._states[server_id] = UP
             self._failures[server_id] = 0
+        if recovered and self.on_recovered is not None:
+            self.on_recovered(server_id)
 
     def mark_failure(self, server_id: int) -> None:
         """Record one transient failure; may demote to suspect or down."""
@@ -222,10 +229,13 @@ class GroupHealth:
     def reset(self, server_id: int) -> None:
         """A rebuilt/replaced server starts healthy."""
         with self._lock:
-            if self._states[server_id] != UP:
+            recovered = self._states[server_id] != UP
+            if recovered:
                 _HEALTH_TRANSITIONS.inc()
             self._states[server_id] = UP
             self._failures[server_id] = 0
+        if recovered and self.on_recovered is not None:
+            self.on_recovered(server_id)
 
     def alive(self) -> list[int]:
         return [i for i, s in enumerate(self._states) if s != DOWN]

@@ -143,3 +143,21 @@ class TestGCReport:
     def test_report_addition(self):
         total = GCReport(1, 100, 2) + GCReport(3, 50, 1)
         assert total == GCReport(4, 150, 3)
+
+
+class TestObsReport:
+    def test_gc_report_renders_and_empty_without_activity(self, setup):
+        from repro.analysis.obs_report import gc_report
+
+        assert gc_report(snapshot={}) == ""
+        log, queues, gc, write, read = setup
+        for v in (0, 1, 2):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=2)
+        read(2)
+        gc.collect()
+        out = gc_report()
+        assert "garbage collection" in out
+        assert "passes" in out
+        assert "pending evictions (queued / drained / written off)" in out

@@ -1,0 +1,305 @@
+"""Incremental / candidate-driven GC: safety property and differential tests.
+
+The load-bearing property (DESIGN.md §11): **GC never collects a version
+that any subsequent rollback replay or unread read frontier needs.** It is
+checked here over hypothesis-generated interleavings of puts, gets,
+checkpoints, rollbacks and bounded collection passes, and the incremental
+path is differentially tested against the full reference sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.data_log import DataLog
+from repro.core.event_queue import EventQueue
+from repro.core.events import EventKind
+from repro.core.garbage import GarbageCollector
+from repro.core.interface import WorkflowStaging
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import Domain
+from repro.staging import StagingGroup
+
+from tests.conftest import make_payload
+
+DOMAIN = Domain((8, 8, 4))
+NAMES = ("x", "y")
+CONSUMERS = ("ana", "viz")
+
+
+def _desc(name: str, version: int) -> ObjectDescriptor:
+    return ObjectDescriptor(name, version, DOMAIN.bbox)
+
+
+class Driver:
+    """Drives a real WorkflowStaging through randomized op sequences."""
+
+    def __init__(self, sequential_gets: bool = False):
+        group = StagingGroup.create(DOMAIN, num_servers=4)
+        self.ws = WorkflowStaging(group, auto_gc=False)
+        self.ws.register("sim")
+        for c in CONSUMERS:
+            self.ws.register(c)
+        for name in NAMES:
+            for c in CONSUMERS:
+                self.ws.declare_coupling(name, c)
+        self.sequential_gets = sequential_gets
+        self.next_version = {n: 0 for n in NAMES}
+        self.put_history: dict[str, list[int]] = {n: [] for n in NAMES}
+        self.step = 0
+
+    # ------------------------------------------------------------------ ops
+
+    def put(self, name: str) -> None:
+        v = self.next_version[name]
+        self.next_version[name] += 1
+        d = _desc(name, v)
+        self.ws.handle_put("sim", d, make_payload(d), self.step)
+        self.put_history[name].append(v)
+        self.step += 1
+
+    def get(self, comp: str, name: str, pick: int) -> None:
+        self._finish_replay(comp)
+        frontier = self.ws.log.read_frontier(name, comp)
+        if self.sequential_gets:
+            # Deterministic next-unread read: identical across drivers even
+            # when their retained sets differ (frontier+1 is never evicted).
+            v = frontier + 1
+            if v >= self.next_version[name]:
+                return
+        else:
+            candidates = [
+                v for v in self.ws.log.logged_versions(name) if v > frontier
+            ]
+            if not candidates:
+                return
+            v = candidates[pick % len(candidates)]
+        self.ws.handle_get(comp, _desc(name, v), self.step)
+        self.step += 1
+
+    def check(self, comp: str, durable: bool) -> None:
+        self._finish_replay(comp)
+        self.ws.handle_check(comp, self.step, durable=durable)
+        self.step += 1
+
+    def restart(self, comp: str) -> None:
+        """Roll a consumer back and re-execute its replay script."""
+        self._finish_replay(comp)
+        self.ws.handle_restart(comp, self.step)
+        self.step += 1
+        # A bounded pass *during* replay must respect the script's pins.
+        self.ws.gc.collect_incremental(max_versions=2)
+        self.check_invariant()
+        self._finish_replay(comp)
+
+    def _finish_replay(self, comp: str) -> None:
+        script = self.ws.replay_script(comp)
+        if script is None:
+            return
+        for ev in script.events[script._cursor :]:
+            assert ev.op is EventKind.GET  # consumers only read
+            self.ws.handle_get(comp, ev.desc, self.step)
+
+    # ------------------------------------------------------------ invariant
+
+    def check_invariant(self) -> None:
+        log = self.ws.log
+        # 1. Unread-frontier safety: every version some consumer has not
+        #    read yet is still logged and fully fetchable.
+        for name in NAMES:
+            min_frontier = min(log.read_frontier(name, c) for c in CONSUMERS)
+            retained = set(log.logged_versions(name))
+            for v in self.put_history[name]:
+                if v > min_frontier:
+                    assert v in retained, (
+                        f"{name} v{v} collected but unread "
+                        f"(min frontier {min_frontier})"
+                    )
+        # 2. Rollback-replay safety: a restart issued *now* (even from the
+        #    deepest restorable point, the durable checkpoint) must find
+        #    every GET of its script servable.
+        for comp in CONSUMERS:
+            queue = self.ws.queues[comp]
+            chk = queue.latest_checkpoint(durable_only=True)
+            for ev in queue.events_after(chk):
+                if ev.op is EventKind.GET:
+                    key = (ev.desc.name, ev.desc.version)
+                    assert key in log.records, (
+                        f"{comp} replay needs {key} but it was collected"
+                    )
+                    assert self.ws.client.covers(ev.desc)
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(NAMES)),
+        st.tuples(
+            st.just("get"),
+            st.sampled_from(CONSUMERS),
+            st.sampled_from(NAMES),
+            st.integers(0, 7),
+        ),
+        st.tuples(
+            st.just("check"),
+            st.sampled_from(("sim",) + CONSUMERS),
+            st.booleans(),
+        ),
+        st.tuples(st.just("restart"), st.sampled_from(CONSUMERS)),
+        st.tuples(st.just("gc"), st.integers(1, 3)),
+        st.tuples(st.just("gc_full")),
+    ),
+    min_size=5,
+    max_size=40,
+)
+
+
+def _apply(driver: Driver, op: tuple) -> bool:
+    """Apply one op; returns True when a GC pass ran (check invariant)."""
+    kind = op[0]
+    if kind == "put":
+        driver.put(op[1])
+    elif kind == "get":
+        driver.get(op[1], op[2], op[3])
+    elif kind == "check":
+        driver.check(op[1], op[2])
+    elif kind == "restart":
+        driver.restart(op[1])
+        return True
+    elif kind == "gc":
+        driver.ws.gc.collect_incremental(max_versions=op[1])
+        return True
+    elif kind == "gc_full":
+        driver.ws.gc.collect()
+        return True
+    return False
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops_strategy)
+def test_gc_never_collects_needed_versions(ops):
+    driver = Driver()
+    for op in ops:
+        if _apply(driver, op):
+            driver.check_invariant()
+    driver.ws.gc.collect()
+    driver.check_invariant()
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops_strategy)
+def test_incremental_converges_to_full_sweep(ops):
+    """Eager bounded passes after every op end in the exact same retained
+    state as one final full sweep (same versions, same byte accounting)."""
+    eager = Driver(sequential_gets=True)
+    lazy = Driver(sequential_gets=True)
+    for op in ops:
+        if op[0] in ("gc", "gc_full"):
+            continue  # the drivers schedule their own collection
+        _apply(eager, op)
+        _apply(lazy, op)
+        eager.ws.gc.collect_incremental(max_versions=1)
+    # Drain whatever the tiny budgets deferred, then compare against the
+    # lazy driver's single stop-the-world reference sweep.
+    while eager.ws.gc.has_work():
+        report = eager.ws.gc.collect_incremental()
+        if report.versions_collected == 0 and report.events_trimmed == 0:
+            break
+    lazy.ws.gc.collect()
+    for name in NAMES:
+        assert eager.ws.log.logged_versions(name) == lazy.ws.log.logged_versions(name)
+    assert eager.ws.log.logged_bytes() == lazy.ws.log.logged_bytes()
+    for comp in ("sim",) + CONSUMERS:
+        assert len(eager.ws.queues[comp]) == len(lazy.ws.queues[comp])
+
+
+# --------------------------------------------------------------- unit tests
+
+
+@pytest.fixture
+def setup(group):
+    log = DataLog(group=group)
+    queues = {"sim": EventQueue(component="sim"), "ana": EventQueue(component="ana")}
+    gc = GarbageCollector(log=log, queues=queues)
+
+    def write(version):
+        log.record_put("x", version, 100, producer="sim", step=version)
+
+    def read(version):
+        d = ObjectDescriptor("x", version, group.domain.bbox)
+        log.record_get("x", "ana", version)
+        queues["ana"].record_data(EventKind.GET, d, "", step=version)
+
+    return log, queues, gc, write, read
+
+
+class TestCandidates:
+    def test_puts_and_gets_queue_candidates(self, setup):
+        log, queues, gc, write, read = setup
+        write(0)
+        assert gc.candidate_count() == 0  # single version: nothing collectable
+        write(1)
+        assert gc.candidate_count() == 1
+        read(0)
+        assert gc.candidate_count() == 1  # deduped
+
+    def test_budget_defers_and_requeues(self, setup):
+        log, queues, gc, write, read = setup
+        for v in range(6):
+            write(v)
+            read(v)
+        queues["ana"].record_checkpoint(step=5)
+        read(5)  # floor -> 5: versions 0..4 collectable
+        report = gc.collect_incremental(max_versions=2)
+        assert report.versions_collected == 2
+        assert report.candidates_deferred == 1  # "x" re-queued
+        assert gc.has_work()
+        report = gc.collect_incremental()
+        assert report.versions_collected == 3
+        assert log.logged_versions("x") == [5]
+        assert not gc.has_work()
+
+    def test_incremental_noop_without_candidates(self, setup):
+        log, queues, gc, write, read = setup
+        report = gc.collect_incremental()
+        assert report.versions_collected == 0
+        assert report.candidates_deferred == 0
+
+
+class TestMissingQueueFloor:
+    """Satellite bugfix: a consumer whose queue is unresolvable must pin
+    everything (floor 0), not silently drop its rollback constraint."""
+
+    def test_unknown_queue_is_conservative(self, setup):
+        log, queues, gc, write, read = setup
+        log.register_consumer("x", "ghost")  # consumer with no event queue
+        for v in range(4):
+            write(v)
+        log.record_get("x", "ghost", 3)  # frontier alone would allow 0..2
+        assert gc.version_floor("x") == 0
+        gc.collect()
+        assert log.logged_versions("x") == [0, 1, 2, 3]
+
+    def test_queue_provider_resolves_late_registration(self, group):
+        log = DataLog(group=group)
+        queues: dict[str, EventQueue] = {}
+        gc = GarbageCollector(log=log, queues=queues, queue_provider=queues.get)
+        log.register_consumer("x", "ana")
+        for v in range(3):
+            log.record_put("x", v, 100, producer="sim", step=v)
+        log.record_get("x", "ana", 2)
+        assert gc.version_floor("x") == 0  # queue unknown: conservative
+        # The component registers *after* GC construction; the provider
+        # resolves it and the real (frontier-based) floor applies.
+        queues["ana"] = EventQueue(component="ana")
+        queues["ana"].record_checkpoint(step=0)
+        assert gc.version_floor("x") == 3
