@@ -56,12 +56,12 @@ from repro.staging.store import ObjectStore
 OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_micro.json"
 
 
-def _load_bench_gc():
-    """Load the sibling GC benchmark module (works under importlib loading)."""
+def _load_sibling(name: str):
+    """Load a sibling benchmark module (works under importlib loading)."""
     import importlib.util
 
-    path = pathlib.Path(__file__).resolve().with_name("bench_gc.py")
-    spec = importlib.util.spec_from_file_location("bench_gc", path)
+    path = pathlib.Path(__file__).resolve().with_name(f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     sys.modules[spec.name] = module
     spec.loader.exec_module(module)
@@ -70,7 +70,12 @@ def _load_bench_gc():
 
 def bench_gc() -> dict:
     """GC pass latency + background-collection stalls (see bench_gc.py)."""
-    return _load_bench_gc().bench_gc()
+    return _load_sibling("bench_gc").bench_gc()
+
+
+def bench_recovery() -> dict:
+    """Recovery-engine throughputs (see bench_recovery.py)."""
+    return _load_sibling("bench_recovery").bench_recovery()
 
 MB = 1024 * 1024
 RS_PAYLOAD_BYTES = 4 * MB
@@ -459,6 +464,16 @@ def main() -> int:
                 f"  background stall: p99 {row['put_get_p99_ms']:.2f} ms, "
                 f"max {row['put_get_max_ms']:.2f} ms put+get"
             )
+    print("== recovery engine (batched decode, rebuild, restore, restart) ==")
+    recovery = bench_recovery()
+    dec = next(row for name, row in recovery.items() if name.startswith("decode"))
+    print(
+        f"  decode batch {dec['batch_MBps']:.0f} MB/s "
+        f"(looped {dec['looped_MBps']:.0f}, x{dec['batch_speedup']:.1f}); "
+        f"rebuild x{recovery['rebuild']['speedup']:.1f} pipelined; "
+        f"restore {recovery['restore']['restores_per_s']:.0f}/s; "
+        f"restart {recovery['restart']['restarts_per_s']:.0f}/s"
+    )
     out = {
         "host": {
             "cpu_count": os.cpu_count(),
@@ -476,9 +491,17 @@ def main() -> int:
         "staging": staging,
         "snapshot": snapshot,
         "gc": gc_results,
+        "recovery": recovery,
     }
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
+    # Recovery targets are advisory only (wall-clock parallel speedups depend
+    # on the host's core count; sustained regressions are the guard's job).
+    if dec["decode_vs_encode"] < 0.5:
+        print(
+            "WARNING: batched decode below half of encode_batch throughput "
+            f"(ratio {dec['decode_vs_encode']:.2f})"
+        )
     snap_ok = all(row["capture_speedup"] >= 5.0 for row in snapshot.values())
     gc_ok = all(
         row["full_sweep_speedup"] >= 10.0

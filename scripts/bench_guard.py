@@ -36,6 +36,15 @@ GUARDED_METRICS = {
     # GC pass rate over a fixed candidate batch; rows without the metric
     # (the background-stall entry, which is lower-is-better) are skipped.
     "gc": ("passes_per_s",),
+    # Recovery engine: batched-decode and pipelined-rebuild throughput plus
+    # restore/restart rates. Rows carry disjoint metrics (decode rows have
+    # batch_MBps, the rebuild row pipelined_MBps, ...); absent ones skip.
+    "recovery": (
+        "batch_MBps",
+        "pipelined_MBps",
+        "restores_per_s",
+        "restarts_per_s",
+    ),
 }
 
 
@@ -112,6 +121,7 @@ def main() -> int:
         "staging": bench.bench_staging(),
         "snapshot": bench.bench_snapshot(),
         "gc": bench.bench_gc(),
+        "recovery": bench.bench_recovery(),
     }
     if args.json is not None:
         args.json.write_text(json.dumps(current, indent=2) + "\n")

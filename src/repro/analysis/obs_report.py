@@ -14,7 +14,13 @@ import pathlib
 from repro.analysis.report import banner, format_table
 from repro.obs import registry as _default_registry
 
-__all__ = ["metrics_table", "checkpoint_report", "gc_report", "write_snapshot"]
+__all__ = [
+    "metrics_table",
+    "checkpoint_report",
+    "gc_report",
+    "recovery_report",
+    "write_snapshot",
+]
 
 
 def _fmt(value: float) -> str:
@@ -174,6 +180,93 @@ def gc_report(snapshot: dict[str, dict] | None = None) -> str:
             rows.append(["background errors", _fmt(val("gc.bg.errors"))])
     return "\n\n".join(
         [banner("garbage collection"), format_table(["metric", "value"], rows)]
+    )
+
+
+def recovery_report(snapshot: dict[str, dict] | None = None) -> str:
+    """A focused section on the ``recovery.*`` / rebuild metrics.
+
+    Summarizes the parallel recovery engine end to end: degraded reads
+    served while servers were down, server rebuilds (count, bytes, latency,
+    plus the batched-decode pipeline's batch/codeword counts and any
+    records skipped or failing digest verification), parallel restore
+    fan-out, and workflow restarts (latency and replay-partition widths).
+    Returns an empty string when no recovery activity was recorded.
+    """
+    if snapshot is None:
+        snapshot = _default_registry.snapshot()
+
+    def val(name: str) -> float:
+        return snapshot.get(name, {}).get("value", 0)
+
+    restarts = snapshot.get("recovery.workflow_restart.seconds", {})
+    activity = (
+        val("staging.rebuild.count")
+        or val("staging.client.degraded_reads")
+        or val("recovery.restore.parallel_servers")
+        or restarts.get("count")
+    )
+    if not activity:
+        return ""
+    rows = [
+        [
+            "degraded reads (served / verify failures)",
+            f"{_fmt(val('staging.client.degraded_reads'))} / "
+            f"{_fmt(val('staging.client.verify_failures'))}",
+        ],
+        [
+            "rebuilds (count / bytes)",
+            f"{_fmt(val('staging.rebuild.count'))} / "
+            f"{_fmt(val('staging.rebuild.bytes'))}",
+        ],
+    ]
+    reb = snapshot.get("staging.rebuild.seconds", {})
+    if reb.get("count"):
+        rows.append(
+            [
+                "rebuild latency s (mean / max)",
+                f"{_fmt(reb['mean'])} / {_fmt(reb['max'])}",
+            ]
+        )
+    if val("recovery.rebuild.batches") or val("recovery.decode.codewords"):
+        rows.append(
+            [
+                "decode pipeline (batches / codewords)",
+                f"{_fmt(val('recovery.rebuild.batches'))} / "
+                f"{_fmt(val('recovery.decode.codewords'))}",
+            ]
+        )
+    skipped = val("staging.rebuild.skipped_records")
+    verify = val("staging.rebuild.verify_failures")
+    if skipped or verify:
+        rows.append(
+            [
+                "rebuild records skipped / digest failures",
+                f"{_fmt(skipped)} / {_fmt(verify)}",
+            ]
+        )
+    if val("recovery.restore.parallel_servers"):
+        rows.append(
+            ["restore fan-out (server tasks)", _fmt(val("recovery.restore.parallel_servers"))]
+        )
+    if restarts.get("count"):
+        rows.append(
+            [
+                "workflow restarts s (n / mean / max)",
+                f"n={restarts['count']} mean={_fmt(restarts['mean'])} "
+                f"max={_fmt(restarts['max'])}",
+            ]
+        )
+    partitions = snapshot.get("recovery.replay.partitions", {})
+    if partitions.get("count"):
+        rows.append(
+            [
+                "replay partitions (mean / max names)",
+                f"{_fmt(partitions['mean'])} / {_fmt(partitions['max'])}",
+            ]
+        )
+    return "\n\n".join(
+        [banner("recovery"), format_table(["metric", "value"], rows)]
     )
 
 

@@ -128,6 +128,11 @@ class WorkflowStaging:
             log=self.log, queues=self.queues, queue_provider=self.queues.get
         )
         self._replay: dict[str, ReplayScript] = {}
+        # Replay scripts built with per-variable cursors (independent
+        # partitions may replay concurrently; per-name order is still
+        # enforced). Off by default = the seed's strict global order; the
+        # synchronized service enables it alongside its parallel data path.
+        self.replay_partitioned = False
         self.gc_reports: list[GCReport] = []
         # Incremental copy-on-write checkpointing of the staging group
         # (journals + base/delta chain). Idle until the first incremental
@@ -204,7 +209,7 @@ class WorkflowStaging:
         """
         if not (self.enable_logging and self.in_replay(component)):
             return None
-        expected = self._replay[component].peek()
+        expected = self._replay[component].expected_event(desc)
         if not expected.matches_request(EventKind.PUT, desc):
             raise ReplayError(
                 f"{component!r} replayed {EventKind.PUT.value} {desc}, "
@@ -215,7 +220,7 @@ class WorkflowStaging:
                 f"{component!r} re-executed {desc} with different bytes than "
                 f"its initial execution — non-deterministic replay"
             )
-        self._replay[component].advance()
+        self._replay[component].consume(desc)
         self._finish_replay_if_done(component)
         _SUPPRESSED_PUTS.inc()
         return PutResult(desc=desc, stored=False, suppressed=True, shards=0)
@@ -340,7 +345,7 @@ class WorkflowStaging:
 
     def _check_replay_get(self, component: str, desc: ObjectDescriptor) -> None:
         """Raise unless ``desc`` matches the next event in the replay script."""
-        expected = self._replay[component].peek()
+        expected = self._replay[component].expected_event(desc)
         if not expected.matches_request(EventKind.GET, desc):
             raise ReplayError(
                 f"{component!r} replayed {EventKind.GET.value} {desc}, "
@@ -377,13 +382,13 @@ class WorkflowStaging:
         self, component: str, desc: ObjectDescriptor, data: np.ndarray, digest: str
     ) -> GetResult:
         """Metadata-commit phase of a replayed get: verify and advance."""
-        expected = self._replay[component].peek()
+        expected = self._replay[component].expected_event(desc)
         if expected.digest != digest:
             raise ReplayError(
                 f"replay of {desc} for {component!r} served different bytes "
                 f"than the initial execution ({digest} != {expected.digest})"
             )
-        self._replay[component].advance()
+        self._replay[component].consume(desc)
         self._finish_replay_if_done(component)
         _REPLAYED_GETS.inc()
         return GetResult(
@@ -472,7 +477,9 @@ class WorkflowStaging:
                 del self._replay[component]
                 self.gc.unpin_replay(component)
             queue = self._queue(component)
-            script = queue.build_replay_script(durable_only=durable_only)
+            script = queue.build_replay_script(
+                durable_only=durable_only, partitioned=self.replay_partitioned
+            )
             queue.record_recovery(step, script.restored_chk)
             if script.events:
                 _REPLAYS_STARTED.inc()

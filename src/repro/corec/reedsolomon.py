@@ -140,6 +140,12 @@ class RSCode:
         Accepts any subset of the codeword; raises :class:`DecodingError`
         when fewer than k distinct shards survive.
         """
+        return self.decode_batch([shards], [nbytes])[0]
+
+    def _select_survivors(
+        self, shards: list[Shard], nbytes: int
+    ) -> tuple[tuple[int, ...], list[Shard], int]:
+        """Validate one codeword's survivors; returns (rows, shards, length)."""
         seen: dict[int, Shard] = {}
         for s in shards:
             if not (0 <= s.index < self.k + self.m):
@@ -159,18 +165,61 @@ class RSCode:
                 f"shard length {shard_len} inconsistent with payload {nbytes} B "
                 f"(expected {expect_len})"
             )
+        return tuple(s.index for s in use), use, shard_len
 
-        rows = [s.index for s in use]
-        if rows == list(range(self.k)):
-            # All data shards survived: no matrix solve needed.
-            data_matrix = np.stack([s.data for s in use])
-        else:
-            sub = self.matrix[rows, :]
-            inv = GF256.mat_inverse(sub)
-            coded = np.stack([s.data for s in use])
-            data_matrix = GF256.matmul(inv, coded)
-        out = data_matrix.reshape(-1)[:nbytes]
-        return out.tobytes()
+    def decode_batch(
+        self, codewords: list[list[Shard]], nbytes_list: list[int]
+    ) -> list[bytes]:
+        """Decode several codewords, amortising the matrix solves.
+
+        Codewords are grouped by erasure pattern (the sorted survivor rows):
+        each distinct pattern costs one ``(k, k)`` inverse, and all codewords
+        sharing it are stacked column-wise into a single
+        ``(k, k) x (k, sum-of-shard-lengths)`` matmul — the decode mirror of
+        :meth:`encode_batch`. Codewords whose k data shards all survived skip
+        the field kernel entirely. Payloads may have different lengths.
+        """
+        if len(codewords) != len(nbytes_list):
+            raise DecodingError(
+                f"batch mismatch: {len(codewords)} codewords, "
+                f"{len(nbytes_list)} payload lengths"
+            )
+        if not codewords:
+            return []
+        prepared = [
+            self._select_survivors(shards, nbytes)
+            for shards, nbytes in zip(codewords, nbytes_list)
+        ]
+        out: list[bytes | None] = [None] * len(prepared)
+        ident = tuple(range(self.k))
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for idx, (rows, use, _) in enumerate(prepared):
+            if rows == ident:
+                # All data shards survived: no matrix solve needed.
+                data = np.stack([s.data for s in use])
+                out[idx] = data.reshape(-1)[: nbytes_list[idx]].tobytes()
+            else:
+                groups.setdefault(rows, []).append(idx)
+        for rows, members in groups.items():
+            inv = GF256.mat_inverse(self.matrix[list(rows), :])
+            lens = [prepared[i][2] for i in members]
+            coded = np.empty((self.k, sum(lens)), dtype=np.uint8)
+            col = 0
+            for i, shard_len in zip(members, lens):
+                coded[:, col : col + shard_len] = np.stack(
+                    [s.data for s in prepared[i][1]]
+                )
+                col += shard_len
+            data = GF256.matmul(inv, coded)
+            col = 0
+            for i, shard_len in zip(members, lens):
+                out[i] = (
+                    data[:, col : col + shard_len]
+                    .reshape(-1)[: nbytes_list[i]]
+                    .tobytes()
+                )
+                col += shard_len
+        return out
 
     # ------------------------------------------------------------- helpers
 

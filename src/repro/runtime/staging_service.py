@@ -58,6 +58,8 @@ _QUIESCE_WAIT_SECONDS = _obs.histogram("staging.service.quiesce_wait.seconds")
 _CAPTURE_SECONDS = _obs.histogram("checkpoint.capture.seconds")
 _GATE_SECONDS = _obs.histogram("checkpoint.gate.seconds")
 _RESTORE_SECONDS = _obs.histogram("checkpoint.restore.seconds")
+_RECOVERY_RESTORE_FANOUT = _obs.counter("recovery.restore.parallel_servers")
+_RECOVERY_RESTART_SECONDS = _obs.histogram("recovery.workflow_restart.seconds")
 
 
 class WaitInterrupted(StagingError):
@@ -87,6 +89,10 @@ class SynchronizedStaging:
         # (the seed's single-lock path): the benchmark baseline, and the
         # reference the parallel path is differentially tested against.
         self.parallel = parallel
+        # The recovery path follows the data path's concurrency mode:
+        # partitioned replay scripts (per-variable cursors) only when the
+        # parallel request phases are on, strict global order otherwise.
+        staging.replay_partitioned = parallel
         self._meta = threading.RLock()
         self._data_arrived = threading.Condition(self._meta)
         # Data-plane quiescence gate: payload phases run outside _meta, so
@@ -534,6 +540,7 @@ class SynchronizedStaging:
     def workflow_restart(
         self, component: str, step: int, durable_only: bool = False
     ) -> ReplayScript:
+        t0 = time.monotonic()
         with self._meta:
             script = self.staging.handle_restart(
                 component, step, durable_only=durable_only
@@ -541,7 +548,21 @@ class SynchronizedStaging:
             # A recovering component changes no data, but consumers blocked
             # on it should re-check their interrupt predicates.
             self._data_arrived.notify_all()
-            return script
+        _RECOVERY_RESTART_SECONDS.record(time.monotonic() - t0)
+        return script
+
+    @property
+    def recovery_executor(self):
+        """Thread pool for recovery-side overlap, or None in serial mode.
+
+        The workflow runtime uses it to run component state restore
+        (checkpoint unpickling) concurrently with ``workflow_restart`` /
+        replay; ``parallel=False`` returns None so the seed's sequential
+        recovery is preserved exactly.
+        """
+        if not self.parallel:
+            return None
+        return self.group.executor
 
     def in_replay(self, component: str) -> bool:
         with self._meta:
@@ -640,7 +661,19 @@ class SynchronizedStaging:
     def _restore_excluded(self, snap: dict, ckpt) -> None:
         with self._ckpt_lock:
             cow = is_cow_snapshot(snap)
-            full = compose_chain(snap["chain"]) if cow else snap
+            # Per-server chain composition and store/index repopulation are
+            # independent across servers, so the recovery path fans both out
+            # on the shared staging pool: compose runs before the gate even
+            # closes, and the in-gate restore seals once and then works all
+            # servers concurrently. parallel=False keeps the seed serial
+            # path (the differential-test reference).
+            parallel = (
+                self.parallel
+                and self.group.parallel
+                and len(self.group.servers) > 1
+            )
+            executor = self.group.executor if parallel else None
+            full = compose_chain(snap["chain"], executor=executor) if cow else snap
             with self._meta:
                 snaps = full["servers"]
                 if len(snaps) != len(self.group.servers):
@@ -650,8 +683,16 @@ class SynchronizedStaging:
                     )
                 self._quiesce_data_plane()
                 try:
-                    for srv, s in zip(self.group.servers, snaps):
-                        srv.restore(s)
+                    if executor is not None:
+                        _RECOVERY_RESTORE_FANOUT.inc(len(snaps))
+                        for fut in [
+                            executor.submit(srv.restore, s)
+                            for srv, s in zip(self.group.servers, snaps)
+                        ]:
+                            fut.result()
+                    else:
+                        for srv, s in zip(self.group.servers, snaps):
+                            srv.restore(s)
                     self._frontier = dict(full["frontier"])
                     self._frontier_dirty = {}
                     # Legacy snapshots (pre-resilience) carry no records/

@@ -146,12 +146,17 @@ class StagingGroup:
             health=GroupHealth(num_servers, down_after=down_after),
         )
 
-    def rebuild(self, server_id: int, replacement=None) -> int:
+    def rebuild(
+        self, server_id: int, replacement=None, parallel: bool | None = None
+    ) -> int:
         """Rebuild a lost server's protected contents from survivors and
         swap the (fresh or provided) replacement into the group. Returns
-        bytes rebuilt. See :func:`repro.staging.resilience.rebuild_server`.
+        bytes rebuilt. ``parallel`` defaults to the group's flag (pipelined
+        batches on the shared pool); ``False`` forces the serial
+        record-at-a-time path. See
+        :func:`repro.staging.resilience.rebuild_server`.
         """
-        return rebuild_server(self, server_id, replacement)
+        return rebuild_server(self, server_id, replacement, parallel=parallel)
 
     def drop_protection(self) -> None:
         """Disable protection and forget all records (test/bench helper)."""

@@ -205,32 +205,40 @@ def _compose_protection(base: dict, journals: list[list[tuple]]) -> dict:
     return {"records": records}
 
 
-def compose_chain(chain: dict) -> dict:
+def compose_chain(chain: dict, executor=None) -> dict:
     """Fold ``base + deltas`` into one seed-format full snapshot.
 
     Pure function of immutable inputs — safe to run outside every lock, and
     never mutates the chain it reads (compaction and older snapshots may
-    still reference the same base/delta objects).
+    still reference the same base/delta objects). Per-server images are
+    independent, so passing an ``executor`` fans their composition out
+    across workers (the recovery path composes every server's chain at
+    once); the result is bit-identical to the serial fold.
     """
     t0 = perf_counter()
     base = chain["base"]
     deltas = chain["deltas"]
-    servers = []
-    for i, server_base in enumerate(base["servers"]):
+
+    def compose_server(i: int, server_base: dict) -> dict:
         journals = [d["servers"][i] for d in deltas]
-        servers.append(
-            {
-                "store": _compose_store(
-                    server_base["store"], [j["store"] for j in journals]
-                ),
-                "index": _compose_index(
-                    server_base["index"], [j["index"] for j in journals]
-                ),
-                "blobs": _compose_blobs(
-                    server_base.get("blobs", {}), [j["blobs"] for j in journals]
-                ),
-            }
+        return {
+            "store": _compose_store(
+                server_base["store"], [j["store"] for j in journals]
+            ),
+            "index": _compose_index(
+                server_base["index"], [j["index"] for j in journals]
+            ),
+            "blobs": _compose_blobs(
+                server_base.get("blobs", {}), [j["blobs"] for j in journals]
+            ),
+        }
+
+    if executor is not None and len(base["servers"]) > 1:
+        servers = list(
+            executor.map(compose_server, range(len(base["servers"])), base["servers"])
         )
+    else:
+        servers = [compose_server(i, sb) for i, sb in enumerate(base["servers"])]
     frontier = dict(base["frontier"])
     for d in deltas:
         # Read frontiers only advance within a chain (restores rebase the

@@ -81,6 +81,9 @@ _REBUILDS = _obs.counter("staging.rebuild.count")
 _REBUILD_BYTES = _obs.counter("staging.rebuild.bytes")
 _REBUILD_SECONDS = _obs.histogram("staging.rebuild.seconds")
 _REBUILD_SKIPPED = _obs.counter("staging.rebuild.skipped_records")
+_REBUILD_VERIFY_FAILURES = _obs.counter("staging.rebuild.verify_failures")
+_REBUILD_BATCHES = _obs.counter("recovery.rebuild.batches")
+_DECODE_BATCH_CODEWORDS = _obs.counter("recovery.decode.codewords")
 
 
 def _digest(buf: np.ndarray | bytes) -> str:
@@ -627,54 +630,81 @@ def _verify_reads(group: "StagingGroup") -> bool:
 def _fetch_shard(client: "StagingClient", rec: PutRecord, i: int) -> np.ndarray:
     """One data shard's bytes, digest-verified. Raises ServerUnavailable /
     TransientServerError on loss or corruption, ObjectNotFound when a healthy
-    server simply does not hold the fragments (absent ≠ lost)."""
+    server simply does not hold the fragments (absent ≠ lost).
+
+    The digest check runs *inside* the retried callable so a transiently
+    corrupted read burns a retry attempt (with backoff) instead of surfacing
+    as an erasure: ``_server_op`` catches the TransientServerError, marks the
+    failure, and re-reads. Only an exhausted retry budget escalates."""
     si = rec.shards[i]
     group = client.group
     if group.health.is_down(si.server):
         raise ServerUnavailable(si.server)
     descs = [rec.desc.with_bbox(b) for b in si.boxes]
     server = group.servers[si.server]
-    parts = client._server_op(si.server, lambda srv=server, d=descs: srv.get_many(d))
-    chunks = [_as_bytes(p) for p in parts]
-    buf = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-    if _verify_reads(group) and _digest(buf) != si.digest:
-        _VERIFY_FAILURES.inc()
-        group.health.mark_failure(si.server)
-        raise TransientServerError(si.server, f"shard digest mismatch for {rec.desc}")
-    return buf
+
+    def fetch_verified(srv=server, d=descs) -> np.ndarray:
+        parts = srv.get_many(d)
+        chunks = [_as_bytes(p) for p in parts]
+        buf = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if _verify_reads(group) and _digest(buf) != si.digest:
+            _VERIFY_FAILURES.inc()
+            raise TransientServerError(
+                si.server, f"shard digest mismatch for {rec.desc}"
+            )
+        return buf
+
+    return client._server_op(si.server, fetch_verified)
 
 
 def _fetch_parity(client: "StagingClient", rec: PutRecord, p: ParityInfo) -> np.ndarray:
     group = client.group
     server = group.servers[p.server]
     key = rec.parity_blob_key(p.group, p.j)
-    blob = client._server_op(
-        p.server,
-        lambda srv=server: srv.get_blob(rec.desc.name, rec.desc.version, key),
-    )
-    buf = _as_bytes(blob)
-    if _verify_reads(group) and _digest(buf) != p.digest:
-        _VERIFY_FAILURES.inc()
-        group.health.mark_failure(p.server)
-        raise TransientServerError(p.server, "parity digest mismatch")
-    return buf
+
+    def fetch_verified(srv=server) -> np.ndarray:
+        buf = _as_bytes(srv.get_blob(rec.desc.name, rec.desc.version, key))
+        if _verify_reads(group) and _digest(buf) != p.digest:
+            _VERIFY_FAILURES.inc()
+            raise TransientServerError(p.server, "parity digest mismatch")
+        return buf
+
+    return client._server_op(p.server, fetch_verified)
 
 
-def _reconstruct(
+@dataclass
+class _DecodeJob:
+    """One subgroup codeword ready to decode: survivors in, erasures out.
+
+    Planning (survivor/parity fetches) is separated from decoding so callers
+    can batch the matrix solves across many jobs — ``decode_batch`` groups
+    codewords by erasure pattern, paying one inverse per pattern instead of
+    one per record.
+    """
+
+    rec: PutRecord
+    members: tuple[int, ...]  # record-level shard indices of this codeword
+    survivors: list[Shard]
+    erased: list[int]  # members to recover
+
+
+def _plan_recovery(
     client: "StagingClient",
     rec: PutRecord,
     bufs: dict[int, np.ndarray],
     erased: set[int],
-) -> dict[int, np.ndarray]:
-    """Recover the erased data shards of one record from survivors.
+) -> tuple[list[_DecodeJob], dict[int, np.ndarray]]:
+    """Fetch stage of a degraded read: gather survivors, build decode jobs.
 
     ``bufs`` holds already-fetched shards and is extended in place with any
-    additional survivors fetched here. Raises :class:`StagingDegradedError`
-    when too few shards survive, or :class:`ObjectNotFound` when nothing was
-    lost to server faults and the data is simply absent (e.g. rolled back).
+    additional survivors fetched here. Replication recovery has no decode
+    stage, so its shards come back in the second element directly; RS
+    recovery returns one :class:`_DecodeJob` per affected codeword. Raises
+    :class:`StagingDegradedError` when too few shards survive, or
+    :class:`ObjectNotFound` when nothing was lost to server faults and the
+    data is simply absent (e.g. rolled back).
     """
     group = client.group
-    k = len(rec.shards)
     fault_losses = set(erased)
     absent = 0
 
@@ -707,18 +737,21 @@ def _reconstruct(
                     continue
                 server = group.servers[c]
                 key = rec.copy_blob_key(i)
-                try:
-                    blob = client._server_op(
-                        c,
-                        lambda srv=server, kk=key: srv.get_blob(
-                            rec.desc.name, rec.desc.version, kk
-                        ),
+
+                def fetch_verified(srv=server, kk=key, want=si, holder=c) -> np.ndarray:
+                    flat = _as_bytes(
+                        srv.get_blob(rec.desc.name, rec.desc.version, kk)
                     )
+                    if _verify_reads(group) and _digest(flat) != want.digest:
+                        _VERIFY_FAILURES.inc()
+                        raise TransientServerError(
+                            holder, f"copy digest mismatch for {rec.desc}"
+                        )
+                    return flat
+
+                try:
+                    flat = client._server_op(c, fetch_verified)
                 except (ServerUnavailable, TransientServerError, ObjectNotFound):
-                    continue
-                flat = _as_bytes(blob)
-                if _verify_reads(group) and _digest(flat) != si.digest:
-                    _VERIFY_FAILURES.inc()
                     continue
                 buf = flat[: si.nbytes]
                 break
@@ -729,9 +762,9 @@ def _reconstruct(
                     f"{rec.desc}: shard {i} and all its copies are unavailable"
                 )
             recovered[i] = buf
-        return recovered
+        return [], recovered
 
-    recovered: dict[int, np.ndarray] = {}
+    jobs: list[_DecodeJob] = []
     for gi in sorted({rec.group_of(i) for i in erased}):
         members = rec.groups[gi]
         gk = len(members)
@@ -761,18 +794,75 @@ def _reconstruct(
                 f"{rec.desc}: codeword {gi} lost {len(group_erased)} of {gk} data "
                 f"shard(s), only {len(survivors)} codeword shard(s) survive (need {gk})"
             )
+        jobs.append(_DecodeJob(rec=rec, members=members, survivors=survivors,
+                               erased=group_erased))
+    return jobs, {}
+
+
+def _decode_jobs(jobs: list[_DecodeJob]) -> list["np.ndarray | DecodingError"]:
+    """Decode many jobs with as few matrix solves as possible.
+
+    Jobs sharing code parameters (gk, m) go through one ``decode_batch``
+    call, which further groups them by erasure pattern internally. A
+    :class:`DecodingError` anywhere in a batch falls back to per-job scalar
+    decodes so one malformed record cannot poison its batch — the error is
+    returned in that job's slot instead of raised (per-record isolation).
+    """
+    results: list[np.ndarray | DecodingError | None] = [None] * len(jobs)
+    by_code: dict[tuple[int, int], list[int]] = {}
+    for idx, job in enumerate(jobs):
+        by_code.setdefault(
+            (len(job.members), job.rec.parity_count), []
+        ).append(idx)
+    for (gk, m), idxs in by_code.items():
+        code = RSCode(gk, m)
+        batch = [jobs[i] for i in idxs]
+        _DECODE_BATCH_CODEWORDS.inc(len(batch))
         try:
-            flat = RSCode(gk, rec.parity_count).decode(survivors, gk * rec.shard_len)
-        except DecodingError as exc:
+            flats = code.decode_batch(
+                [j.survivors for j in batch],
+                [gk * j.rec.shard_len for j in batch],
+            )
+        except DecodingError:
+            flats = []
+            for j in batch:
+                try:
+                    flats.append(code.decode(j.survivors, gk * j.rec.shard_len))
+                except DecodingError as exc:
+                    flats.append(exc)
+        for i, flat in zip(idxs, flats):
+            results[i] = (
+                flat
+                if isinstance(flat, DecodingError)
+                else np.frombuffer(flat, dtype=np.uint8)
+            )
+    return results
+
+
+def _apply_decoded(
+    job: _DecodeJob, raw: np.ndarray, out: dict[int, np.ndarray]
+) -> None:
+    """Slice one decoded codeword's erased shards into ``out``."""
+    shard_len = job.rec.shard_len
+    for i in job.erased:
+        row = job.members.index(i)
+        out[i] = raw[row * shard_len : row * shard_len + job.rec.shards[i].nbytes]
+
+
+def _reconstruct(
+    client: "StagingClient",
+    rec: PutRecord,
+    bufs: dict[int, np.ndarray],
+    erased: set[int],
+) -> dict[int, np.ndarray]:
+    """Recover the erased data shards of one record from survivors."""
+    jobs, recovered = _plan_recovery(client, rec, bufs, erased)
+    for job, raw in zip(jobs, _decode_jobs(jobs)):
+        if isinstance(raw, DecodingError):
             raise StagingDegradedError(
-                f"{rec.desc}: reconstruction failed: {exc}"
-            ) from exc
-        raw = np.frombuffer(flat, dtype=np.uint8)
-        for i in group_erased:
-            row = members.index(i)
-            recovered[i] = raw[
-                row * rec.shard_len : row * rec.shard_len + rec.shards[i].nbytes
-            ]
+                f"{rec.desc}: reconstruction failed: {raw}"
+            ) from raw
+        _apply_decoded(job, raw, recovered)
     return recovered
 
 
@@ -850,8 +940,27 @@ def collect_shards(
 # ----------------------------------------------------------------- rebuild
 
 
+REBUILD_BATCH_RECORDS = 32
+
+
+@dataclass
+class _RebuildPlan:
+    """Everything fetched for one record's rebuild, decode still pending."""
+
+    rec: PutRecord
+    own_data: list[int]
+    own_parity: list[ParityInfo]
+    own_copies: list[int]
+    bufs: dict[int, np.ndarray]
+    jobs: list[_DecodeJob]
+
+
 def rebuild_server(
-    group: "StagingGroup", server_id: int, replacement=None
+    group: "StagingGroup",
+    server_id: int,
+    replacement=None,
+    parallel: bool | None = None,
+    batch_size: int = REBUILD_BATCH_RECORDS,
 ) -> int:
     """Repopulate a lost server from survivors and swap it into the group.
 
@@ -860,8 +969,18 @@ def rebuild_server(
     ordinary fragments; its parity shards are recomputed from the data
     shards; replication copies are re-placed. Only *protected* data can be
     rebuilt — fragments that were written without protection died with the
-    server. Records whose surviving shards are insufficient are skipped and
-    counted (``staging.rebuild.skipped_records``).
+    server. Records whose surviving shards are insufficient (or fail digest
+    verification) are skipped and counted
+    (``staging.rebuild.skipped_records``).
+
+    With ``parallel`` (default: the group's ``parallel`` flag) records are
+    processed in batches pipelined on the shared staging pool — batch N+1's
+    survivor fetches run while batch N decodes and stores — and each batch's
+    matrix solves are amortised through ``decode_batch``. ``parallel=False``
+    preserves the serial record-at-a-time path. Either way every
+    reconstructed shard is digest-verified before it is stored, and the
+    server's health flips back up only after the whole rebuild — a replica
+    is never marked healthy while holding unverified bytes.
 
     Returns the number of payload bytes rebuilt onto the new server.
     """
@@ -872,12 +991,18 @@ def rebuild_server(
     fresh = replacement if replacement is not None else StagingServer(server_id)
     client = StagingClient(group, client_id=f"rebuild-{server_id}")
     group.health.mark_down(server_id)  # route every fetch to survivors
-    rebuilt = 0
-    for rec in group.records.all_records():
-        try:
-            rebuilt += _rebuild_record(client, rec, server_id, fresh)
-        except (ObjectNotFound, StagingDegradedError):
-            _REBUILD_SKIPPED.inc()
+    if parallel is None:
+        parallel = group.parallel
+    records = group.records.all_records()
+    if parallel and records:
+        rebuilt = _rebuild_pipelined(client, records, server_id, fresh, batch_size)
+    else:
+        rebuilt = 0
+        for rec in records:
+            try:
+                rebuilt += _rebuild_record(client, rec, server_id, fresh)
+            except (ObjectNotFound, StagingDegradedError):
+                _REBUILD_SKIPPED.inc()
     group.servers[server_id] = fresh
     group.health.reset(server_id)
     _REBUILDS.inc()
@@ -886,26 +1011,75 @@ def rebuild_server(
     return rebuilt
 
 
-def _rebuild_record(
-    client: "StagingClient", rec: PutRecord, server_id: int, fresh
-) -> int:
-    """Restore one record's shards/parity/copies onto ``fresh``."""
-    group = client.group
-    dtype = np.dtype(rec.desc.dtype)
-    rebuilt = 0
+def _plan_rebuild_record(
+    client: "StagingClient", rec: PutRecord, server_id: int
+) -> _RebuildPlan | None:
+    """Fetch stage: gather every survivor this record's rebuild needs.
 
+    Returns ``None`` when the record does not reference ``server_id``.
+    Decode jobs are returned un-decoded so the caller can batch the solves
+    across records.
+    """
     own_data = [i for i, s in enumerate(rec.shards) if s.server == server_id]
     own_parity = [p for p in rec.parity if p.server == server_id]
     own_copies = [i for i, holders in enumerate(rec.copies) if server_id in holders]
     if not (own_data or own_parity or own_copies):
-        return 0
+        return None
 
     want = set(own_data) | set(own_copies)
     for p in own_parity:  # parity recompute needs its codeword's shards
         want |= set(rec.groups[p.group])
-    bufs = collect_shards(client, rec, want or None)
+    bufs: dict[int, np.ndarray] = {}
+    erased: set[int] = set()
+    for i in sorted(want) if want else range(len(rec.shards)):
+        try:
+            bufs[i] = _fetch_shard(client, rec, i)
+        except (ServerUnavailable, TransientServerError):
+            erased.add(i)
+    jobs: list[_DecodeJob] = []
+    if erased:
+        jobs, recovered = _plan_recovery(client, rec, bufs, erased)
+        bufs.update(recovered)
+    return _RebuildPlan(rec, own_data, own_parity, own_copies, bufs, jobs)
 
-    for i in own_data:
+
+def _store_rebuilt(plan: _RebuildPlan, fresh) -> int:
+    """Verify one record's rebuilt bytes against put-time digests, then store.
+
+    Verification is unconditional — independent of ``verify_reads`` — and
+    covers reconstructed *and* directly-fetched shards plus recomputed
+    parity, so a corrupt survivor or a bad decode can never be laundered
+    onto the replacement. Nothing is stored until everything checks out
+    (record-level all-or-nothing).
+    """
+    rec = plan.rec
+    bufs = plan.bufs
+    dtype = np.dtype(rec.desc.dtype)
+
+    for i in sorted(set(plan.own_data) | set(plan.own_copies)):
+        if _digest(bufs[i]) != rec.shards[i].digest:
+            _REBUILD_VERIFY_FAILURES.inc()
+            raise StagingDegradedError(
+                f"{rec.desc}: rebuilt shard {i} fails digest verification"
+            )
+    parity_rows: dict[tuple[int, int], np.ndarray] = {}
+    for p in plan.own_parity:
+        members = rec.groups[p.group]
+        gk = len(members)
+        mat = np.zeros((gk, rec.shard_len), dtype=np.uint8)
+        for row, i in enumerate(members):
+            mat[row, : bufs[i].size] = bufs[i]
+        rows = RSCode(gk, rec.parity_count).encode_parity(mat)
+        if _digest(rows[p.j]) != p.digest:
+            _REBUILD_VERIFY_FAILURES.inc()
+            raise StagingDegradedError(
+                f"{rec.desc}: recomputed parity g{p.group}p{p.j} fails digest "
+                f"verification"
+            )
+        parity_rows[(p.group, p.j)] = rows[p.j]
+
+    rebuilt = 0
+    for i in plan.own_data:
         si = rec.shards[i]
         buf = bufs[i]
         offset = 0
@@ -918,25 +1092,105 @@ def _rebuild_record(
         fresh.put_many(items)
         rebuilt += si.nbytes
 
-    for p in own_parity:
-        members = rec.groups[p.group]
-        gk = len(members)
-        mat = np.zeros((gk, rec.shard_len), dtype=np.uint8)
-        for row, i in enumerate(members):
-            mat[row, : bufs[i].size] = bufs[i]
-        rows = RSCode(gk, rec.parity_count).encode_parity(mat)
+    for p in plan.own_parity:
         fresh.put_blob(
             rec.desc.name,
             rec.desc.version,
             rec.parity_blob_key(p.group, p.j),
-            rows[p.j],
+            parity_rows[(p.group, p.j)],
         )
         rebuilt += rec.shard_len
 
-    for i in own_copies:
+    for i in plan.own_copies:
         fresh.put_blob(
             rec.desc.name, rec.desc.version, rec.copy_blob_key(i), bufs[i]
         )
         rebuilt += rec.shards[i].nbytes
 
+    return rebuilt
+
+
+def _rebuild_record(
+    client: "StagingClient", rec: PutRecord, server_id: int, fresh
+) -> int:
+    """Serial path: plan, decode, verify, and store one record."""
+    plan = _plan_rebuild_record(client, rec, server_id)
+    if plan is None:
+        return 0
+    for job, raw in zip(plan.jobs, _decode_jobs(plan.jobs)):
+        if isinstance(raw, DecodingError):
+            raise StagingDegradedError(
+                f"{rec.desc}: reconstruction failed: {raw}"
+            ) from raw
+        _apply_decoded(job, raw, plan.bufs)
+    return _store_rebuilt(plan, fresh)
+
+
+def _apply_rebuild_batch(plans: list, fresh) -> int:
+    """Decode + verify + store one fetched batch; skips failed records."""
+    jobs = [
+        job
+        for plan in plans
+        if isinstance(plan, _RebuildPlan)
+        for job in plan.jobs
+    ]
+    raw_by_job = dict(zip(map(id, jobs), _decode_jobs(jobs)))
+    rebuilt = 0
+    for plan in plans:
+        if plan is None:
+            continue
+        if isinstance(plan, Exception):
+            _REBUILD_SKIPPED.inc()
+            continue
+        try:
+            for job in plan.jobs:
+                raw = raw_by_job[id(job)]
+                if isinstance(raw, DecodingError):
+                    raise StagingDegradedError(
+                        f"{plan.rec.desc}: reconstruction failed: {raw}"
+                    ) from raw
+                _apply_decoded(job, raw, plan.bufs)
+            rebuilt += _store_rebuilt(plan, fresh)
+        except (ObjectNotFound, StagingDegradedError):
+            _REBUILD_SKIPPED.inc()
+    return rebuilt
+
+
+def _rebuild_pipelined(
+    client: "StagingClient",
+    records: list[PutRecord],
+    server_id: int,
+    fresh,
+    batch_size: int,
+) -> int:
+    """Pipelined rebuild: fetch batch N+1 while decoding/storing batch N.
+
+    The fetch stage (survivor reads, retry loops, digest checks) runs on the
+    shared staging pool one batch ahead of the decode/store stage, so
+    network-ish latency overlaps field arithmetic. Per-record failures are
+    confined to their record: a fetch failure parks the exception in the
+    plan slot, a decode/verify failure skips that record at store time.
+    """
+    pool = client.group.executor
+
+    def fetch_batch(batch: list[PutRecord]) -> list:
+        plans: list = []
+        for rec in batch:
+            try:
+                plans.append(_plan_rebuild_record(client, rec, server_id))
+            except (ObjectNotFound, StagingDegradedError) as exc:
+                plans.append(exc)
+        return plans
+
+    batches = [
+        records[lo : lo + batch_size] for lo in range(0, len(records), batch_size)
+    ]
+    rebuilt = 0
+    future = pool.submit(fetch_batch, batches[0])
+    for bi in range(len(batches)):
+        plans = future.result()
+        if bi + 1 < len(batches):
+            future = pool.submit(fetch_batch, batches[bi + 1])
+        _REBUILD_BATCHES.inc()
+        rebuilt += _apply_rebuild_batch(plans, fresh)
     return rebuilt

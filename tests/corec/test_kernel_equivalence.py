@@ -208,3 +208,89 @@ class TestBatchedEncode:
         shards = code.encode(np.zeros(64, dtype=np.uint8))
         for shard in shards:
             assert not shard.data.any()
+
+
+# ------------------------------------------------------------------ RS decode
+
+
+def ref_decode(code, shards, nbytes):
+    """Seed RS decode: per-codeword inverse + reference matmul."""
+    seen = {}
+    for s in shards:
+        seen.setdefault(s.index, s)
+    use = sorted(seen.values(), key=lambda s: s.index)[: code.k]
+    rows = [s.index for s in use]
+    coded = np.stack([s.data for s in use])
+    if rows == list(range(code.k)):
+        data_matrix = coded
+    else:
+        inv = GF256.mat_inverse(code.matrix[rows, :])
+        data_matrix = ref_matmul(inv, coded)
+    return data_matrix.reshape(-1)[:nbytes].tobytes()
+
+
+class TestBatchedDecode:
+    @given(
+        st.sampled_from([(2, 1), (4, 2), (8, 3)]),
+        st.lists(st.integers(1, 2000), min_size=1, max_size=8),
+        st.integers(0, 2**32 - 1),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decode_batch_matches_reference_decode(self, km, sizes, seed, data):
+        # Mixed erasure patterns in one batch: each codeword independently
+        # loses up to m random shards, so the batch exercises the per-pattern
+        # grouping (several inverses) and the systematic fast path together.
+        k, m = km
+        code = RSCode(k, m)
+        rng = np.random.default_rng(seed)
+        payloads = [rng.integers(0, 256, size=s, dtype=np.uint8) for s in sizes]
+        batch = code.encode_batch(payloads)
+        survivors = []
+        for shards in batch:
+            lost = data.draw(
+                st.lists(
+                    st.integers(0, k + m - 1), max_size=m, unique=True
+                )
+            )
+            survivors.append([s for s in shards if s.index not in lost])
+        decoded = code.decode_batch(survivors, sizes)
+        for out, payload, cw in zip(decoded, payloads, survivors):
+            assert out == payload.tobytes()
+            assert out == ref_decode(code, cw, payload.size)
+
+    @given(st.integers(1, 3000), st.integers(0, 2**32 - 1), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_single_decode_equals_batch_of_one(self, size, seed, data):
+        code = RSCode(4, 2)
+        payload = np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+        shards = code.encode(payload)
+        idx = sorted(data.draw(st.permutations(range(6)))[:4])
+        survivors = [shards[i] for i in idx]
+        assert code.decode(survivors, size) == code.decode_batch([survivors], [size])[0]
+
+    def test_duplicate_shards_are_deduplicated(self):
+        code = RSCode(4, 2)
+        payload = np.arange(100, dtype=np.uint8)
+        shards = code.encode(payload)
+        doubled = shards[1:] + shards[1:3]
+        assert code.decode_batch([doubled], [100])[0] == payload.tobytes()
+
+    def test_batch_validation_matches_scalar_errors(self):
+        from repro.errors import DecodingError
+
+        code = RSCode(4, 2)
+        payload = np.arange(64, dtype=np.uint8)
+        shards = code.encode(payload)
+        with pytest.raises(DecodingError, match="only 3 distinct survive"):
+            code.decode_batch([shards[:3]], [64])
+        bad = shards[:3] + [type(shards[0])(index=9, data=shards[0].data)]
+        with pytest.raises(DecodingError, match="index 9 out of range"):
+            code.decode_batch([bad], [64])
+        with pytest.raises(DecodingError, match="batch mismatch"):
+            code.decode_batch([shards], [64, 64])
+        with pytest.raises(DecodingError, match="inconsistent with payload"):
+            code.decode_batch([shards[:4]], [200])
+
+    def test_empty_batch(self):
+        assert RSCode(4, 2).decode_batch([], []) == []
