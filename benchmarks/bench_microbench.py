@@ -77,6 +77,11 @@ def bench_recovery() -> dict:
     """Recovery-engine throughputs (see bench_recovery.py)."""
     return _load_sibling("bench_recovery").bench_recovery()
 
+
+def bench_transport() -> dict:
+    """Wire-transport put/get + batching (see bench_transport.py)."""
+    return _load_sibling("bench_transport").bench_transport()
+
 MB = 1024 * 1024
 RS_PAYLOAD_BYTES = 4 * MB
 RS_REPS = 3
@@ -464,6 +469,15 @@ def main() -> int:
                 f"  background stall: p99 {row['put_get_p99_ms']:.2f} ms, "
                 f"max {row['put_get_max_ms']:.2f} ms put+get"
             )
+    print("== wire transport (inproc vs tcp, batching) ==")
+    transport = bench_transport()
+    print(
+        f"  inproc {transport['inproc']['agg_ops_per_s']:.0f} ops/s, "
+        f"tcp {transport['tcp']['agg_ops_per_s']:.0f} ops/s "
+        f"(wire tax x{transport['tcp']['wire_tax_x']:.1f}); "
+        f"batching x{transport['batching']['batch_speedup']:.1f}, "
+        f"{transport['batching']['round_trips_saved_pct']:.0f}% round trips saved"
+    )
     print("== recovery engine (batched decode, rebuild, restore, restart) ==")
     recovery = bench_recovery()
     dec = next(row for name, row in recovery.items() if name.startswith("decode"))
@@ -492,6 +506,7 @@ def main() -> int:
         "snapshot": snapshot,
         "gc": gc_results,
         "recovery": recovery,
+        "transport": transport,
     }
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")

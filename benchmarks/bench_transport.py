@@ -1,0 +1,161 @@
+"""Transport microbenchmark: inproc vs TCP, and what batching buys.
+
+Three measurements, feeding the ``transport`` section of BENCH_micro.json:
+
+* **put/get throughput per transport** — the same coupling hot loop the
+  staging bench drives, once over in-process method calls and once over
+  real sockets. The gap is the wire tax (framing, codec, syscalls); the
+  guard watches the TCP number so protocol regressions (extra copies, lost
+  batching, chattier handshakes) show up as throughput drops.
+* **batched vs per-fragment puts over TCP** — ``put_many`` ships N
+  fragments in one pipelined frame; the unbatched loop pays one round trip
+  per fragment. Reported with the measured round-trip counts from the
+  ``net.tcp.requests`` counter, not an assumption.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py
+
+or as part of ``benchmarks/bench_microbench.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+
+import numpy as np
+
+from repro.descriptors import ObjectDescriptor
+from repro.geometry import BBox, Domain
+from repro.obs import get_registry
+from repro.staging import StagingClient, StagingGroup
+
+DOMAIN = Domain((16, 16, 8))
+NUM_SERVERS = 2
+OPS = 40  # put+get pairs per timed run
+BATCH_FRAGMENTS = 32
+BATCH_REPS = 5
+FRAG_BOX = BBox((0, 0, 0), (8, 8, 8))
+
+
+def _timed(fn, *args) -> float:
+    t0 = perf_counter()
+    fn(*args)
+    return perf_counter() - t0
+
+
+def _request_count() -> int:
+    counter = get_registry().get("net.tcp.requests")
+    return 0 if counter is None else counter.value
+
+
+def _drive(client: StagingClient, payloads: list[np.ndarray], base: int) -> None:
+    for i, data in enumerate(payloads):
+        desc = ObjectDescriptor("field", base + i, DOMAIN.bbox)
+        client.put(desc, data)
+        client.get(desc)
+
+
+def _bench_put_get(transport: str) -> float:
+    group = StagingGroup.create(DOMAIN, num_servers=NUM_SERVERS, transport=transport)
+    try:
+        client = StagingClient(group, client_id="bench")
+        rng = np.random.default_rng(11)
+        payloads = [rng.standard_normal(DOMAIN.shape) for _ in range(OPS)]
+        _drive(client, payloads[:4], base=0)  # warmup: connections, pools
+        elapsed = _timed(_drive, client, payloads, OPS)
+        return 2 * OPS / elapsed
+    finally:
+        group.close()
+
+
+def _bench_batching() -> dict:
+    """Same N fragments to one TCP server: one pipelined frame vs N RPCs."""
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport="tcp")
+    try:
+        server = group.servers[0]
+        rng = np.random.default_rng(13)
+        payload = rng.standard_normal(FRAG_BOX.shape)
+
+        def shards(base: int) -> list:
+            return [
+                (ObjectDescriptor("b", base + v, FRAG_BOX), payload)
+                for v in range(BATCH_FRAGMENTS)
+            ]
+
+        server.put_many(shards(0))  # warmup
+        version = BATCH_FRAGMENTS
+
+        t_batched, batched_trips = [], 0
+        for _ in range(BATCH_REPS):
+            batch = shards(version)
+            version += BATCH_FRAGMENTS
+            before = _request_count()
+            t_batched.append(_timed(server.put_many, batch))
+            batched_trips = _request_count() - before
+
+        def put_loop(batch: list) -> None:
+            for desc, data in batch:
+                server.put(desc, data)
+
+        t_unbatched, unbatched_trips = [], 0
+        for _ in range(BATCH_REPS):
+            batch = shards(version)
+            version += BATCH_FRAGMENTS
+            before = _request_count()
+            t_unbatched.append(_timed(put_loop, batch))
+            unbatched_trips = _request_count() - before
+
+        best_b, best_u = min(t_batched), min(t_unbatched)
+        return {
+            "fragments": BATCH_FRAGMENTS,
+            "batched_frags_per_s": round(BATCH_FRAGMENTS / best_b, 1),
+            "unbatched_frags_per_s": round(BATCH_FRAGMENTS / best_u, 1),
+            "batch_speedup": round(best_u / best_b, 2),
+            "round_trips_batched": batched_trips,
+            "round_trips_unbatched": unbatched_trips,
+            "round_trips_saved_pct": round(
+                100.0 * (unbatched_trips - batched_trips) / max(unbatched_trips, 1), 1
+            ),
+        }
+    finally:
+        group.close()
+
+
+def bench_transport() -> dict:
+    results = {}
+    payload_kb = int(np.prod(DOMAIN.shape)) * 8 // 1024
+    inproc = _bench_put_get("inproc")
+    tcp = _bench_put_get("tcp")
+    for name, ops in (("inproc", inproc), ("tcp", tcp)):
+        results[name] = {
+            "payload_kb": payload_kb,
+            "servers": NUM_SERVERS,
+            "agg_ops_per_s": round(ops, 1),
+        }
+    results["tcp"]["wire_tax_x"] = round(inproc / tcp, 2)
+    results["batching"] = _bench_batching()
+    return results
+
+
+def main() -> int:
+    results = bench_transport()
+    for name in ("inproc", "tcp"):
+        row = results[name]
+        extra = (
+            f", wire tax x{row['wire_tax_x']:.1f}" if "wire_tax_x" in row else ""
+        )
+        print(f"  {name}: {row['agg_ops_per_s']:.0f} ops/s{extra}")
+    b = results["batching"]
+    print(
+        f"  batching: {b['batched_frags_per_s']:.0f} frags/s batched "
+        f"({b['unbatched_frags_per_s']:.0f} unbatched, x{b['batch_speedup']:.1f}), "
+        f"{b['round_trips_batched']} vs {b['round_trips_unbatched']} round trips "
+        f"({b['round_trips_saved_pct']:.0f}% saved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,10 @@ GUARDED_METRICS = {
         "restores_per_s",
         "restarts_per_s",
     ),
+    # Wire transport: per-transport put/get rate plus the batched-put rate
+    # over TCP. Rows carry disjoint metrics (inproc/tcp rows have
+    # agg_ops_per_s, the batching row batched_frags_per_s); absent ones skip.
+    "transport": ("agg_ops_per_s", "batched_frags_per_s"),
 }
 
 
@@ -107,6 +111,13 @@ def main() -> int:
         help="also write the current measurements to this path "
         "(the committed baseline is never touched)",
     )
+    parser.add_argument(
+        "--obs",
+        type=pathlib.Path,
+        default=None,
+        help="write the process-wide obs metrics snapshot (counters, "
+        "histograms, gauges accumulated across the bench runs) to this path",
+    )
     args = parser.parse_args()
 
     if not BASELINE_PATH.exists():
@@ -122,9 +133,14 @@ def main() -> int:
         "snapshot": bench.bench_snapshot(),
         "gc": bench.bench_gc(),
         "recovery": bench.bench_recovery(),
+        "transport": bench.bench_transport(),
     }
     if args.json is not None:
         args.json.write_text(json.dumps(current, indent=2) + "\n")
+    if args.obs is not None:
+        from repro.obs import get_registry
+
+        args.obs.write_text(json.dumps(get_registry().snapshot(), indent=2) + "\n")
 
     failures, lines = compare(baseline, current, args.threshold)
     print(f"== bench guard: comparison (threshold {args.threshold:.0%}) ==")

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-command gate: lint (if ruff is installed) + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--fast] [--bench] [--bench-guard] [extra pytest args]
+# Usage: scripts/check.sh [--fast] [--bench] [--bench-guard] [--transport T] [extra pytest args]
 #   --fast         skip the slow suites (perfsim + integration): the quick
 #                  inner-loop signal, also the per-Python matrix job in CI
 #   --bench        additionally run the data-path/coding microbenchmarks and
@@ -9,6 +9,10 @@
 #   --bench-guard  run the benchmarks in *guard* mode: compare against the
 #                  committed BENCH_micro.json and fail on >30 % regression
 #                  (never rewrites the baseline)
+#   --transport T  run the suite with REPRO_TRANSPORT=T (inproc|tcp). With
+#                  tcp, every staging group spawns real server processes;
+#                  white-box in-process tests self-skip, and an interrupted
+#                  run (^C, CI timeout) reaps all spawned servers on exit.
 # Flags may appear in any order and mix freely with pytest args.
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -19,15 +23,67 @@ cd "$REPO_ROOT"
 RUN_BENCH=0
 RUN_GUARD=0
 FAST=0
+TRANSPORT=""
 PYTEST_ARGS=()
+expect_transport=0
 for arg in "$@"; do
+    if [[ "$expect_transport" == "1" ]]; then
+        TRANSPORT="$arg"
+        expect_transport=0
+        continue
+    fi
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
         --bench-guard) RUN_GUARD=1 ;;
         --fast) FAST=1 ;;
+        --transport) expect_transport=1 ;;
+        --transport=*) TRANSPORT="${arg#--transport=}" ;;
         *) PYTEST_ARGS+=("$arg") ;;
     esac
 done
+if [[ "$expect_transport" == "1" ]]; then
+    echo "error: --transport requires a value (inproc|tcp)" >&2
+    exit 2
+fi
+
+if [[ -n "$TRANSPORT" ]]; then
+    export REPRO_TRANSPORT="$TRANSPORT"
+    echo "== transport: $TRANSPORT =="
+fi
+
+# TCP runs spawn one server process per staging group server; a run killed
+# mid-flight (^C, CI timeout) must not strand them. Each step therefore runs
+# in its own process group — every spawned server inherits it — and the trap
+# reaps the whole group. Never kill our *own* group: in CI this shell can
+# share it with the runner.
+CHILD_PGID=""
+cleanup() {
+    local status=$?
+    trap - INT TERM EXIT
+    if [[ -n "$CHILD_PGID" ]]; then
+        kill -TERM -- "-$CHILD_PGID" 2>/dev/null || true
+    fi
+    exit "$status"
+}
+
+run() {
+    if [[ "$TRANSPORT" != "tcp" ]]; then
+        "$@"
+        return
+    fi
+    set -m
+    "$@" &
+    CHILD_PGID=$!
+    set +m
+    local st=0
+    wait "$CHILD_PGID" || st=$?
+    CHILD_PGID=""
+    return "$st"
+}
+
+if [[ "$TRANSPORT" == "tcp" ]]; then
+    trap cleanup INT TERM EXIT
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
@@ -38,19 +94,19 @@ fi
 
 echo "== tier-1 tests =="
 if [[ "$FAST" == "1" ]]; then
-    PYTHONPATH=src python -m pytest -x -q \
+    run env PYTHONPATH=src python -m pytest -x -q \
         --ignore=tests/perfsim --ignore=tests/integration \
         "${PYTEST_ARGS[@]+"${PYTEST_ARGS[@]}"}"
 else
-    PYTHONPATH=src python -m pytest -x -q "${PYTEST_ARGS[@]+"${PYTEST_ARGS[@]}"}"
+    run env PYTHONPATH=src python -m pytest -x -q "${PYTEST_ARGS[@]+"${PYTEST_ARGS[@]}"}"
 fi
 
 if [[ "$RUN_BENCH" == "1" ]]; then
     echo "== microbenchmarks (BENCH_micro.json) =="
-    PYTHONPATH=src python benchmarks/bench_microbench.py
+    run env PYTHONPATH=src python benchmarks/bench_microbench.py
 fi
 
 if [[ "$RUN_GUARD" == "1" ]]; then
     echo "== bench guard (vs committed BENCH_micro.json) =="
-    PYTHONPATH=src python scripts/bench_guard.py
+    run env PYTHONPATH=src python scripts/bench_guard.py
 fi

@@ -19,6 +19,7 @@ __all__ = [
     "checkpoint_report",
     "gc_report",
     "recovery_report",
+    "net_report",
     "write_snapshot",
 ]
 
@@ -268,6 +269,66 @@ def recovery_report(snapshot: dict[str, dict] | None = None) -> str:
     return "\n\n".join(
         [banner("recovery"), format_table(["metric", "value"], rows)]
     )
+
+
+def net_report(snapshot: dict[str, dict] | None = None) -> str:
+    """A focused section on the ``net.*`` wire-transport metrics.
+
+    Summarizes TCP transport activity: requests and round-trip latency,
+    bytes moved in each direction, connections opened, server-process
+    spawns, pipelined batch sizes, and wire-level failures that were mapped
+    into the staging error taxonomy. Empty when no wire transport ran (the
+    inproc default produces no ``net.*`` activity).
+    """
+    if snapshot is None:
+        snapshot = _default_registry.snapshot()
+
+    def val(name: str) -> float:
+        return snapshot.get(name, {}).get("value", 0)
+
+    requests = snapshot.get("net.tcp.request.seconds", {})
+    if not (val("net.tcp.requests") or requests.get("count")):
+        return ""
+    rows = [
+        ["requests", _fmt(val("net.tcp.requests"))],
+        [
+            "bytes sent / received",
+            f"{_fmt(val('net.tcp.bytes_sent'))} / "
+            f"{_fmt(val('net.tcp.bytes_received'))}",
+        ],
+        [
+            "connections / server spawns",
+            f"{_fmt(val('net.tcp.connects'))} / {_fmt(val('net.tcp.server_spawns'))}",
+        ],
+    ]
+    if requests.get("count"):
+        rows.append(
+            [
+                "round trip s (mean / p99 / max)",
+                f"{_fmt(requests['mean'])} / {_fmt(requests.get('p99', 0))} / "
+                f"{_fmt(requests['max'])}",
+            ]
+        )
+    batches = snapshot.get("net.tcp.batch.size", {})
+    if batches.get("count"):
+        rows.append(
+            [
+                "pipelined batches (n / mean ops / max ops)",
+                f"n={batches['count']} mean={_fmt(batches['mean'])} "
+                f"max={_fmt(batches['max'])}",
+            ]
+        )
+    if val("net.tcp.wire_errors"):
+        rows.append(["wire errors (mapped to staging errors)", _fmt(val("net.tcp.wire_errors"))])
+    spawns = snapshot.get("net.tcp.spawn.seconds", {})
+    if spawns.get("count"):
+        rows.append(
+            [
+                "server spawn s (mean / max)",
+                f"{_fmt(spawns['mean'])} / {_fmt(spawns['max'])}",
+            ]
+        )
+    return "\n\n".join([banner("net"), format_table(["metric", "value"], rows)])
 
 
 def write_snapshot(path: str | pathlib.Path, snapshot: dict[str, dict] | None = None, extra: dict | None = None) -> dict:

@@ -230,7 +230,22 @@ def inject_faults(
     Idempotent on already-wrapped servers (their injector is replaced). The
     optional registry seeds each proxy's corruption stream; omitted, proxies
     fall back to per-server-id seeds (still deterministic).
+
+    Injection is routed through the group's transport first: a transport
+    whose servers live elsewhere (TCP server processes) installs the plans
+    *there* — same ``FaultyServer`` wrapper, the far side of a real socket —
+    and returns an injector-compatible handle. The in-process wrapping below
+    is the inproc transport's path (``Transport.inject_faults`` → ``None``).
     """
+    transport = getattr(group, "transport", None)
+    if transport is not None:
+        handle = transport.inject_faults(plans, rng)
+        if handle is not None:
+            for server in group.servers:
+                # Parity with the proxy surface: the shared handle is
+                # reachable from every server, as the shared injector is.
+                server.injector = handle
+            return handle
     injector = FaultInjector(plans)
     for i, server in enumerate(group.servers):
         gen = rng.get(f"faults.corrupt.{i}") if rng is not None else None

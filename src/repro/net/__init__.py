@@ -1,0 +1,79 @@
+"""Wire transport between staging clients and staging servers.
+
+The staging substrate reaches its servers through a pluggable *transport*:
+
+* :class:`~repro.net.transport.InprocTransport` — the seed behaviour: every
+  server is an in-process :class:`~repro.staging.server.StagingServer`
+  behind its own lock, calls are plain method calls, payloads move by
+  reference (zero copies added). This stays the default.
+* :class:`~repro.net.tcp.TcpTransport` — one server **process** per staging
+  server (DataSpaces-style), reached over TCP with length-prefixed binary
+  frames (:mod:`repro.net.frames`), a struct-tagged object codec
+  (:mod:`repro.net.codec`), per-server connection pooling, and pipelined
+  request batching (:mod:`repro.net.tcp`). Wire-level failures map onto the
+  existing :class:`~repro.errors.ServerUnavailable` /
+  :class:`~repro.errors.TransientServerError` taxonomy, so retry/backoff,
+  health mark-down, degraded reads, and rebuild work unchanged over sockets.
+
+Select a transport per group (``StagingGroup.create(transport="tcp")``) or
+process-wide via the ``REPRO_TRANSPORT`` environment variable (used by the
+CI transport matrix). See DESIGN.md §13 for the frame layout, the RPC op
+table, the error-mapping table, and the batching rules.
+"""
+
+from repro.net.codec import decode, encode
+from repro.net.frames import (
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    ShortRead,
+    WireClosed,
+    recv_frame,
+    send_frame,
+)
+from repro.net.protocol import (
+    WIRE_ERRORS,
+    decode_message,
+    encode_request,
+    encode_response,
+    error_kind_for,
+    raise_wire_error,
+)
+from repro.net.transport import (
+    TRANSPORT_ENV,
+    InprocTransport,
+    Transport,
+    resolve_transport,
+)
+
+__all__ = [
+    "encode",
+    "decode",
+    "send_frame",
+    "recv_frame",
+    "FrameDecoder",
+    "ProtocolError",
+    "ShortRead",
+    "WireClosed",
+    "FrameTooLarge",
+    "encode_request",
+    "encode_response",
+    "decode_message",
+    "error_kind_for",
+    "raise_wire_error",
+    "WIRE_ERRORS",
+    "Transport",
+    "InprocTransport",
+    "resolve_transport",
+    "TRANSPORT_ENV",
+]
+
+
+def __getattr__(name: str):
+    # TcpTransport pulls in multiprocessing; load it lazily so the default
+    # in-process path never pays the import.
+    if name == "TcpTransport":
+        from repro.net.tcp import TcpTransport
+
+        return TcpTransport
+    raise AttributeError(name)

@@ -1,0 +1,267 @@
+"""Binary object codec for the staging wire protocol.
+
+A self-describing, struct-packed encoding of exactly the value shapes the
+staging RPC surface moves: python scalars and containers, numpy arrays
+(dtype + shape header, raw C-order bytes — the payload is never transformed,
+only length-prefixed), and the three staging identity types
+(:class:`~repro.geometry.bbox.BBox`,
+:class:`~repro.descriptors.odsc.ObjectDescriptor`,
+:class:`~repro.staging.store.StoredObject`). Anything outside that set —
+fault plans, RNG generators, whole server snapshots — rides as an opaque
+pickle blob: those are control-plane payloads where generality beats the
+extra bytes, while the hot data path stays pickle-free.
+
+The format is position-based with one tag byte per value; all fixed-width
+fields are big-endian (network order). There is no back-compat machinery:
+client and server always come from the same build (the transport spawns its
+own server processes), so a version byte at the frame layer
+(:mod:`repro.net.frames`) is enough.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+from repro.descriptors.odsc import ObjectDescriptor
+from repro.geometry.bbox import BBox
+from repro.net.frames import ProtocolError
+from repro.staging.store import StoredObject
+
+__all__ = ["encode", "decode"]
+
+# One tag byte per encoded value.
+_NONE = 0x00
+_TRUE = 0x01
+_FALSE = 0x02
+_INT = 0x03  # !q
+_FLOAT = 0x04  # !d
+_STR = 0x05  # !I utf-8 length + bytes
+_BYTES = 0x06  # !I length + raw
+_LIST = 0x07  # !I count + items
+_TUPLE = 0x08  # !I count + items
+_DICT = 0x09  # !I count + (key, value) pairs
+_SET = 0x0A  # !I count + items
+_NDARRAY = 0x0B  # !B dtype-str len + ascii, !B ndim, !q * ndim, !Q nbytes + raw
+_BBOX = 0x0C  # !B ndim, !q lo * ndim, !q hi * ndim
+_DESC = 0x0D  # name(str) version(!q) bbox dtype(str)
+_STORED = 0x0E  # desc + ndarray
+_PICKLE = 0x0F  # !I length + pickle bytes
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+_pack_u32 = struct.Struct("!I").pack
+_pack_i64 = struct.Struct("!q").pack
+_pack_f64 = struct.Struct("!d").pack
+_pack_u64 = struct.Struct("!Q").pack
+_u32 = struct.Struct("!I")
+_i64 = struct.Struct("!q")
+_f64 = struct.Struct("!d")
+_u64 = struct.Struct("!Q")
+
+
+def encode(obj) -> bytes:
+    """Encode one value tree into its wire bytes."""
+    buf = bytearray()
+    _encode_into(buf, obj)
+    return bytes(buf)
+
+
+def _encode_array(buf: bytearray, arr: np.ndarray) -> None:
+    if arr.dtype.hasobject:
+        # Object arrays carry arbitrary python values; only pickle is safe.
+        _encode_pickle(buf, arr)
+        return
+    shape = arr.shape  # before ascontiguousarray: it promotes 0-d to (1,)
+    arr = np.ascontiguousarray(arr)
+    dtype_str = arr.dtype.str.encode("ascii")
+    if len(dtype_str) > 255 or len(shape) > 255:
+        _encode_pickle(buf, arr)
+        return
+    buf.append(_NDARRAY)
+    buf.append(len(dtype_str))
+    buf += dtype_str
+    buf.append(len(shape))
+    for dim in shape:
+        buf += _pack_i64(dim)
+    raw = arr.reshape(-1).view(np.uint8)
+    buf += _pack_u64(raw.nbytes)
+    buf += memoryview(raw)
+
+
+def _encode_pickle(buf: bytearray, obj) -> None:
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    buf.append(_PICKLE)
+    buf += _pack_u32(len(blob))
+    buf += blob
+
+
+def _encode_into(buf: bytearray, obj) -> None:  # noqa: SIM114 — tag dispatch
+    # Exact type checks (not isinstance) for the scalar/container fast
+    # paths: subclasses (IntEnum, defaultdict, ...) may carry behaviour the
+    # other side can't rebuild from the base type, so they take the pickle
+    # fallback below.
+    t = type(obj)
+    if obj is None:
+        buf.append(_NONE)
+    elif t is bool:
+        buf.append(_TRUE if obj else _FALSE)
+    elif t is int:
+        if _I64_MIN <= obj <= _I64_MAX:
+            buf.append(_INT)
+            buf += _pack_i64(obj)
+        else:
+            _encode_pickle(buf, obj)
+    elif t is float:
+        buf.append(_FLOAT)
+        buf += _pack_f64(obj)
+    elif t is str:
+        raw = obj.encode("utf-8")
+        buf.append(_STR)
+        buf += _pack_u32(len(raw))
+        buf += raw
+    elif t is bytes:
+        buf.append(_BYTES)
+        buf += _pack_u32(len(obj))
+        buf += obj
+    elif t is list or t is tuple:
+        buf.append(_LIST if t is list else _TUPLE)
+        buf += _pack_u32(len(obj))
+        for item in obj:
+            _encode_into(buf, item)
+    elif t is dict:
+        buf.append(_DICT)
+        buf += _pack_u32(len(obj))
+        for key, value in obj.items():
+            _encode_into(buf, key)
+            _encode_into(buf, value)
+    elif t is set or t is frozenset:
+        buf.append(_SET)
+        buf += _pack_u32(len(obj))
+        for item in obj:
+            _encode_into(buf, item)
+    elif t is np.ndarray:
+        _encode_array(buf, obj)
+    elif t is BBox:
+        buf.append(_BBOX)
+        buf.append(obj.ndim)
+        for x in obj.lo:
+            buf += _pack_i64(x)
+        for x in obj.hi:
+            buf += _pack_i64(x)
+    elif t is ObjectDescriptor:
+        buf.append(_DESC)
+        _encode_into(buf, obj.name)
+        buf += _pack_i64(obj.version)
+        _encode_into(buf, obj.bbox)
+        _encode_into(buf, obj.dtype)
+    elif t is StoredObject:
+        buf.append(_STORED)
+        _encode_into(buf, obj.desc)
+        _encode_array(buf, obj.data)
+    elif isinstance(obj, np.generic):
+        # Numpy scalars (np.int64 sizes, np.float64 metrics) downcast to
+        # their python value — the receiver never needs the numpy wrapper.
+        _encode_into(buf, obj.item())
+    else:
+        _encode_pickle(buf, obj)
+
+
+class _Reader:
+    """Offset-tracked reader over one frame's bytes."""
+
+    __slots__ = ("view", "off")
+
+    def __init__(self, data) -> None:
+        self.view = memoryview(data)
+        self.off = 0
+
+    def take(self, n: int) -> memoryview:
+        end = self.off + n
+        if end > len(self.view):
+            raise ProtocolError(
+                f"truncated value: need {n} bytes at offset {self.off}, "
+                f"frame holds {len(self.view)}"
+            )
+        chunk = self.view[self.off : end]
+        self.off = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _u32.unpack(self.take(4))[0]
+
+    def i64(self) -> int:
+        return _i64.unpack(self.take(8))[0]
+
+
+def decode(data) -> object:
+    """Decode one value tree from wire bytes; rejects trailing garbage."""
+    reader = _Reader(data)
+    value = _decode_value(reader)
+    if reader.off != len(reader.view):
+        raise ProtocolError(
+            f"{len(reader.view) - reader.off} trailing byte(s) after value"
+        )
+    return value
+
+
+def _decode_value(r: _Reader):
+    tag = r.u8()
+    if tag == _NONE:
+        return None
+    if tag == _TRUE:
+        return True
+    if tag == _FALSE:
+        return False
+    if tag == _INT:
+        return r.i64()
+    if tag == _FLOAT:
+        return _f64.unpack(r.take(8))[0]
+    if tag == _STR:
+        return str(r.take(r.u32()), "utf-8")
+    if tag == _BYTES:
+        return bytes(r.take(r.u32()))
+    if tag == _LIST:
+        return [_decode_value(r) for _ in range(r.u32())]
+    if tag == _TUPLE:
+        return tuple(_decode_value(r) for _ in range(r.u32()))
+    if tag == _DICT:
+        return {_decode_value(r): _decode_value(r) for _ in range(r.u32())}
+    if tag == _SET:
+        return {_decode_value(r) for _ in range(r.u32())}
+    if tag == _NDARRAY:
+        dtype = np.dtype(str(r.take(r.u8()), "ascii"))
+        shape = tuple(r.i64() for _ in range(r.u8()))
+        nbytes = _u64.unpack(r.take(8))[0]
+        raw = r.take(nbytes)
+        if dtype.itemsize == 0:
+            # Itemsize-0 dtypes (geometry-only "V0" fragments) carry no
+            # payload bytes; the shape header alone rebuilds them.
+            return np.zeros(shape, dtype=dtype)
+        # Copy out of the frame buffer: the returned array must own its
+        # memory (stores keep fragments alive long after the frame is gone)
+        # and be writable (get() assembles into caller buffers).
+        return np.frombuffer(raw, dtype=np.uint8).view(dtype).reshape(shape).copy()
+    if tag == _BBOX:
+        ndim = r.u8()
+        lo = tuple(r.i64() for _ in range(ndim))
+        hi = tuple(r.i64() for _ in range(ndim))
+        return BBox(lo, hi)
+    if tag == _DESC:
+        name = _decode_value(r)
+        version = r.i64()
+        bbox = _decode_value(r)
+        dtype = _decode_value(r)
+        return ObjectDescriptor(name, version, bbox, dtype)
+    if tag == _STORED:
+        desc = _decode_value(r)
+        data = _decode_value(r)
+        return StoredObject(desc, data)
+    if tag == _PICKLE:
+        return pickle.loads(r.take(r.u32()))
+    raise ProtocolError(f"unknown codec tag 0x{tag:02x} at offset {r.off - 1}")

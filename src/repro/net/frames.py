@@ -1,0 +1,170 @@
+"""Length-prefixed message framing over byte streams.
+
+Every message on the wire is one *frame*::
+
+    +----------+----------------------+
+    | !I length| payload (length B)   |
+    +----------+----------------------+
+
+The 4-byte big-endian length counts payload bytes only. A frame larger than
+:data:`MAX_FRAME_BYTES` is rejected before any payload is read — a corrupted
+or misaligned length prefix must not turn into a multi-gigabyte allocation.
+
+Two consumption styles:
+
+* :func:`send_frame` / :func:`recv_frame` — blocking socket I/O for the
+  client side and the per-connection server loop.
+* :class:`FrameDecoder` — incremental push-style decoder (``feed`` bytes in,
+  pop complete frames out) for tests and any future non-blocking loop; this
+  is what the torn-frame tests drive byte-by-byte.
+
+Error taxonomy (all subclass :class:`WireError`):
+
+* :class:`WireClosed` — the peer closed the stream at a frame boundary.
+  Between requests this is a clean shutdown; mid-conversation the transport
+  maps it to fail-stop (``ServerUnavailable``).
+* :class:`ShortRead` — the stream ended *inside* a frame (torn write, peer
+  killed mid-send). Always fail-stop: the connection state is unknowable.
+* :class:`FrameTooLarge` / :class:`ProtocolError` — the byte stream itself
+  is malformed; the connection must be dropped.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "WireClosed",
+    "ShortRead",
+    "FrameTooLarge",
+    "ProtocolError",
+    "send_frame",
+    "recv_frame",
+    "FrameDecoder",
+]
+
+# Generous ceiling: the largest legitimate frame is a batched put of one
+# put_many call (a few hundred MB would already be an absurd single batch).
+MAX_FRAME_BYTES = 1 << 31  # 2 GiB
+
+_LEN = struct.Struct("!I")
+
+
+class WireError(Exception):
+    """Base for all framing-level failures."""
+
+
+class WireClosed(WireError):
+    """Peer closed the stream at a frame boundary (clean EOF)."""
+
+
+class ShortRead(WireError):
+    """Stream ended mid-frame: the peer died or tore a write."""
+
+
+class FrameTooLarge(WireError):
+    """Declared frame length exceeds MAX_FRAME_BYTES."""
+
+
+class ProtocolError(WireError):
+    """Byte stream or payload is malformed."""
+
+
+def send_frame(sock: socket.socket, payload) -> None:
+    """Write one frame. ``payload`` is bytes-like (bytes/bytearray/memoryview)."""
+    n = len(payload)
+    if n > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"frame of {n} bytes exceeds cap {MAX_FRAME_BYTES}")
+    # Single sendall for header+payload halves the syscalls on small frames;
+    # for large payloads concatenation would double peak memory, so send the
+    # header separately past a threshold.
+    if n <= 1 << 16:
+        sock.sendall(_LEN.pack(n) + bytes(payload))
+    else:
+        sock.sendall(_LEN.pack(n))
+        sock.sendall(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, *, header: bool) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if header and remaining == n:
+                raise WireClosed("connection closed at frame boundary")
+            raise ShortRead(
+                f"connection closed with {remaining} of {n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one complete frame payload, blocking."""
+    header = _recv_exact(sock, _LEN.size, header=True)
+    (n,) = _LEN.unpack(header)
+    if n > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"peer declared {n}-byte frame, cap {MAX_FRAME_BYTES}")
+    if n == 0:
+        return b""
+    return _recv_exact(sock, n, header=False)
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed arbitrary byte chunks, pop frames.
+
+    ``feed`` never blocks and tolerates any split of the stream — one byte at
+    a time, header torn across chunks, many frames in one chunk. ``close``
+    signals EOF: clean at a boundary, :class:`ShortRead` mid-frame.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._frames: list[bytes] = []
+        self._closed = False
+
+    def feed(self, data) -> None:
+        if self._closed:
+            raise ProtocolError("feed() after close()")
+        self._buf += data
+        while True:
+            if len(self._buf) < _LEN.size:
+                return
+            (n,) = _LEN.unpack_from(self._buf)
+            if n > MAX_FRAME_BYTES:
+                raise FrameTooLarge(
+                    f"peer declared {n}-byte frame, cap {MAX_FRAME_BYTES}"
+                )
+            total = _LEN.size + n
+            if len(self._buf) < total:
+                return
+            self._frames.append(bytes(self._buf[_LEN.size : total]))
+            del self._buf[:total]
+
+    def close(self) -> None:
+        """Signal end-of-stream. Raises ShortRead if a frame is in flight."""
+        self._closed = True
+        if self._buf:
+            raise ShortRead(
+                f"stream ended with {len(self._buf)} buffered byte(s) mid-frame"
+            )
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+    def frames(self) -> list[bytes]:
+        """Pop all completed frames (in arrival order)."""
+        out = self._frames
+        self._frames = []
+        return out
+
+    def __iter__(self):
+        while self._frames:
+            yield self._frames.pop(0)

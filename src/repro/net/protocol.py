@@ -1,0 +1,147 @@
+"""RPC message shapes and the wire error taxonomy.
+
+Three message kinds ride the frames, all encoded with the codec
+(:mod:`repro.net.codec`):
+
+* request:   ``("req", op, args)`` — ``op`` is the method name on
+  :class:`~repro.staging.server.StagingServer` (or an ``admin:``-prefixed
+  control op handled by the server process itself); ``args`` is a tuple.
+* response:  ``("ok", value)`` on success.
+* error:     ``("err", kind, server_id, message)`` — a *staging-level*
+  failure re-raised on the client verbatim. ``kind`` indexes
+  :data:`WIRE_ERRORS`; only those types cross the wire typed, anything else
+  arrives as ``("err", "staging", ...)`` → :class:`~repro.errors.StagingError`.
+
+Batched requests (the pipelining path) wrap N requests in one frame::
+
+    ("batch", [("req", op, args), ...])  →  ("batch_ok", [response, ...])
+
+where each inner response is itself an ``("ok", ...)`` or ``("err", ...)``
+tuple — one slow/faulty op in a batch doesn't poison its neighbours; the
+client unpacks per-op results and raises per-op errors exactly as if each
+had been its own round trip.
+
+Staging-level errors are distinct from *wire-level* failures: the latter
+(connect refused, reset, timeout, short read) never appear as ``("err", ...)``
+messages — they surface as socket exceptions and the transport maps them to
+:class:`~repro.errors.ServerUnavailable` / :class:`~repro.errors.TransientServerError`
+(the mapping table lives in :mod:`repro.net.tcp`; rationale in DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    DecodingError,
+    ObjectNotFound,
+    ServerUnavailable,
+    StagingDegradedError,
+    StagingError,
+    TransientServerError,
+    VersionConflict,
+)
+from repro.net.codec import decode, encode
+from repro.net.frames import ProtocolError
+
+__all__ = [
+    "WIRE_ERRORS",
+    "encode_request",
+    "encode_batch",
+    "encode_response",
+    "encode_error",
+    "decode_message",
+    "error_kind_for",
+    "raise_wire_error",
+]
+
+# kind string ↔ exception type for staging-level errors that must arrive on
+# the client as their original type (retry policy and degraded reads branch
+# on these). Listed leaf-first so error_kind_for picks the most specific.
+WIRE_ERRORS: dict[str, type[StagingError]] = {
+    "not_found": ObjectNotFound,
+    "version_conflict": VersionConflict,
+    "unavailable": ServerUnavailable,
+    "transient": TransientServerError,
+    "degraded": StagingDegradedError,
+    "decoding": DecodingError,
+    "staging": StagingError,
+}
+
+_KIND_BY_TYPE = {cls: kind for kind, cls in WIRE_ERRORS.items()}
+
+# Exceptions that carry a server_id constructor argument.
+_SERVER_SCOPED = (ServerUnavailable, TransientServerError)
+
+
+def error_kind_for(exc: BaseException) -> str:
+    """Most specific wire kind for a staging exception."""
+    kind = _KIND_BY_TYPE.get(type(exc))
+    if kind is not None:
+        return kind
+    for cls, k in _KIND_BY_TYPE.items():  # walk leaf-first insertion order
+        if isinstance(exc, cls):
+            return k
+    return "staging"
+
+
+def encode_request(op: str, args: tuple) -> bytes:
+    return encode(("req", op, args))
+
+
+def encode_batch(requests: list) -> bytes:
+    """Encode N ``("req", op, args)`` tuples into one pipelined frame."""
+    return encode(("batch", requests))
+
+
+def encode_response(value) -> bytes:
+    return encode(("ok", value))
+
+
+def encode_error(exc: BaseException, server_id: int) -> bytes:
+    return encode(_error_tuple(exc, server_id))
+
+
+def _error_tuple(exc: BaseException, server_id: int) -> tuple:
+    if isinstance(exc, _SERVER_SCOPED):
+        server_id = exc.server_id
+    return ("err", error_kind_for(exc), server_id, str(exc))
+
+
+def batch_item_result(value=None, exc: BaseException | None = None, server_id: int = -1):
+    """One slot of a ``("batch_ok", [...])`` response."""
+    if exc is not None:
+        return _error_tuple(exc, server_id)
+    return ("ok", value)
+
+
+def raise_wire_error(kind: str, server_id: int, message: str):
+    """Re-raise a wire error tuple as its original exception type."""
+    cls = WIRE_ERRORS.get(kind, StagingError)
+    if issubclass(cls, _SERVER_SCOPED):
+        raise cls(server_id, message)
+    raise cls(message)
+
+
+def decode_message(payload) -> tuple:
+    """Decode one frame payload; validates the message envelope shape."""
+    msg = decode(payload)
+    if not isinstance(msg, tuple) or not msg:
+        raise ProtocolError(f"message is not a tagged tuple: {type(msg).__name__}")
+    tag = msg[0]
+    if tag == "req":
+        if len(msg) != 3 or not isinstance(msg[1], str) or not isinstance(msg[2], tuple):
+            raise ProtocolError("malformed request message")
+    elif tag == "ok":
+        if len(msg) != 2:
+            raise ProtocolError("malformed ok response")
+    elif tag == "err":
+        if len(msg) != 4 or not isinstance(msg[1], str) or not isinstance(msg[2], int):
+            raise ProtocolError("malformed error response")
+    elif tag == "batch":
+        if len(msg) != 2 or not isinstance(msg[1], list):
+            raise ProtocolError("malformed batch request")
+    elif tag == "batch_ok":
+        if len(msg) != 2 or not isinstance(msg[1], list):
+            raise ProtocolError("malformed batch response")
+    else:
+        raise ProtocolError(f"unknown message tag {tag!r}")
+    return msg

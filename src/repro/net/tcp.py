@@ -1,0 +1,537 @@
+"""TCP transport: server processes, connection pool, remote server proxies.
+
+The parent spawns one OS process per staging server
+(:mod:`repro.net.tcpserver` is the process body) and talks to each over
+pooled TCP connections with length-prefixed frames. ``group.servers`` is
+populated with :class:`RemoteServer` proxies exposing the exact
+:class:`~repro.staging.server.StagingServer` method surface, so the client,
+resilience, checkpoint, and runtime layers run unmodified.
+
+Wire-failure → staging-error mapping (the contract that keeps ``_server_op``
+retries, ``GroupHealth`` mark-down, degraded reads, and ``rebuild_server``
+working unchanged over sockets; table reproduced in DESIGN.md §13):
+
+    ==============================  ==============================  =========
+    wire failure                    mapped exception                retried?
+    ==============================  ==============================  =========
+    connect refused                 ServerUnavailable               no
+    connect/recv timeout            TransientServerError            yes
+    connection reset / broken pipe  ServerUnavailable               no
+    clean EOF mid-conversation      ServerUnavailable               no
+    short read (torn frame)         ServerUnavailable               no
+    malformed frame / oversize      ServerUnavailable               no
+    ==============================  ==============================  =========
+
+Refused and reset are fail-stop (the process is gone — retrying cannot
+help; rebuild can); timeouts are transient (the server may just be slow or
+the packet lost). Any failed connection is discarded, never returned to the
+pool: its stream position is unknowable after an error.
+
+``put``/``put_many`` are acknowledged with ``None`` over the wire rather
+than echoing the stored objects back (no group-level caller consumes them;
+the inproc return values exist for direct server use). ``put_many`` and
+``get_many`` are single ops — a whole multi-shard scatter/gather rides one
+round trip — and :meth:`RemoteServer.pipeline` additionally packs arbitrary
+op sequences into one frame (one round trip for N ops).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import sys
+import threading
+import weakref
+from time import perf_counter
+
+from repro.errors import (
+    ServerUnavailable,
+    TransientServerError,
+)
+from repro.net.codec import encode
+from repro.net.frames import WireClosed, WireError, recv_frame, send_frame
+from repro.net.protocol import (
+    decode_message,
+    encode_batch,
+    encode_request,
+    raise_wire_error,
+)
+from repro.net.tcpserver import SERVER_OPS, run_server
+from repro.net.transport import Transport
+from repro.obs import registry as _obs
+
+__all__ = ["TcpTransport", "RemoteServer", "RemoteFaultHandle", "shutdown_all"]
+
+_REQUESTS = _obs.counter("net.tcp.requests")
+_REQ_SECONDS = _obs.histogram("net.tcp.request.seconds")
+_BYTES_SENT = _obs.counter("net.tcp.bytes_sent")
+_BYTES_RECEIVED = _obs.counter("net.tcp.bytes_received")
+_CONNECTS = _obs.counter("net.tcp.connects")
+_WIRE_ERRORS = _obs.counter("net.tcp.wire_errors")
+_BATCH_SIZE = _obs.histogram("net.tcp.batch.size")
+_SPAWNS = _obs.counter("net.tcp.server_spawns")
+_SPAWN_SECONDS = _obs.histogram("net.tcp.spawn.seconds")
+
+#: Seconds to wait for a response before declaring the request transient.
+#: Generous: a slow-faulted server must look *slow*, not failed, exactly as
+#: it does in-process (where the caller simply blocks).
+REQUEST_TIMEOUT = float(os.environ.get("REPRO_TCP_TIMEOUT", "") or 30.0)
+CONNECT_TIMEOUT = float(os.environ.get("REPRO_TCP_CONNECT_TIMEOUT", "") or 5.0)
+SPAWN_TIMEOUT = 60.0
+
+_mp_lock = threading.Lock()
+_mp_ctx = None
+
+# Every live transport, so test harnesses can reap leaked server processes
+# (fixtures create hundreds of short-lived groups and never close them).
+_live_transports: weakref.WeakSet = weakref.WeakSet()
+
+
+def _context():
+    """The multiprocessing context, created once per process.
+
+    forkserver + preloading the server module makes each spawn a cheap fork
+    of an already-warm interpreter (numpy and the staging stack imported
+    once) while staying safe in this thread-heavy parent. Falls back to
+    spawn where forkserver is unsupported.
+    """
+    global _mp_ctx
+    if _mp_ctx is None:
+        with _mp_lock:
+            if _mp_ctx is None:
+                import multiprocessing
+
+                try:
+                    ctx = multiprocessing.get_context("forkserver")
+                    ctx.set_forkserver_preload(["repro.net.tcpserver"])
+                except ValueError:
+                    ctx = multiprocessing.get_context("spawn")
+                _mp_ctx = ctx
+    return _mp_ctx
+
+
+def _map_wire_error(exc: BaseException, server_id: int):
+    """Translate a socket/framing failure into the staging error taxonomy."""
+    _WIRE_ERRORS.inc()
+    if isinstance(exc, (socket.timeout, TimeoutError)):
+        return TransientServerError(server_id, f"tcp timeout: {exc}")
+    # Refused, reset, broken pipe, clean EOF, torn frame, malformed stream:
+    # the server process (or its stream) is gone — fail-stop.
+    return ServerUnavailable(server_id, f"tcp failure: {type(exc).__name__}: {exc}")
+
+
+class _Endpoint:
+    """One server process + a pool of connections to it."""
+
+    def __init__(self, server_id: int, process, port: int) -> None:
+        self.server_id = server_id
+        self.process = process
+        self.port = port
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- sockets
+
+    def _dial(self) -> socket.socket:
+        sock = socket.create_connection(
+            ("127.0.0.1", self.port), timeout=CONNECT_TIMEOUT
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(REQUEST_TIMEOUT)
+        _CONNECTS.inc()
+        return sock
+
+    def _borrow(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ServerUnavailable(self.server_id, "transport closed")
+            if self._idle:
+                return self._idle.pop()
+        return self._dial()
+
+    def _give_back(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    # ------------------------------------------------------------- requests
+
+    def _round_trip(self, payload: bytes) -> tuple:
+        t0 = perf_counter()
+        try:
+            sock = self._borrow()
+        except (OSError, WireError) as exc:
+            raise _map_wire_error(exc, self.server_id) from exc
+        try:
+            send_frame(sock, payload)
+            reply = recv_frame(sock)
+        except (OSError, WireError) as exc:
+            sock.close()
+            raise _map_wire_error(exc, self.server_id) from exc
+        try:
+            msg = decode_message(reply)
+        except WireError as exc:
+            sock.close()
+            raise _map_wire_error(exc, self.server_id) from exc
+        self._give_back(sock)
+        _REQUESTS.inc()
+        _BYTES_SENT.inc(len(payload) + 4)
+        _BYTES_RECEIVED.inc(len(reply) + 4)
+        _REQ_SECONDS.record(perf_counter() - t0)
+        return msg
+
+    def request(self, op: str, args: tuple):
+        msg = self._round_trip(encode_request(op, args))
+        if msg[0] == "ok":
+            return msg[1]
+        if msg[0] == "err":
+            raise_wire_error(msg[1], msg[2], msg[3])
+        raise _map_wire_error(
+            WireClosed(f"unexpected reply tag {msg[0]!r}"), self.server_id
+        )
+
+    def request_batch(self, requests: list[tuple[str, tuple]]) -> list:
+        """Pipeline N ops in one frame; returns per-op values in order.
+
+        The first failed op's error is raised (after the whole batch ran
+        server-side — batches are not transactions, matching the semantics
+        of issuing the ops back-to-back on one connection).
+        """
+        _BATCH_SIZE.record(len(requests))
+        payload = encode_batch([("req", op, args) for op, args in requests])
+        msg = self._round_trip(payload)
+        if msg[0] != "batch_ok":
+            if msg[0] == "err":
+                raise_wire_error(msg[1], msg[2], msg[3])
+            raise _map_wire_error(
+                WireClosed(f"unexpected reply tag {msg[0]!r}"), self.server_id
+            )
+        values = []
+        error = None
+        for item in msg[1]:
+            if item[0] == "ok":
+                values.append(item[1])
+            elif error is None:
+                values.append(None)
+                error = item
+            else:
+                values.append(None)
+        if error is not None:
+            raise_wire_error(error[1], error[2], error[3])
+        return values
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self, *, shutdown_op: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+        if shutdown_op:
+            try:
+                sock = idle.pop() if idle else self._dial()
+                sock.settimeout(1.0)
+                send_frame(sock, encode_request("admin:shutdown", ()))
+                recv_frame(sock)
+                sock.close()
+            except (OSError, WireError):
+                pass
+        for sock in idle:
+            sock.close()
+        proc = self.process
+        if proc is not None:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            self.process = None
+
+
+class _RemoteStore:
+    """Control-plane facade over the server process's ObjectStore.
+
+    Mirrors the store attributes tests and the checkpointer read on local
+    servers (``object_count``, ``fragments``, ``clear``, ...); all calls
+    dispatch against the *unwrapped* server, matching ``FaultyServer``'s
+    control-plane passthrough.
+    """
+
+    def __init__(self, endpoint: _Endpoint) -> None:
+        self._endpoint = endpoint
+
+    @property
+    def object_count(self) -> int:
+        return self._endpoint.request("admin:store", ("object_count", ()))
+
+    @property
+    def nbytes(self) -> int:
+        return self._endpoint.request("admin:store", ("nbytes", ()))
+
+    def fragments(self, name: str, version: int):
+        return self._endpoint.request("admin:store", ("fragments", (name, version)))
+
+    def fragment_count(self, name: str, version: int) -> int:
+        return self._endpoint.request(
+            "admin:store", ("fragment_count", (name, version))
+        )
+
+    def versions(self, name: str):
+        return self._endpoint.request("admin:store", ("versions", (name,)))
+
+    def keys(self):
+        return self._endpoint.request("admin:store", ("keys", ()))
+
+    def latest_version(self, name: str):
+        return self._endpoint.request("admin:store", ("latest_version", (name,)))
+
+    def clear(self) -> None:
+        return self._endpoint.request("admin:store", ("clear", ()))
+
+
+class RemoteServer:
+    """Client-side proxy for one staging-server process.
+
+    Drop-in for :class:`~repro.staging.server.StagingServer` inside
+    ``StagingGroup.servers``: the full method surface plus the control-plane
+    attributes the runtime and tests touch (``store`` facade, ``inner``
+    — itself, faults live server-side — and ``heal``).
+    """
+
+    def __init__(self, endpoint: _Endpoint) -> None:
+        self._endpoint = endpoint
+        self.server_id = endpoint.server_id
+        self.lock = threading.RLock()  # parity with StagingServer.lock
+        self.store = _RemoteStore(endpoint)
+        # Set by the transport's fault hook (shared RemoteFaultHandle),
+        # mirroring FaultyServer.injector.
+        self.injector = None
+
+    @property
+    def inner(self) -> "RemoteServer":
+        # Fault state lives in the server process; the proxy is its own
+        # control-plane view (``server.inner.store...`` in tests).
+        return self
+
+    def heal(self) -> None:
+        self._endpoint.request("admin:heal", ())
+
+    @property
+    def crashed(self) -> bool:
+        """Whether a crash fault is active in the server process (parity
+        with ``FaultyServer.crashed``; False when no faults are installed)."""
+        status = self._endpoint.request("admin:fault_status", ())
+        return bool(status and status["crashed"])
+
+    @property
+    def op_count(self) -> int:
+        """Data-path ops the server-side fault wrapper has counted."""
+        status = self._endpoint.request("admin:fault_status", ())
+        return status["op_count"] if status else 0
+
+    def ping(self) -> bool:
+        return self._endpoint.request("admin:ping", ()) == "pong"
+
+    def pipeline(self, requests: list[tuple[str, tuple]]) -> list:
+        """Run N ops in one round trip (see ``_Endpoint.request_batch``)."""
+        return self._endpoint.request_batch(requests)
+
+    @property
+    def nbytes(self) -> int:
+        return self._endpoint.request("nbytes", ())
+
+    @property
+    def protection_nbytes(self) -> int:
+        return self._endpoint.request("protection_nbytes", ())
+
+    def __repr__(self) -> str:
+        return f"RemoteServer(id={self.server_id}, port={self._endpoint.port})"
+
+
+def _make_op(op: str):
+    def call(self, *args):
+        return self._endpoint.request(op, args)
+
+    call.__name__ = op
+    call.__qualname__ = f"RemoteServer.{op}"
+    call.__doc__ = f"Remote `StagingServer.{op}` (one round trip)."
+    return call
+
+
+for _op in sorted(SERVER_OPS):
+    setattr(RemoteServer, _op, _make_op(_op))
+del _op
+
+
+class RemoteFaultHandle:
+    """Client-side view of fault injectors living in the server processes.
+
+    Mirrors the :class:`~repro.faults.plan.FaultInjector` read API
+    (``fired``, ``pending_count``, ``pending_for``) by querying each server
+    process, so callers like the recovery soak's ``injector.fired`` check
+    work identically over TCP.
+    """
+
+    def __init__(self, transport: "TcpTransport") -> None:
+        self._transport = transport
+
+    def _statuses(self) -> list[dict]:
+        out = []
+        for endpoint in self._transport.endpoints():
+            try:
+                status = endpoint.request("admin:fault_status", ())
+            except (ServerUnavailable, TransientServerError):
+                continue  # a crashed *process* has no faults left to report
+            if status is not None:
+                out.append(status)
+        return out
+
+    @property
+    def fired(self) -> list:
+        return [plan for s in self._statuses() for plan in s["fired"]]
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(s["pending"]) for s in self._statuses())
+
+    def pending_for(self, server: int) -> list:
+        return [
+            p for s in self._statuses() for p in s["pending"] if p.server == server
+        ]
+
+
+class TcpTransport(Transport):
+    """One server process per staging server, reached over pooled TCP."""
+
+    name = "tcp"
+
+    def __init__(self) -> None:
+        self._endpoints: dict[int, _Endpoint] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        _live_transports.add(self)
+        # Last-resort reaper if the transport is dropped without close();
+        # holds only the endpoint dict, never the transport itself.
+        self._finalizer = weakref.finalize(self, _close_endpoints, self._endpoints)
+
+    # -------------------------------------------------------------- spawning
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _spawnable_main():
+        """Hide ``__main__`` from multiprocessing's child bootstrap.
+
+        Spawn-family start methods re-import the parent's main module in
+        every child — pointless here (the server body is the importable
+        :func:`repro.net.tcpserver.run_server`, and no argument references
+        main-module state) and actively harmful for unguarded scripts and
+        stdin/REPL sessions, where the re-import re-creates the staging
+        group recursively. Swapping in an anonymous main for the duration
+        of ``Process.start()`` makes the bootstrap skip main fixup.
+        """
+        import types
+
+        with _mp_lock:
+            real_main = sys.modules.get("__main__")
+            sys.modules["__main__"] = types.ModuleType("__main__")
+            try:
+                yield
+            finally:
+                if real_main is not None:
+                    sys.modules["__main__"] = real_main
+
+    def _spawn(self, server_id: int) -> _Endpoint:
+        t0 = perf_counter()
+        ctx = _context()
+        port_rx, port_tx = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=run_server,
+            args=(server_id, port_tx),
+            daemon=True,
+            name=f"staging-server-{server_id}",
+        )
+        with self._spawnable_main():
+            proc.start()
+        port_tx.close()
+        if not port_rx.poll(SPAWN_TIMEOUT):
+            proc.terminate()
+            raise ServerUnavailable(server_id, "server process never reported a port")
+        port = port_rx.recv()
+        port_rx.close()
+        _SPAWNS.inc()
+        _SPAWN_SECONDS.record(perf_counter() - t0)
+        return _Endpoint(server_id, proc, port)
+
+    # ------------------------------------------------------------- Transport
+
+    def make_servers(self, num_servers: int) -> list[RemoteServer]:
+        with self._lock:
+            if self._closed:
+                raise ServerUnavailable(-1, "transport closed")
+            servers = []
+            for i in range(num_servers):
+                endpoint = self._spawn(i)
+                self._endpoints[i] = endpoint
+                servers.append(RemoteServer(endpoint))
+            return servers
+
+    def make_replacement(self, server_id: int) -> RemoteServer:
+        """A fresh, empty server process for ``server_id``.
+
+        The lost server's process is retired (killed if still running): a
+        rebuild models replacing dead hardware, and a truly wedged process
+        must not linger holding its port.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServerUnavailable(server_id, "transport closed")
+            old = self._endpoints.pop(server_id, None)
+            if old is not None:
+                old.close()
+            endpoint = self._spawn(server_id)
+            self._endpoints[server_id] = endpoint
+            return RemoteServer(endpoint)
+
+    def inject_faults(self, plans, rng=None):
+        """Ship each server's plans into its process; return the shared handle."""
+        for endpoint in self.endpoints():
+            server_plans = [p for p in plans if p.server == endpoint.server_id]
+            gen = (
+                rng.get(f"faults.corrupt.{endpoint.server_id}")
+                if rng is not None
+                else None
+            )
+            endpoint.request("admin:install_faults", (server_plans, gen))
+        return RemoteFaultHandle(self)
+
+    def endpoints(self) -> list[_Endpoint]:
+        with self._lock:
+            return list(self._endpoints.values())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            endpoints, self._endpoints = dict(self._endpoints), {}
+        for endpoint in endpoints.values():
+            endpoint.close()
+        self._finalizer.detach()
+
+
+def _close_endpoints(endpoints: dict) -> None:
+    for endpoint in list(endpoints.values()):
+        try:
+            endpoint.close(shutdown_op=False)
+        except Exception:
+            pass
+
+
+def shutdown_all() -> None:
+    """Close every live TcpTransport (test-harness reaper)."""
+    for transport in list(_live_transports):
+        transport.close()

@@ -1,0 +1,258 @@
+"""The staging server process: TCP accept loop + RPC dispatcher.
+
+One process per staging server (DataSpaces-style). The process hosts a plain
+:class:`~repro.staging.server.StagingServer` and serves the same method
+surface clients use in-process, so client/resilience/runtime code is
+byte-identical across transports. Faults are injected *here* — the parent
+ships :class:`~repro.faults.plan.FaultPlan` lists over an admin op and the
+process wraps its server in the same
+:class:`~repro.faults.proxy.FaultyServer` the inproc path uses — so crash
+refusals, flaky errors, slow service, and corrupt reads all cross a real
+socket before the client sees them.
+
+Concurrency model: one thread per client connection (the parent's shard-I/O
+pool opens one connection per worker thread); the server's own RLock
+serializes state access exactly as in-process. Control-plane admin ops
+(``admin:*``) bypass the fault wrapper, mirroring ``FaultyServer``'s
+control-plane passthrough.
+
+This module is also the forkserver preload target: importing it warms
+numpy + the staging stack once, so each server process forks in
+milliseconds instead of re-importing the world.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultInjector
+from repro.faults.proxy import FaultyServer
+from repro.net.codec import encode
+from repro.net.frames import WireError, recv_frame, send_frame
+from repro.net.protocol import (
+    batch_item_result,
+    decode_message,
+    encode_error,
+    encode_response,
+)
+from repro.staging.server import StagingServer
+
+__all__ = ["SERVER_OPS", "Dispatcher", "run_server"]
+
+# Methods clients may invoke by name. Everything else (including admin ops,
+# which carry an "admin:" prefix and never collide) is rejected.
+SERVER_OPS = frozenset(
+    {
+        "put",
+        "put_many",
+        "get",
+        "get_many",
+        "put_blob",
+        "get_blob",
+        "blob_keys",
+        "covers",
+        "covers_all",
+        "query_versions",
+        "evict",
+        "evict_older_than_version",
+        "keep_only_latest",
+        "snapshot",
+        "restore",
+        "rebuild_index",
+        "summary",
+        "enable_journal",
+        "disable_journal",
+        "journal_mutation_count",
+        "seal_delta",
+    }
+)
+# Read-only properties served as zero-arg ops.
+SERVER_PROPS = frozenset({"nbytes", "protection_nbytes"})
+
+# Store-facade attributes the control plane may read (RemoteServer.store).
+_STORE_METHODS = frozenset(
+    {"fragments", "clear", "versions", "keys", "latest_version", "fragment_count"}
+)
+_STORE_PROPS = frozenset({"object_count", "nbytes"})
+
+
+class Dispatcher:
+    """Executes decoded requests against the (possibly fault-wrapped) server."""
+
+    def __init__(self, server_id: int) -> None:
+        self.server_id = server_id
+        self.server = StagingServer(server_id)
+        # Guards wrapper install/reset swaps, not data ops (the server's own
+        # lock serializes those, same as in-process).
+        self._swap_lock = threading.Lock()
+        self.stop = threading.Event()
+
+    @property
+    def _inner(self) -> StagingServer:
+        server = self.server
+        return server.inner if isinstance(server, FaultyServer) else server
+
+    # ---------------------------------------------------------------- admin
+
+    def _admin(self, op: str, args: tuple):
+        if op == "ping":
+            return "pong"
+        if op == "shutdown":
+            self.stop.set()
+            return None
+        if op == "install_faults":
+            (plans, rng) = args
+            with self._swap_lock:
+                injector = FaultInjector(list(plans))
+                if isinstance(self.server, FaultyServer):
+                    self.server.injector = injector
+                    if rng is not None:
+                        self.server._rng = rng
+                else:
+                    self.server = FaultyServer(self.server, injector, rng=rng)
+            return None
+        if op == "fault_status":
+            server = self.server
+            if not isinstance(server, FaultyServer):
+                return None
+            injector = server.injector
+            return {
+                "fired": list(injector.fired),
+                "pending": injector.pending_for(self.server_id),
+                "crashed": server.crashed,
+                "op_count": server.op_count,
+            }
+        if op == "heal":
+            server = self.server
+            if isinstance(server, FaultyServer):
+                server.heal()
+            return None
+        if op == "reset":
+            # A replacement server: brand-new empty state, no fault wrapper.
+            with self._swap_lock:
+                self.server = StagingServer(self.server_id)
+            return None
+        if op == "store":
+            (attr, sub_args) = args
+            store = self._inner.store
+            if attr in _STORE_PROPS:
+                return getattr(store, attr)
+            if attr in _STORE_METHODS:
+                return getattr(store, attr)(*sub_args)
+            raise ValueError(f"store attribute {attr!r} not exposed over the wire")
+        raise ValueError(f"unknown admin op {op!r}")
+
+    # ------------------------------------------------------------- dispatch
+
+    def execute(self, op: str, args: tuple):
+        """Run one op; staging errors propagate to the caller for encoding."""
+        if op.startswith("admin:"):
+            return self._admin(op[len("admin:") :], args)
+        if op in SERVER_PROPS:
+            return getattr(self.server, op)
+        if op not in SERVER_OPS:
+            raise ValueError(f"unknown op {op!r}")
+        result = getattr(self.server, op)(*args)
+        if op in ("put", "put_many"):
+            # Ack without echoing the stored objects back over the wire —
+            # no group-level caller consumes put returns, and the echo would
+            # double every put's byte cost.
+            return None
+        return result
+
+    def handle_frame(self, payload: bytes) -> bytes:
+        msg = decode_message(payload)
+        if msg[0] == "batch":
+            results = []
+            for item in msg[1]:
+                req = decode_message_item(item)
+                try:
+                    value = self.execute(req[1], req[2])
+                except ReproError as exc:
+                    results.append(batch_item_result(exc=exc, server_id=self.server_id))
+                except Exception as exc:  # programming error: report, keep serving
+                    results.append(
+                        batch_item_result(
+                            exc=_as_staging_error(exc), server_id=self.server_id
+                        )
+                    )
+                else:
+                    results.append(batch_item_result(value))
+            return encode(("batch_ok", results))
+        try:
+            value = self.execute(msg[1], msg[2])
+        except ReproError as exc:
+            return encode_error(exc, self.server_id)
+        except Exception as exc:
+            return encode_error(_as_staging_error(exc), self.server_id)
+        return encode_response(value)
+
+
+def decode_message_item(item) -> tuple:
+    """Validate one inner request of a batch (already-decoded tuple)."""
+    if (
+        not isinstance(item, tuple)
+        or len(item) != 3
+        or item[0] != "req"
+        or not isinstance(item[1], str)
+        or not isinstance(item[2], tuple)
+    ):
+        raise ValueError("malformed batch item")
+    return item
+
+
+def _as_staging_error(exc: Exception):
+    from repro.errors import StagingError
+
+    return StagingError(f"{type(exc).__name__}: {exc}")
+
+
+def _serve_connection(dispatcher: Dispatcher, conn: socket.socket) -> None:
+    try:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Accepted sockets may inherit the listener's accept-poll
+            # timeout; connection threads block indefinitely instead.
+            conn.settimeout(None)
+            while not dispatcher.stop.is_set():
+                try:
+                    payload = recv_frame(conn)
+                except WireError:
+                    return  # client went away (clean or torn) — just drop
+                send_frame(conn, dispatcher.handle_frame(payload))
+    except OSError:
+        return
+
+
+def run_server(server_id: int, port_conn) -> None:
+    """Child-process entry: bind, report the port, serve until shutdown.
+
+    ``port_conn`` is the parent's end of a ``multiprocessing.Pipe``; the
+    bound port is the only thing ever written to it.
+    """
+    dispatcher = Dispatcher(server_id)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    with listener:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(64)
+        # Wake the accept loop periodically so admin:shutdown is honoured
+        # even with no new connections arriving.
+        listener.settimeout(0.2)
+        port_conn.send(listener.getsockname()[1])
+        port_conn.close()
+        while not dispatcher.stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=_serve_connection,
+                args=(dispatcher, conn),
+                daemon=True,
+                name=f"staging-conn-{server_id}",
+            ).start()

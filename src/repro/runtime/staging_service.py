@@ -145,6 +145,17 @@ class SynchronizedStaging:
             self._shutdown = True
             self._data_arrived.notify_all()
 
+    def close(self) -> None:
+        """Shut the service down *and* release the staging transport.
+
+        ``shutdown()`` alone leaves the group usable (tests re-read staged
+        state after stopping the service); ``close()`` is the full teardown
+        for owners of the whole stack — it additionally closes the group's
+        transport, which on TCP terminates the server processes. Idempotent.
+        """
+        self.shutdown()
+        self.staging.group.close()
+
     # ---------------------------------------------------- garbage collection
 
     def gc_step(

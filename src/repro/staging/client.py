@@ -28,6 +28,7 @@ from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound, ServerUnavailable, TransientServerError
 from repro.geometry.bbox import BBox
 from repro.geometry.domain import Domain
+from repro.net.transport import InprocTransport, Transport, resolve_transport
 from repro.obs import registry as _obs
 from repro.staging.hashing import PlacementMap
 from repro.staging.resilience import (
@@ -103,12 +104,17 @@ class StagingGroup:
     records: ProtectionIndex = field(default_factory=ProtectionIndex, compare=False)
     # Backoff jitter draws; deterministic so retry timing is reproducible.
     jitter_rng: np.random.Generator = field(default=None, compare=False, repr=False)  # type: ignore[assignment]
+    # How calls reach the servers (see repro.net): inproc method calls by
+    # default; a TcpTransport makes ``servers`` remote-process proxies.
+    transport: Transport = field(default=None, compare=False, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.health is None:
             self.health = GroupHealth(len(self.servers))
         if self.jitter_rng is None:
             self.jitter_rng = np.random.default_rng(0xC0DEC)
+        if self.transport is None:
+            self.transport = InprocTransport()
 
     @classmethod
     def create(
@@ -121,6 +127,7 @@ class StagingGroup:
         protection: ProtectionConfig | None = None,
         retry: RetryPolicy | None = None,
         down_after: int = 3,
+        transport: "Transport | str | None" = None,
     ) -> "StagingGroup":
         """Construct ``num_servers`` empty servers and their placement map.
 
@@ -131,11 +138,18 @@ class StagingGroup:
         ``protection`` opts the group's clients into CoREC shard-group
         coding (parity or replication) with verified, degraded-capable
         reads; ``retry``/``down_after`` shape the transient-failure policy.
+
+        ``transport`` selects how clients reach the servers: a
+        :class:`~repro.net.transport.Transport` instance, ``"inproc"`` /
+        ``"tcp"``, or ``None`` to follow the ``REPRO_TRANSPORT`` environment
+        variable (default inproc). TCP groups own server *processes* —
+        call :meth:`close` (or rely on daemon cleanup at exit) when done.
         """
         if parallel is None:
             parallel = (os.cpu_count() or 1) > 1
         placement = PlacementMap(domain, num_servers, blocks_per_server, curve)
-        servers = [StagingServer(i) for i in range(num_servers)]
+        transport_obj = resolve_transport(transport)
+        servers = transport_obj.make_servers(num_servers)
         return cls(
             domain=domain,
             servers=servers,
@@ -144,7 +158,16 @@ class StagingGroup:
             protection=protection,
             retry=retry if retry is not None else RetryPolicy(),
             health=GroupHealth(num_servers, down_after=down_after),
+            transport=transport_obj,
         )
+
+    def close(self) -> None:
+        """Release transport resources (server processes/sockets); idempotent.
+
+        A no-op for inproc groups, so existing callers that never close
+        remain correct on the default transport.
+        """
+        self.transport.close()
 
     def rebuild(
         self, server_id: int, replacement=None, parallel: bool | None = None
@@ -343,6 +366,37 @@ class StagingClient:
 
     def _protected_get(self, desc: ObjectDescriptor, out: np.ndarray) -> None:
         """Serve a read through protection records (verified, degraded-capable).
+
+        A concurrent protected put registers its record only after its last
+        parity shard lands, so a racing read can see the data shards
+        (``covers()`` true) while the record is still seconds away — and if
+        an owner crashes in that window, the record-less fallback below hits
+        a dead server. Rather than surfacing that transient as data loss,
+        re-scan the records under the retry policy's backoff/deadline; the
+        crash is only terminal once no record appears in time. The window is
+        microseconds in-process but grows to wire latency under a socket
+        transport, where unprotected soaks flaked without this.
+        """
+        policy = self.group.retry
+        deadline = perf_counter() + policy.deadline
+        attempt = 1
+        while True:
+            try:
+                self._protected_get_once(desc, out)
+                return
+            except ServerUnavailable:
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.backoff_for(attempt, self.group.jitter_rng)
+                if perf_counter() + delay > deadline:
+                    raise
+                _RETRIES.inc()
+                _BACKOFF_SECONDS.record(delay)
+                time.sleep(delay)
+                attempt += 1
+
+    def _protected_get_once(self, desc: ObjectDescriptor, out: np.ndarray) -> None:
+        """One pass of the record scan + direct fallback.
 
         Regions covered by a put's record are read shard-aligned so every
         shard is digest-checked and lost servers are reconstructed around;

@@ -982,13 +982,21 @@ def rebuild_server(
     server's health flips back up only after the whole rebuild — a replica
     is never marked healthy while holding unverified bytes.
 
+    The replacement, when not supplied, is provisioned by the group's
+    transport (:meth:`repro.net.transport.Transport.make_replacement`): a
+    fresh in-process server on inproc, a fresh server *process* on TCP (the
+    lost one's process is retired) — rebuild works unchanged over sockets.
+
     Returns the number of payload bytes rebuilt onto the new server.
     """
     from repro.staging.client import StagingClient
-    from repro.staging.server import StagingServer
 
     t0 = perf_counter()
-    fresh = replacement if replacement is not None else StagingServer(server_id)
+    fresh = (
+        replacement
+        if replacement is not None
+        else group.transport.make_replacement(server_id)
+    )
     client = StagingClient(group, client_id=f"rebuild-{server_id}")
     group.health.mark_down(server_id)  # route every fetch to survivors
     if parallel is None:

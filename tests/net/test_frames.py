@@ -1,0 +1,173 @@
+"""Framing layer: length prefixes, torn frames, short reads, oversize caps."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    ShortRead,
+    WireClosed,
+    recv_frame,
+    send_frame,
+)
+from repro.net.frames import MAX_FRAME_BYTES
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    return struct.pack("!I", len(payload)) + payload
+
+
+# ---------------------------------------------------------------------------
+# FrameDecoder: incremental push-style decoding
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.binary(max_size=64), max_size=6),
+    st.integers(1, 7),
+)
+def test_decoder_tolerates_any_byte_split(payloads, chunk):
+    """Feeding the stream in arbitrary chunk sizes recovers exact frames."""
+    stream = b"".join(frame_bytes(p) for p in payloads)
+    dec = FrameDecoder()
+    for i in range(0, len(stream), chunk):
+        dec.feed(stream[i : i + chunk])
+    assert dec.frames() == payloads
+    dec.close()  # boundary: clean EOF
+    assert dec.pending_bytes == 0
+
+
+def test_decoder_one_byte_at_a_time():
+    payloads = [b"", b"x", b"hello world"]
+    stream = b"".join(frame_bytes(p) for p in payloads)
+    dec = FrameDecoder()
+    for i in range(len(stream)):
+        dec.feed(stream[i : i + 1])
+    assert dec.frames() == payloads
+
+
+def test_torn_frame_short_read_on_close():
+    """EOF mid-frame must raise ShortRead — never yield a partial frame."""
+    dec = FrameDecoder()
+    dec.feed(frame_bytes(b"complete") + frame_bytes(b"torn!!")[:-2])
+    assert dec.frames() == [b"complete"]
+    assert dec.pending_bytes > 0
+    with pytest.raises(ShortRead):
+        dec.close()
+
+
+def test_torn_header_short_read_on_close():
+    dec = FrameDecoder()
+    dec.feed(b"\x00\x00")  # half a length prefix
+    assert dec.frames() == []
+    with pytest.raises(ShortRead):
+        dec.close()
+
+
+def test_feed_after_close_rejected():
+    dec = FrameDecoder()
+    dec.close()
+    with pytest.raises(ProtocolError):
+        dec.feed(b"\x00")
+
+
+def test_oversize_declared_length_rejected_before_payload():
+    dec = FrameDecoder()
+    with pytest.raises(FrameTooLarge):
+        dec.feed(struct.pack("!I", MAX_FRAME_BYTES + 1))
+
+
+def test_decoder_iterates_in_arrival_order():
+    dec = FrameDecoder()
+    dec.feed(frame_bytes(b"a") + frame_bytes(b"b"))
+    assert list(dec) == [b"a", b"b"]
+
+
+# ---------------------------------------------------------------------------
+# blocking socket pair: send_frame / recv_frame
+
+
+def sock_pair():
+    return socket.socketpair()
+
+
+def test_socket_roundtrip_small_and_large():
+    a, b = sock_pair()
+    try:
+        big = bytes(range(256)) * 1024  # 256 KiB: exercises the two-sendall path
+        t = threading.Thread(target=lambda: (send_frame(a, b"ping"), send_frame(a, big)))
+        t.start()
+        assert recv_frame(b) == b"ping"
+        assert recv_frame(b) == big
+        t.join()
+    finally:
+        a.close()
+        b.close()
+
+
+def test_socket_zero_byte_frame():
+    a, b = sock_pair()
+    try:
+        send_frame(a, b"")
+        assert recv_frame(b) == b""
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_at_boundary_is_wire_closed():
+    a, b = sock_pair()
+    try:
+        send_frame(a, b"last")
+        a.close()
+        assert recv_frame(b) == b"last"
+        with pytest.raises(WireClosed):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_eof_mid_frame_is_short_read():
+    a, b = sock_pair()
+    try:
+        a.sendall(struct.pack("!I", 100) + b"only-part")
+        a.close()
+        with pytest.raises(ShortRead):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_recv_rejects_oversize_header_without_allocating():
+    a, b = sock_pair()
+    try:
+        a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameTooLarge):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_rejects_oversize_payload():
+    a, b = sock_pair()
+    try:
+
+        class FakeBig(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(FrameTooLarge):
+            send_frame(a, FakeBig())
+    finally:
+        a.close()
+        b.close()

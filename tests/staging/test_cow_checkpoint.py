@@ -32,7 +32,7 @@ from repro.staging.cow import (
 )
 from repro.staging.index import SpatialIndex
 
-from tests.conftest import make_payload
+from tests.conftest import make_payload, requires_inproc
 
 DOMAIN_SHAPE = (16,)
 
@@ -166,6 +166,7 @@ ops = st.one_of(
 )
 
 
+@requires_inproc
 @settings(max_examples=40, deadline=None)
 @given(st.lists(ops, max_size=30))
 def test_incremental_matches_full_copy(op_list):
@@ -219,6 +220,7 @@ def test_incremental_matches_full_copy(op_list):
         assert live_fp(service) == fp
 
 
+@requires_inproc
 @settings(max_examples=10, deadline=None)
 @given(st.lists(ops, max_size=20))
 def test_incremental_matches_full_copy_with_protection(op_list):
@@ -290,6 +292,7 @@ class TestChainLifecycle:
         assert len(s1["chain"]["deltas"]) == 1
         assert s1["chain"]["base"] is s0["chain"]["base"]
 
+    @requires_inproc
     def test_compaction_bounds_chain_and_preserves_old_views(self):
         service = make_service(max_chain=2)
         fps = []
@@ -345,6 +348,7 @@ class TestChainLifecycle:
 
 
 class TestSeedCompatibility:
+    @requires_inproc
     def test_full_true_stays_seed_shaped_and_journaling_off(self):
         service = make_service()
         put_versions(service, "x", [0, 1])
@@ -392,6 +396,7 @@ class TestSeedCompatibility:
         assert versions == {0, 3}
 
 
+@requires_inproc
 class TestAggregateCarryingRestore:
     def test_restore_skips_recount_when_aggregates_present(self, monkeypatch):
         service = make_service()

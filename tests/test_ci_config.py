@@ -20,12 +20,26 @@ def workflow() -> dict:
 
 class TestWorkflowShape:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"lint", "tests", "kernels", "bench-guard"}
+        assert set(workflow["jobs"]) == {
+            "lint",
+            "tests",
+            "kernels",
+            "transport",
+            "bench-guard",
+            "nightly-soak",
+        }
 
     def test_triggers_cover_push_and_pr(self, workflow):
         # YAML 1.1 parses the bare key `on` as boolean True.
         triggers = workflow.get("on", workflow.get(True))
         assert "push" in triggers and "pull_request" in triggers
+
+    def test_nightly_cron_trigger(self, workflow):
+        triggers = workflow.get("on", workflow.get(True))
+        crons = [e["cron"] for e in triggers["schedule"]]
+        assert crons, "a schedule trigger drives the nightly soak lane"
+        for cron in crons:
+            assert len(cron.split()) == 5
 
     def test_python_matrix_versions(self, workflow):
         matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
@@ -35,8 +49,44 @@ class TestWorkflowShape:
         runs = [s.get("run", "") for s in workflow["jobs"]["tests"]["steps"]]
         assert any("check.sh --fast" in r for r in runs)
 
+    def test_full_lane_measures_coverage_with_floor(self, workflow):
+        runs = [s.get("run", "") for s in workflow["jobs"]["tests"]["steps"]]
+        full = [r for r in runs if "--cov=repro" in r]
+        assert full, "the 3.12 full-suite lane measures coverage"
+        assert any("--cov-fail-under=" in r for r in full)
+
     def test_bench_guard_is_advisory(self, workflow):
         assert workflow["jobs"]["bench-guard"]["continue-on-error"] is True
+
+    def test_bench_guard_uploads_artifacts(self, workflow):
+        steps = workflow["jobs"]["bench-guard"]["steps"]
+        runs = " ".join(s.get("run", "") for s in steps)
+        assert "--json" in runs and "--obs" in runs
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads, "bench deltas + obs snapshot ship as artifacts"
+        paths = uploads[0]["with"]["path"]
+        assert "BENCH_micro.json" in paths
+        assert "obs_snapshot.json" in paths
+
+    def test_transport_job_runs_tcp_lane(self, workflow):
+        runs = " ".join(
+            s.get("run", "") for s in workflow["jobs"]["transport"]["steps"]
+        )
+        assert "--transport tcp" in runs
+        assert "tests/net" in runs
+        assert "tests/staging" in runs
+        assert "tests/faults" in runs
+
+    def test_nightly_soak_is_schedule_gated_and_runs_over_tcp(self, workflow):
+        job = workflow["jobs"]["nightly-soak"]
+        assert "schedule" in job["if"]
+        runs = " ".join(s.get("run", "") for s in job["steps"])
+        assert "REPRO_TRANSPORT=tcp" in runs
+        assert "soak_gc.py" in runs and "soak_recovery.py" in runs
+        # The nightly budget must exceed the per-PR kernels-job defaults
+        # (soak_gc --steps 40, soak_recovery --steps 32).
+        assert "--steps 120" in runs
+        assert "--steps 48" in runs
 
     def test_kernel_job_covers_corec_and_fault_matrix(self, workflow):
         runs = " ".join(s.get("run", "") for s in workflow["jobs"]["kernels"]["steps"])
@@ -55,10 +105,18 @@ class TestWorkflowShape:
 class TestCheckScript:
     def test_flags_documented_in_usage(self):
         text = (REPO_ROOT / "scripts" / "check.sh").read_text()
-        for flag in ("--fast", "--bench", "--bench-guard"):
+        for flag in ("--fast", "--bench", "--bench-guard", "--transport"):
             assert flag in text
+
+    def test_transport_runs_reap_stranded_servers(self):
+        """The tcp lane traps INT/TERM/EXIT and kills each step's process
+        group, so a cancelled CI job cannot strand server processes."""
+        text = (REPO_ROOT / "scripts" / "check.sh").read_text()
+        assert "trap cleanup INT TERM EXIT" in text
+        assert "CHILD_PGID" in text
 
     def test_dev_extra_pins_ci_tools(self):
         text = (REPO_ROOT / "pyproject.toml").read_text()
         assert "dev = [" in text
         assert "ruff" in text
+        assert "pytest-cov" in text
