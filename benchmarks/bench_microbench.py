@@ -154,12 +154,17 @@ def _seed_digest(data) -> str:
     return hashlib.blake2b(data, digest_size=12).hexdigest()
 
 
-def _seed_store_get(self, desc):
-    """Seed ObjectStore.get: cover-tracking walk, no whole-fragment fast path."""
+def _seed_store_get(self, desc, out=None):
+    """Seed ObjectStore.get: cover-tracking walk, no whole-fragment fast path.
+
+    Accepts the ``out=`` gather destination the server now forwards, but
+    keeps the seed's allocation when none is given.
+    """
     frags = self._objects.get(desc.key)
     if not frags:
         raise ObjectNotFound(f"no data for {desc.name!r} v{desc.version}")
-    out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
+    if out is None:
+        out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
     uncovered = [desc.bbox]
     for frag in frags:
         overlap = frag.desc.bbox.intersect(desc.bbox)
@@ -469,14 +474,20 @@ def main() -> int:
                 f"  background stall: p99 {row['put_get_p99_ms']:.2f} ms, "
                 f"max {row['put_get_max_ms']:.2f} ms put+get"
             )
-    print("== wire transport (inproc vs tcp, batching) ==")
+    print("== wire transport (inproc vs tcp vs shm, batching) ==")
     transport = bench_transport()
     print(
         f"  inproc {transport['inproc']['agg_ops_per_s']:.0f} ops/s, "
         f"tcp {transport['tcp']['agg_ops_per_s']:.0f} ops/s "
-        f"(wire tax x{transport['tcp']['wire_tax_x']:.1f}); "
+        f"(wire tax x{transport['tcp']['wire_tax_x']:.1f}), "
+        f"shm {transport['shm']['agg_ops_per_s']:.0f} ops/s; "
         f"batching x{transport['batching']['batch_speedup']:.1f}, "
         f"{transport['batching']['round_trips_saved_pct']:.0f}% round trips saved"
+    )
+    print(
+        f"  16 MiB payloads: shm {transport['shm_16mb']['mb_per_s']:.0f} MB/s vs "
+        f"tcp {transport['tcp_16mb']['mb_per_s']:.0f} MB/s "
+        f"(x{transport['shm_16mb']['speedup_vs_tcp_x']:.1f})"
     )
     print("== recovery engine (batched decode, rebuild, restore, restart) ==")
     recovery = bench_recovery()

@@ -1,12 +1,18 @@
-"""Transport microbenchmark: inproc vs TCP, and what batching buys.
+"""Transport microbenchmark: inproc vs TCP vs shm, and what batching buys.
 
-Three measurements, feeding the ``transport`` section of BENCH_micro.json:
+Measurements feeding the ``transport`` section of BENCH_micro.json:
 
 * **put/get throughput per transport** — the same coupling hot loop the
-  staging bench drives, once over in-process method calls and once over
-  real sockets. The gap is the wire tax (framing, codec, syscalls); the
-  guard watches the TCP number so protocol regressions (extra copies, lost
-  batching, chattier handshakes) show up as throughput drops.
+  staging bench drives, over in-process method calls, real sockets, and
+  the shared-memory data plane. The tcp/inproc gap is the wire tax
+  (framing, codec, syscalls); the shm/tcp gap is what zero-copy segments
+  buy. The guard watches every row so protocol regressions (extra copies,
+  lost batching, chattier handshakes) show up as throughput drops.
+* **large-payload tcp vs shm** — the same loop at a 16 MiB object
+  (8 MiB per server shard), where byte movement rather than per-op
+  overhead dominates. This is the row the shm transport exists for: it
+  must stay ≥3× the TCP rate (the segment path skips both kernel socket
+  copies per payload).
 * **batched vs per-fragment puts over TCP** — ``put_many`` ships N
   fragments in one pipelined frame; the unbatched loop pays one round trip
   per fragment. Reported with the measured round-trip counts from the
@@ -32,8 +38,12 @@ from repro.obs import get_registry
 from repro.staging import StagingClient, StagingGroup
 
 DOMAIN = Domain((16, 16, 8))
+# Large-payload comparison: 16 MiB objects (8 MiB per server shard) make the
+# byte-movement cost dominate per-op overhead — the regime shm targets.
+LARGE_DOMAIN = Domain((128, 128, 128))
 NUM_SERVERS = 2
 OPS = 40  # put+get pairs per timed run
+LARGE_OPS = 6
 BATCH_FRAGMENTS = 32
 BATCH_REPS = 5
 FRAG_BOX = BBox((0, 0, 0), (8, 8, 8))
@@ -50,22 +60,23 @@ def _request_count() -> int:
     return 0 if counter is None else counter.value
 
 
-def _drive(client: StagingClient, payloads: list[np.ndarray], base: int) -> None:
+def _drive(client: StagingClient, domain, payloads: list[np.ndarray], base: int) -> None:
     for i, data in enumerate(payloads):
-        desc = ObjectDescriptor("field", base + i, DOMAIN.bbox)
+        desc = ObjectDescriptor("field", base + i, domain.bbox)
         client.put(desc, data)
         client.get(desc)
 
 
-def _bench_put_get(transport: str) -> float:
-    group = StagingGroup.create(DOMAIN, num_servers=NUM_SERVERS, transport=transport)
+def _bench_put_get(transport: str, domain=DOMAIN, ops: int = OPS) -> float:
+    group = StagingGroup.create(domain, num_servers=NUM_SERVERS, transport=transport)
     try:
         client = StagingClient(group, client_id="bench")
         rng = np.random.default_rng(11)
-        payloads = [rng.standard_normal(DOMAIN.shape) for _ in range(OPS)]
-        _drive(client, payloads[:4], base=0)  # warmup: connections, pools
-        elapsed = _timed(_drive, client, payloads, OPS)
-        return 2 * OPS / elapsed
+        payloads = [rng.standard_normal(domain.shape) for _ in range(ops)]
+        warm = min(4, ops)
+        _drive(client, domain, payloads[:warm], base=0)  # warmup: connections, pools
+        elapsed = _timed(_drive, client, domain, payloads, ops)
+        return 2 * ops / elapsed
     finally:
         group.close()
 
@@ -128,25 +139,46 @@ def bench_transport() -> dict:
     payload_kb = int(np.prod(DOMAIN.shape)) * 8 // 1024
     inproc = _bench_put_get("inproc")
     tcp = _bench_put_get("tcp")
-    for name, ops in (("inproc", inproc), ("tcp", tcp)):
+    shm = _bench_put_get("shm")
+    for name, ops in (("inproc", inproc), ("tcp", tcp), ("shm", shm)):
         results[name] = {
             "payload_kb": payload_kb,
             "servers": NUM_SERVERS,
             "agg_ops_per_s": round(ops, 1),
         }
     results["tcp"]["wire_tax_x"] = round(inproc / tcp, 2)
+    results["shm"]["wire_tax_x"] = round(inproc / shm, 2)
+
+    payload_mb = int(np.prod(LARGE_DOMAIN.shape)) * 8 / 2**20
+    tcp_large = _bench_put_get("tcp", LARGE_DOMAIN, LARGE_OPS)
+    shm_large = _bench_put_get("shm", LARGE_DOMAIN, LARGE_OPS)
+    for name, ops in (("tcp_16mb", tcp_large), ("shm_16mb", shm_large)):
+        results[name] = {
+            "payload_mb": round(payload_mb, 1),
+            "servers": NUM_SERVERS,
+            "agg_ops_per_s": round(ops, 1),
+            "mb_per_s": round(ops * payload_mb, 1),
+        }
+    results["shm_16mb"]["speedup_vs_tcp_x"] = round(shm_large / tcp_large, 2)
+
     results["batching"] = _bench_batching()
     return results
 
 
 def main() -> int:
     results = bench_transport()
-    for name in ("inproc", "tcp"):
+    for name in ("inproc", "tcp", "shm"):
         row = results[name]
         extra = (
             f", wire tax x{row['wire_tax_x']:.1f}" if "wire_tax_x" in row else ""
         )
         print(f"  {name}: {row['agg_ops_per_s']:.0f} ops/s{extra}")
+    large = results["shm_16mb"]
+    print(
+        f"  16 MiB payloads: shm {large['mb_per_s']:.0f} MB/s vs "
+        f"tcp {results['tcp_16mb']['mb_per_s']:.0f} MB/s "
+        f"(x{large['speedup_vs_tcp_x']:.1f})"
+    )
     b = results["batching"]
     print(
         f"  batching: {b['batched_frags_per_s']:.0f} frags/s batched "

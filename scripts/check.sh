@@ -9,10 +9,12 @@
 #   --bench-guard  run the benchmarks in *guard* mode: compare against the
 #                  committed BENCH_micro.json and fail on >30 % regression
 #                  (never rewrites the baseline)
-#   --transport T  run the suite with REPRO_TRANSPORT=T (inproc|tcp). With
-#                  tcp, every staging group spawns real server processes;
-#                  white-box in-process tests self-skip, and an interrupted
-#                  run (^C, CI timeout) reaps all spawned servers on exit.
+#   --transport T  run the suite with REPRO_TRANSPORT=T (inproc|tcp|shm).
+#                  With tcp/shm, every staging group spawns real server
+#                  processes; white-box in-process tests self-skip, and an
+#                  interrupted run (^C, CI timeout) reaps all spawned servers
+#                  on exit — under shm additionally unlinking any leaked
+#                  /dev/shm/repro-shm-* segments.
 # Flags may appear in any order and mix freely with pytest args.
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -42,7 +44,7 @@ for arg in "$@"; do
     esac
 done
 if [[ "$expect_transport" == "1" ]]; then
-    echo "error: --transport requires a value (inproc|tcp)" >&2
+    echo "error: --transport requires a value (inproc|tcp|shm)" >&2
     exit 2
 fi
 
@@ -51,23 +53,32 @@ if [[ -n "$TRANSPORT" ]]; then
     echo "== transport: $TRANSPORT =="
 fi
 
-# TCP runs spawn one server process per staging group server; a run killed
-# mid-flight (^C, CI timeout) must not strand them. Each step therefore runs
-# in its own process group — every spawned server inherits it — and the trap
-# reaps the whole group. Never kill our *own* group: in CI this shell can
-# share it with the runner.
+# Wire-transport runs (tcp, shm) spawn one server process per staging group
+# server; a run killed mid-flight (^C, CI timeout) must not strand them. Each
+# step therefore runs in its own process group — every spawned server
+# inherits it — and the trap reaps the whole group. Never kill our *own*
+# group: in CI this shell can share it with the runner. Under shm the trap
+# additionally unlinks leaked repro-shm-* segments: the pools' atexit guard
+# never runs in a SIGKILLed client, and orphaned segments would otherwise
+# accumulate in /dev/shm until it fills.
 CHILD_PGID=""
+reap_shm_segments() {
+    if [[ "$TRANSPORT" == "shm" && -d /dev/shm ]]; then
+        rm -f /dev/shm/repro-shm-* 2>/dev/null || true
+    fi
+}
 cleanup() {
     local status=$?
     trap - INT TERM EXIT
     if [[ -n "$CHILD_PGID" ]]; then
         kill -TERM -- "-$CHILD_PGID" 2>/dev/null || true
     fi
+    reap_shm_segments
     exit "$status"
 }
 
 run() {
-    if [[ "$TRANSPORT" != "tcp" ]]; then
+    if [[ "$TRANSPORT" != "tcp" && "$TRANSPORT" != "shm" ]]; then
         "$@"
         return
     fi
@@ -81,7 +92,7 @@ run() {
     return "$st"
 }
 
-if [[ "$TRANSPORT" == "tcp" ]]; then
+if [[ "$TRANSPORT" == "tcp" || "$TRANSPORT" == "shm" ]]; then
     trap cleanup INT TERM EXIT
 fi
 

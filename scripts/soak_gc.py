@@ -28,6 +28,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.faults import FaultPlan
@@ -93,6 +94,24 @@ def soak_round(steps: int, seed: int) -> list[str]:
     return problems
 
 
+def check_shm_leaks() -> list[str]:
+    """Under REPRO_TRANSPORT=shm: close every live transport, then demand
+    zero repro segments on /dev/shm — a leak here means some slab escaped
+    the pool lifecycle (grant/release/retire) across the whole soak."""
+    if os.environ.get("REPRO_TRANSPORT", "").strip().lower() != "shm":
+        return []
+    tcp = sys.modules.get("repro.net.tcp")
+    if tcp is not None:
+        tcp.shutdown_all()
+    from repro.net.shm import leaked_segment_names
+
+    leaked = leaked_segment_names()
+    if leaked:
+        return [f"{len(leaked)} leaked shm segment(s): {', '.join(leaked[:5])}"]
+    print("  shm: zero leaked segments at exit")
+    return []
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--steps", type=int, default=40, help="workflow steps")
@@ -105,6 +124,7 @@ def main() -> int:
     problems: list[str] = []
     for seed in range(args.rounds):
         problems += soak_round(args.steps, seed)
+    problems += check_shm_leaks()
     if problems:
         print(f"GC SOAK FAILED: {len(problems)} problem(s)")
         for p in problems:

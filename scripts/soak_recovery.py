@@ -33,6 +33,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from time import perf_counter
 
@@ -196,6 +197,26 @@ def rebuild_round(versions: int, seed: int, rebuild_budget: float) -> list[str]:
 # ------------------------------------------------------------------------ main
 
 
+def check_shm_leaks() -> list[str]:
+    """Under REPRO_TRANSPORT=shm: close every live transport, then demand
+    zero repro segments on /dev/shm. The kill/rebuild rounds are the
+    hardest case for segment hygiene — slabs in flight toward a killed
+    server must be retired, and the replacement process's attach cache must
+    never unlink client-owned segments."""
+    if os.environ.get("REPRO_TRANSPORT", "").strip().lower() != "shm":
+        return []
+    tcp = sys.modules.get("repro.net.tcp")
+    if tcp is not None:
+        tcp.shutdown_all()
+    from repro.net.shm import leaked_segment_names
+
+    leaked = leaked_segment_names()
+    if leaked:
+        return [f"{len(leaked)} leaked shm segment(s): {', '.join(leaked[:5])}"]
+    print("  shm: zero leaked segments at exit")
+    return []
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--steps", type=int, default=32, help="workflow steps")
@@ -222,6 +243,7 @@ def main() -> int:
     for seed in range(args.rounds):
         problems += workflow_round(args.steps, seed, args.restart_budget)
         problems += rebuild_round(args.versions, seed, args.rebuild_budget)
+    problems += check_shm_leaks()
     if problems:
         print(f"RECOVERY SOAK FAILED: {len(problems)} problem(s)")
         for p in problems:

@@ -144,7 +144,10 @@ class FaultyServer:
         with self._fault_lock:
             if self._corrupt_remaining <= 0:
                 return
-            candidates = [a for a in arrays if a.nbytes > 0]
+            # Only writable buffers can be damaged in place (zero-copy decode
+            # can surface read-only views; skipping them beats crashing the
+            # fault path).
+            candidates = [a for a in arrays if a.nbytes > 0 and a.flags.writeable]
             if not candidates:
                 return
             self._corrupt_remaining -= 1

@@ -9,16 +9,23 @@ The staging substrate reaches its servers through a pluggable *transport*:
 * :class:`~repro.net.tcp.TcpTransport` — one server **process** per staging
   server (DataSpaces-style), reached over TCP with length-prefixed binary
   frames (:mod:`repro.net.frames`), a struct-tagged object codec
-  (:mod:`repro.net.codec`), per-server connection pooling, and pipelined
-  request batching (:mod:`repro.net.tcp`). Wire-level failures map onto the
+  (:mod:`repro.net.codec`), per-server connection pooling, scatter-gather
+  sends (``sendmsg`` over the codec's iovec output), and pipelined request
+  batching (:mod:`repro.net.tcp`). Wire-level failures map onto the
   existing :class:`~repro.errors.ServerUnavailable` /
   :class:`~repro.errors.TransientServerError` taxonomy, so retry/backoff,
   health mark-down, degraded reads, and rebuild work unchanged over sockets.
+* :class:`~repro.net.shm.ShmTransport` — same server processes and fault
+  machinery, but bulk ndarray payloads move through client-owned
+  ``multiprocessing.shared_memory`` segments (zero-copy views on the read
+  side, one strided copy on the write side) while the TCP connection
+  degrades into a doorbell for small control messages. Node-local only.
 
-Select a transport per group (``StagingGroup.create(transport="tcp")``) or
+Select a transport per group (``StagingGroup.create(transport="shm")``) or
 process-wide via the ``REPRO_TRANSPORT`` environment variable (used by the
 CI transport matrix). See DESIGN.md §13 for the frame layout, the RPC op
-table, the error-mapping table, and the batching rules.
+table, the error-mapping table, and the batching rules, and §14 for the
+shared-memory data plane (segment layout, grants, lifecycle, fallbacks).
 """
 
 from repro.net.codec import decode, encode
@@ -70,10 +77,14 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # TcpTransport pulls in multiprocessing; load it lazily so the default
-    # in-process path never pays the import.
+    # The wire transports pull in multiprocessing; load them lazily so the
+    # default in-process path never pays the import.
     if name == "TcpTransport":
         from repro.net.tcp import TcpTransport
 
         return TcpTransport
+    if name == "ShmTransport":
+        from repro.net.shm import ShmTransport
+
+        return ShmTransport
     raise AttributeError(name)

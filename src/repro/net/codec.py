@@ -16,12 +16,34 @@ fields are big-endian (network order). There is no back-compat machinery:
 client and server always come from the same build (the transport spawns its
 own server processes), so a version byte at the frame layer
 (:mod:`repro.net.frames`) is enough.
+
+Scatter-gather: :func:`encode_iov` returns the wire bytes as an *iovec* — a
+list of buffers where every large contiguous ndarray payload is a
+``memoryview`` of the caller's array, not a copy. The TCP path hands the
+iovec to ``socket.sendmsg`` and the shm path writes the views straight into
+shared segments, so neither transport ever materialises one concatenated
+payload. :func:`encode` remains the joined-``bytes`` convenience form.
+
+Out-of-band payloads: an ``array_sink`` callback may claim any ndarray
+during encoding and return a :class:`SegRef` — a reference to payload bytes
+living in a named shared-memory segment — which is encoded in place of the
+raw bytes. Decoding a SegRef requires an ``array_source`` resolver; frames
+carrying SegRefs are only exchanged between peers that share segments
+(:mod:`repro.net.shm`).
+
+Zero-copy decode: ``decode(..., copy_arrays=False)`` returns ndarray views
+over the receive buffer instead of owning copies. Safe wherever the
+consumer either copies promptly (``ObjectStore.put`` always copies views)
+or merely reads (client-side gather assembles into the caller's buffer);
+the views keep the frame buffer alive, so lifetime is never unsafe — only
+ownership differs.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,7 +52,7 @@ from repro.geometry.bbox import BBox
 from repro.net.frames import ProtocolError
 from repro.staging.store import StoredObject
 
-__all__ = ["encode", "decode"]
+__all__ = ["SegRef", "encode", "encode_iov", "decode"]
 
 # One tag byte per encoded value.
 _NONE = 0x00
@@ -49,8 +71,14 @@ _BBOX = 0x0C  # !B ndim, !q lo * ndim, !q hi * ndim
 _DESC = 0x0D  # name(str) version(!q) bbox dtype(str)
 _STORED = 0x0E  # desc + ndarray
 _PICKLE = 0x0F  # !I length + pickle bytes
+_SEGREF = 0x10  # segment name(str) + !Q gen + !Q offset + ndarray dtype/shape
 
 _I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+# Arrays at least this large become their own iovec entry (a memoryview of
+# the caller's buffer); smaller ones are copied into the control stream,
+# where one memcpy beats an extra sendmsg vector.
+IOV_MIN_BYTES = 4096
 
 _pack_u32 = struct.Struct("!I").pack
 _pack_i64 = struct.Struct("!q").pack
@@ -62,24 +90,102 @@ _f64 = struct.Struct("!d")
 _u64 = struct.Struct("!Q")
 
 
-def encode(obj) -> bytes:
-    """Encode one value tree into its wire bytes."""
-    buf = bytearray()
-    _encode_into(buf, obj)
-    return bytes(buf)
+@dataclass(frozen=True)
+class SegRef:
+    """Reference to an ndarray payload living out-of-band in a shared
+    segment: ``nbytes`` of raw C-order bytes at ``offset`` within the
+    segment's payload region. ``generation`` must match the segment
+    header's stamp — a recycled or stale segment fails resolution."""
+
+    segment: str
+    generation: int
+    offset: int
+    nbytes: int
+    dtype: str
+    shape: tuple
+
+    def describe(self) -> str:
+        return f"{self.segment}@{self.offset}+{self.nbytes} gen={self.generation}"
 
 
-def _encode_array(buf: bytearray, arr: np.ndarray) -> None:
+class _IovWriter:
+    """Accumulates control bytes; large payload views become their own
+    iovec entries so the control stream never copies them."""
+
+    __slots__ = ("buf", "parts")
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+        self.parts: list = []
+
+    def emit_view(self, view) -> None:
+        if self.buf:
+            self.parts.append(self.buf)
+            self.buf = bytearray()
+        self.parts.append(view)
+
+    def finish(self) -> list:
+        if self.buf or not self.parts:
+            self.parts.append(self.buf)
+            self.buf = bytearray()
+        return self.parts
+
+
+def encode(obj, *, array_sink=None) -> bytes:
+    """Encode one value tree into one contiguous wire-bytes buffer."""
+    return b"".join(encode_iov(obj, array_sink=array_sink))
+
+
+def encode_iov(obj, *, array_sink=None) -> list:
+    """Encode one value tree as an iovec (list of bytes-like buffers).
+
+    Large contiguous ndarray payloads appear as memoryviews of the caller's
+    arrays (zero copy — ``b"".join()`` of the result equals ``encode()``).
+    ``array_sink``, when given, may claim any eligible ndarray and return a
+    :class:`SegRef` placed in the control stream instead of the payload.
+    """
+    w = _IovWriter()
+    _encode_into(w, obj, array_sink)
+    return w.finish()
+
+
+def _encode_segref(buf: bytearray, ref: SegRef) -> None:
+    name = ref.segment.encode("ascii")
+    dtype_str = ref.dtype.encode("ascii")
+    buf.append(_SEGREF)
+    buf.append(len(name))
+    buf += name
+    buf += _pack_u64(ref.generation)
+    buf += _pack_u64(ref.offset)
+    buf += _pack_u64(ref.nbytes)
+    buf.append(len(dtype_str))
+    buf += dtype_str
+    buf.append(len(ref.shape))
+    for dim in ref.shape:
+        buf += _pack_i64(dim)
+
+
+def _encode_array(w: _IovWriter, arr: np.ndarray, array_sink) -> None:
     if arr.dtype.hasobject:
         # Object arrays carry arbitrary python values; only pickle is safe.
-        _encode_pickle(buf, arr)
+        _encode_pickle(w.buf, arr)
         return
     shape = arr.shape  # before ascontiguousarray: it promotes 0-d to (1,)
-    arr = np.ascontiguousarray(arr)
     dtype_str = arr.dtype.str.encode("ascii")
     if len(dtype_str) > 255 or len(shape) > 255:
-        _encode_pickle(buf, arr)
+        _encode_pickle(w.buf, np.ascontiguousarray(arr))
         return
+    if array_sink is not None:
+        ref = array_sink(arr)
+        if ref is not None:
+            _encode_segref(w.buf, ref)
+            return
+    # Contiguous fast path: the payload rides as a memoryview of the
+    # caller's buffer — no copy is materialised here (regression-tested via
+    # np.shares_memory). Only non-contiguous/converted inputs pay a copy.
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    buf = w.buf
     buf.append(_NDARRAY)
     buf.append(len(dtype_str))
     buf += dtype_str
@@ -88,7 +194,10 @@ def _encode_array(buf: bytearray, arr: np.ndarray) -> None:
         buf += _pack_i64(dim)
     raw = arr.reshape(-1).view(np.uint8)
     buf += _pack_u64(raw.nbytes)
-    buf += memoryview(raw)
+    if raw.nbytes >= IOV_MIN_BYTES:
+        w.emit_view(memoryview(raw))
+    else:
+        buf += memoryview(raw)
 
 
 def _encode_pickle(buf: bytearray, obj) -> None:
@@ -98,11 +207,12 @@ def _encode_pickle(buf: bytearray, obj) -> None:
     buf += blob
 
 
-def _encode_into(buf: bytearray, obj) -> None:  # noqa: SIM114 — tag dispatch
+def _encode_into(w: _IovWriter, obj, sink) -> None:  # noqa: SIM114 — tag dispatch
     # Exact type checks (not isinstance) for the scalar/container fast
     # paths: subclasses (IntEnum, defaultdict, ...) may carry behaviour the
     # other side can't rebuild from the base type, so they take the pickle
     # fallback below.
+    buf = w.buf
     t = type(obj)
     if obj is None:
         buf.append(_NONE)
@@ -130,20 +240,22 @@ def _encode_into(buf: bytearray, obj) -> None:  # noqa: SIM114 — tag dispatch
         buf.append(_LIST if t is list else _TUPLE)
         buf += _pack_u32(len(obj))
         for item in obj:
-            _encode_into(buf, item)
+            _encode_into(w, item, sink)
     elif t is dict:
         buf.append(_DICT)
         buf += _pack_u32(len(obj))
         for key, value in obj.items():
-            _encode_into(buf, key)
-            _encode_into(buf, value)
+            _encode_into(w, key, sink)
+            _encode_into(w, value, sink)
     elif t is set or t is frozenset:
         buf.append(_SET)
         buf += _pack_u32(len(obj))
         for item in obj:
-            _encode_into(buf, item)
+            _encode_into(w, item, sink)
     elif t is np.ndarray:
-        _encode_array(buf, obj)
+        _encode_array(w, obj, sink)
+    elif t is SegRef:
+        _encode_segref(buf, obj)
     elif t is BBox:
         buf.append(_BBOX)
         buf.append(obj.ndim)
@@ -153,18 +265,23 @@ def _encode_into(buf: bytearray, obj) -> None:  # noqa: SIM114 — tag dispatch
             buf += _pack_i64(x)
     elif t is ObjectDescriptor:
         buf.append(_DESC)
-        _encode_into(buf, obj.name)
+        _encode_into(w, obj.name, sink)
         buf += _pack_i64(obj.version)
-        _encode_into(buf, obj.bbox)
-        _encode_into(buf, obj.dtype)
+        _encode_into(w, obj.bbox, sink)
+        _encode_into(w, obj.dtype, sink)
     elif t is StoredObject:
         buf.append(_STORED)
-        _encode_into(buf, obj.desc)
-        _encode_array(buf, obj.data)
+        _encode_into(w, obj.desc, sink)
+        _encode_array(w, obj.data, sink)
     elif isinstance(obj, np.generic):
         # Numpy scalars (np.int64 sizes, np.float64 metrics) downcast to
         # their python value — the receiver never needs the numpy wrapper.
-        _encode_into(buf, obj.item())
+        _encode_into(w, obj.item(), sink)
+    elif isinstance(obj, np.ndarray):
+        # ndarray *subclasses* (e.g. the shm transport's leased views)
+        # encode as their base-class data; pickling them could drag
+        # transport-internal state (segment leases) onto the wire.
+        _encode_array(w, obj.view(np.ndarray), sink)
     else:
         _encode_pickle(buf, obj)
 
@@ -172,11 +289,13 @@ def _encode_into(buf: bytearray, obj) -> None:  # noqa: SIM114 — tag dispatch
 class _Reader:
     """Offset-tracked reader over one frame's bytes."""
 
-    __slots__ = ("view", "off")
+    __slots__ = ("view", "off", "source", "copy")
 
-    def __init__(self, data) -> None:
+    def __init__(self, data, source, copy: bool) -> None:
         self.view = memoryview(data)
         self.off = 0
+        self.source = source
+        self.copy = copy
 
     def take(self, n: int) -> memoryview:
         end = self.off + n
@@ -198,10 +317,20 @@ class _Reader:
     def i64(self) -> int:
         return _i64.unpack(self.take(8))[0]
 
+    def u64(self) -> int:
+        return _u64.unpack(self.take(8))[0]
 
-def decode(data) -> object:
-    """Decode one value tree from wire bytes; rejects trailing garbage."""
-    reader = _Reader(data)
+
+def decode(data, *, array_source=None, copy_arrays: bool = True) -> object:
+    """Decode one value tree from wire bytes; rejects trailing garbage.
+
+    ``copy_arrays=False`` returns ndarrays as views over ``data`` (which
+    stays alive via the views) instead of owning copies — callers must
+    either copy before retaining or treat the result as read-only scratch.
+    ``array_source`` resolves :class:`SegRef` tags to out-of-band arrays; a
+    frame carrying SegRefs without a source is a protocol error.
+    """
+    reader = _Reader(data, array_source, copy_arrays)
     value = _decode_value(reader)
     if reader.off != len(reader.view):
         raise ProtocolError(
@@ -237,16 +366,29 @@ def _decode_value(r: _Reader):
     if tag == _NDARRAY:
         dtype = np.dtype(str(r.take(r.u8()), "ascii"))
         shape = tuple(r.i64() for _ in range(r.u8()))
-        nbytes = _u64.unpack(r.take(8))[0]
+        nbytes = r.u64()
         raw = r.take(nbytes)
         if dtype.itemsize == 0:
             # Itemsize-0 dtypes (geometry-only "V0" fragments) carry no
             # payload bytes; the shape header alone rebuilds them.
             return np.zeros(shape, dtype=dtype)
-        # Copy out of the frame buffer: the returned array must own its
-        # memory (stores keep fragments alive long after the frame is gone)
-        # and be writable (get() assembles into caller buffers).
-        return np.frombuffer(raw, dtype=np.uint8).view(dtype).reshape(shape).copy()
+        arr = np.frombuffer(raw, dtype=np.uint8).view(dtype).reshape(shape)
+        # Copy-out gives the caller an owned, writable array (stores keep
+        # fragments long after the frame is gone); the zero-copy form leaves
+        # the view over the frame buffer for consumers that copy themselves.
+        return arr.copy() if r.copy else arr
+    if tag == _SEGREF:
+        name = str(r.take(r.u8()), "ascii")
+        generation = r.u64()
+        offset = r.u64()
+        nbytes = r.u64()
+        dtype = str(r.take(r.u8()), "ascii")
+        shape = tuple(r.i64() for _ in range(r.u8()))
+        ref = SegRef(name, generation, offset, nbytes, dtype, shape)
+        if r.source is None:
+            raise ProtocolError(f"segment ref {ref.describe()} with no resolver")
+        arr = r.source(ref)
+        return arr.copy() if r.copy else arr
     if tag == _BBOX:
         ndim = r.u8()
         lo = tuple(r.i64() for _ in range(ndim))

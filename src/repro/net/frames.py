@@ -13,7 +13,15 @@ or misaligned length prefix must not turn into a multi-gigabyte allocation.
 Two consumption styles:
 
 * :func:`send_frame` / :func:`recv_frame` — blocking socket I/O for the
-  client side and the per-connection server loop.
+  client side and the per-connection server loop. ``recv_frame`` reads into
+  one preallocated buffer (``recv_into``), so a frame is never reassembled
+  from chunks, and returns a *writable* bytearray — zero-copy decode views
+  over it (:func:`repro.net.codec.decode` with ``copy_arrays=False``) are
+  mutable, matching in-process array semantics.
+* :func:`send_frame_iov` — scatter-gather variant: sends an iovec (as
+  produced by :func:`repro.net.codec.encode_iov`) with ``socket.sendmsg``,
+  so header, control bytes, and payload views hit the socket without ever
+  being concatenated into one buffer.
 * :class:`FrameDecoder` — incremental push-style decoder (``feed`` bytes in,
   pop complete frames out) for tests and any future non-blocking loop; this
   is what the torn-frame tests drive byte-by-byte.
@@ -42,9 +50,13 @@ __all__ = [
     "FrameTooLarge",
     "ProtocolError",
     "send_frame",
+    "send_frame_iov",
     "recv_frame",
     "FrameDecoder",
 ]
+
+# sendmsg vector ceiling per call (UIO_MAXIOV is 1024 on Linux; stay under).
+_SENDMSG_MAX_VECS = 512
 
 # Generous ceiling: the largest legitimate frame is a batched put of one
 # put_many call (a few hundred MB would already be an absurd single batch).
@@ -88,31 +100,62 @@ def send_frame(sock: socket.socket, payload) -> None:
         sock.sendall(payload)
 
 
-def _recv_exact(sock: socket.socket, n: int, *, header: bool) -> bytes:
-    chunks: list[bytes] = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            if header and remaining == n:
+def send_frame_iov(sock: socket.socket, parts) -> int:
+    """Write one frame from an iovec without concatenating it.
+
+    ``parts`` is a sequence of bytes-like buffers (the output of
+    ``encode_iov``); the length prefix plus every part goes out through
+    ``sendmsg``, handling partial sends and the kernel's vector-count
+    ceiling. Returns payload bytes sent (excluding the 4-byte header).
+    """
+    n = sum(len(p) for p in parts)
+    if n > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"frame of {n} bytes exceeds cap {MAX_FRAME_BYTES}")
+    vecs = [memoryview(_LEN.pack(n))]
+    vecs += [memoryview(p).cast("B") for p in parts if len(p)]
+    while vecs:
+        sent = sock.sendmsg(vecs[:_SENDMSG_MAX_VECS])
+        while sent:
+            head = vecs[0]
+            if sent >= len(head):
+                sent -= len(head)
+                vecs.pop(0)
+            else:
+                vecs[0] = head[sent:]
+                sent = 0
+    return n
+
+
+def _recv_exact_into(sock: socket.socket, view: memoryview, *, header: bool) -> None:
+    total = len(view)
+    got = 0
+    while got < total:
+        n = sock.recv_into(view[got:])
+        if n == 0:
+            if header and got == 0:
                 raise WireClosed("connection closed at frame boundary")
             raise ShortRead(
-                f"connection closed with {remaining} of {n} bytes outstanding"
+                f"connection closed with {total - got} of {total} bytes outstanding"
             )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+        got += n
 
 
-def recv_frame(sock: socket.socket) -> bytes:
-    """Read one complete frame payload, blocking."""
-    header = _recv_exact(sock, _LEN.size, header=True)
+def recv_frame(sock: socket.socket) -> bytearray:
+    """Read one complete frame payload, blocking.
+
+    The payload lands in a single preallocated buffer via ``recv_into`` —
+    no chunk list, no join copy — and is returned as a writable bytearray
+    so zero-copy decode views over it behave like owned arrays.
+    """
+    header = bytearray(_LEN.size)
+    _recv_exact_into(sock, memoryview(header), header=True)
     (n,) = _LEN.unpack(header)
     if n > MAX_FRAME_BYTES:
         raise FrameTooLarge(f"peer declared {n}-byte frame, cap {MAX_FRAME_BYTES}")
-    if n == 0:
-        return b""
-    return _recv_exact(sock, n, header=False)
+    payload = bytearray(n)
+    if n:
+        _recv_exact_into(sock, memoryview(payload), header=False)
+    return payload
 
 
 class FrameDecoder:

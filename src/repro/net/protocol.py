@@ -16,6 +16,15 @@ Batched requests (the pipelining path) wrap N requests in one frame::
 
     ("batch", [("req", op, args), ...])  →  ("batch_ok", [response, ...])
 
+The shared-memory transport (:mod:`repro.net.shm`) uses *doorbell* variants
+that differ only in carrying segment context: ``("sreq", op, args, grant)``
+and ``("sbatch", [("req", op, args), ...], grant)``, where ``grant`` is
+either ``None`` or ``("grant", segment_name, generation, capacity)`` — a
+client-owned response segment the server may scatter bulk reply payloads
+into. Values inside ``args`` / responses may themselves be
+:class:`~repro.net.codec.SegRef` tags pointing into shared segments; the
+reply shapes are the plain ``("ok", ...)`` / ``("batch_ok", ...)`` tuples.
+
 where each inner response is itself an ``("ok", ...)`` or ``("err", ...)``
 tuple — one slow/faulty op in a batch doesn't poison its neighbours; the
 client unpacks per-op results and raises per-op errors exactly as if each
@@ -39,14 +48,17 @@ from repro.errors import (
     TransientServerError,
     VersionConflict,
 )
-from repro.net.codec import decode, encode
+from repro.net.codec import decode, encode, encode_iov
 from repro.net.frames import ProtocolError
 
 __all__ = [
     "WIRE_ERRORS",
     "encode_request",
+    "encode_request_iov",
     "encode_batch",
+    "encode_batch_iov",
     "encode_response",
+    "encode_response_iov",
     "encode_error",
     "decode_message",
     "error_kind_for",
@@ -87,13 +99,32 @@ def encode_request(op: str, args: tuple) -> bytes:
     return encode(("req", op, args))
 
 
+def encode_request_iov(op: str, args: tuple, *, grant=None, array_sink=None) -> list:
+    """Request as an iovec; with ``grant``/``array_sink`` it becomes the shm
+    doorbell form ``("sreq", op, args, grant)``."""
+    if grant is None and array_sink is None:
+        return encode_iov(("req", op, args))
+    return encode_iov(("sreq", op, args, grant), array_sink=array_sink)
+
+
 def encode_batch(requests: list) -> bytes:
     """Encode N ``("req", op, args)`` tuples into one pipelined frame."""
     return encode(("batch", requests))
 
 
+def encode_batch_iov(requests: list, *, array_sink=None) -> list:
+    """Pipelined batch as an iovec; with a sink it becomes ``("sbatch", ...)``."""
+    if array_sink is None:
+        return encode_iov(("batch", requests))
+    return encode_iov(("sbatch", requests, None), array_sink=array_sink)
+
+
 def encode_response(value) -> bytes:
     return encode(("ok", value))
+
+
+def encode_response_iov(value, *, array_sink=None) -> list:
+    return encode_iov(("ok", value), array_sink=array_sink)
 
 
 def encode_error(exc: BaseException, server_id: int) -> bytes:
@@ -121,15 +152,27 @@ def raise_wire_error(kind: str, server_id: int, message: str):
     raise cls(message)
 
 
-def decode_message(payload) -> tuple:
-    """Decode one frame payload; validates the message envelope shape."""
-    msg = decode(payload)
+def decode_message(payload, *, array_source=None, copy_arrays: bool = True) -> tuple:
+    """Decode one frame payload; validates the message envelope shape.
+
+    ``array_source``/``copy_arrays`` pass through to the codec: the shm
+    path resolves :class:`~repro.net.codec.SegRef` payloads through the
+    peer's segment registry, and both wire transports decode with
+    ``copy_arrays=False`` on paths whose consumers copy for themselves.
+    """
+    msg = decode(payload, array_source=array_source, copy_arrays=copy_arrays)
     if not isinstance(msg, tuple) or not msg:
         raise ProtocolError(f"message is not a tagged tuple: {type(msg).__name__}")
     tag = msg[0]
     if tag == "req":
         if len(msg) != 3 or not isinstance(msg[1], str) or not isinstance(msg[2], tuple):
             raise ProtocolError("malformed request message")
+    elif tag == "sreq":
+        if len(msg) != 4 or not isinstance(msg[1], str) or not isinstance(msg[2], tuple):
+            raise ProtocolError("malformed shm request message")
+    elif tag == "sbatch":
+        if len(msg) != 3 or not isinstance(msg[1], list):
+            raise ProtocolError("malformed shm batch request")
     elif tag == "ok":
         if len(msg) != 2:
             raise ProtocolError("malformed ok response")

@@ -49,12 +49,12 @@ from repro.errors import (
     ServerUnavailable,
     TransientServerError,
 )
-from repro.net.codec import encode
-from repro.net.frames import WireClosed, WireError, recv_frame, send_frame
+from repro.net.frames import WireClosed, WireError, recv_frame, send_frame, send_frame_iov
 from repro.net.protocol import (
     decode_message,
-    encode_batch,
+    encode_batch_iov,
     encode_request,
+    encode_request_iov,
     raise_wire_error,
 )
 from repro.net.tcpserver import SERVER_OPS, run_server
@@ -160,32 +160,44 @@ class _Endpoint:
 
     # ------------------------------------------------------------- requests
 
-    def _round_trip(self, payload: bytes) -> tuple:
+    def _round_trip(self, parts: list, array_source=None) -> tuple:
+        """Send one iovec frame, receive and decode the reply.
+
+        Raises only *wire-mapped* staging errors; a decoded reply — success
+        or a typed ``("err", ...)`` — is returned as-is, so subclasses can
+        distinguish "the server answered" (segment safely recyclable) from
+        "the wire failed" (segment state unknowable) before unpacking.
+        Replies decode with ``copy_arrays=False``: arrays are views over the
+        private, writable reply buffer (or, via ``array_source``, over a
+        granted shared segment) — every consumer either copies into its own
+        destination or may treat the buffer as owned.
+        """
         t0 = perf_counter()
         try:
             sock = self._borrow()
         except (OSError, WireError) as exc:
             raise _map_wire_error(exc, self.server_id) from exc
         try:
-            send_frame(sock, payload)
+            sent = send_frame_iov(sock, parts)
             reply = recv_frame(sock)
         except (OSError, WireError) as exc:
             sock.close()
             raise _map_wire_error(exc, self.server_id) from exc
         try:
-            msg = decode_message(reply)
+            msg = decode_message(
+                reply, array_source=array_source, copy_arrays=False
+            )
         except WireError as exc:
             sock.close()
             raise _map_wire_error(exc, self.server_id) from exc
         self._give_back(sock)
         _REQUESTS.inc()
-        _BYTES_SENT.inc(len(payload) + 4)
+        _BYTES_SENT.inc(sent + 4)
         _BYTES_RECEIVED.inc(len(reply) + 4)
         _REQ_SECONDS.record(perf_counter() - t0)
         return msg
 
-    def request(self, op: str, args: tuple):
-        msg = self._round_trip(encode_request(op, args))
+    def _unpack_response(self, msg: tuple):
         if msg[0] == "ok":
             return msg[1]
         if msg[0] == "err":
@@ -193,6 +205,9 @@ class _Endpoint:
         raise _map_wire_error(
             WireClosed(f"unexpected reply tag {msg[0]!r}"), self.server_id
         )
+
+    def request(self, op: str, args: tuple):
+        return self._unpack_response(self._round_trip(encode_request_iov(op, args)))
 
     def request_batch(self, requests: list[tuple[str, tuple]]) -> list:
         """Pipeline N ops in one frame; returns per-op values in order.
@@ -202,8 +217,10 @@ class _Endpoint:
         of issuing the ops back-to-back on one connection).
         """
         _BATCH_SIZE.record(len(requests))
-        payload = encode_batch([("req", op, args) for op, args in requests])
-        msg = self._round_trip(payload)
+        parts = encode_batch_iov([("req", op, args) for op, args in requests])
+        return self._unpack_batch(self._round_trip(parts))
+
+    def _unpack_batch(self, msg: tuple) -> list:
         if msg[0] != "batch_ok":
             if msg[0] == "err":
                 raise_wire_error(msg[1], msg[2], msg[3])
@@ -408,6 +425,7 @@ class TcpTransport(Transport):
     """One server process per staging server, reached over pooled TCP."""
 
     name = "tcp"
+    remote = True
 
     def __init__(self) -> None:
         self._endpoints: dict[int, _Endpoint] = {}
@@ -464,7 +482,11 @@ class TcpTransport(Transport):
         port_rx.close()
         _SPAWNS.inc()
         _SPAWN_SECONDS.record(perf_counter() - t0)
-        return _Endpoint(server_id, proc, port)
+        return self._make_endpoint(server_id, proc, port)
+
+    def _make_endpoint(self, server_id: int, process, port: int) -> _Endpoint:
+        """Endpoint factory — the shm transport swaps in its pooled variant."""
+        return _Endpoint(server_id, process, port)
 
     # ------------------------------------------------------------- Transport
 

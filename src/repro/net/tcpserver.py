@@ -29,13 +29,13 @@ import threading
 from repro.errors import ReproError
 from repro.faults.plan import FaultInjector
 from repro.faults.proxy import FaultyServer
-from repro.net.codec import encode
-from repro.net.frames import WireError, recv_frame, send_frame
+from repro.net.codec import encode_iov
+from repro.net.frames import WireError, recv_frame, send_frame_iov
 from repro.net.protocol import (
     batch_item_result,
     decode_message,
     encode_error,
-    encode_response,
+    encode_response_iov,
 )
 from repro.staging.server import StagingServer
 
@@ -88,6 +88,28 @@ class Dispatcher:
         # lock serializes those, same as in-process).
         self._swap_lock = threading.Lock()
         self.stop = threading.Event()
+        # Shared-memory attach registry, created on the first shm request so
+        # plain TCP servers never touch multiprocessing.shared_memory.
+        self._segments = None
+
+    def _shm_segments(self):
+        if self._segments is None:
+            with self._swap_lock:
+                if self._segments is None:
+                    import atexit
+
+                    from repro.net.shm import ServerSegments
+
+                    segments = ServerSegments()
+                    # The server only *attaches* (never unlinks) segments;
+                    # closing at exit drops the mappings so client-side
+                    # unlink actually frees the memory.
+                    atexit.register(segments.close)
+                    self._segments = segments
+        return self._segments
+
+    def _resolve_segref(self, ref):
+        return self._shm_segments().resolve(ref)
 
     @property
     def _inner(self) -> StagingServer:
@@ -162,9 +184,62 @@ class Dispatcher:
             return None
         return result
 
-    def handle_frame(self, payload: bytes) -> bytes:
-        msg = decode_message(payload)
-        if msg[0] == "batch":
+    def _execute_granted(self, op: str, args: tuple, sink):
+        """Run one op, gathering get/get_many results directly into the
+        client's granted response segment when the geometry fits.
+
+        Reservation is all-or-nothing per op: either every destination
+        array lands in the slab (the store assembles fragments straight
+        into shared memory — the server-side copy disappears) or the op
+        runs unchanged and its reply takes the ordinary encode path.
+        """
+        if sink is not None and op in ("get", "get_many"):
+            mark = sink.mark()
+            try:
+                if op == "get":
+                    (desc,) = args
+                    out = sink.reserve(desc.bbox.shape, desc.dtype)
+                    if out is not None:
+                        return self.server.get(desc, out=out)
+                else:
+                    (descs,) = args
+                    outs = []
+                    for desc in descs:
+                        dest = sink.reserve(desc.bbox.shape, desc.dtype)
+                        if dest is None:
+                            break
+                        outs.append(dest)
+                    if len(outs) == len(descs):
+                        return self.server.get_many(descs, outs=outs)
+                sink.rollback(mark)
+            except (AttributeError, TypeError, ValueError):
+                # Malformed descriptors: let the plain path raise the
+                # canonical error for them.
+                sink.rollback(mark)
+        return self.execute(op, args)
+
+    def handle_frame(self, payload) -> list:
+        """Dispatch one decoded frame; returns the reply as iovec parts.
+
+        Requests decode with ``copy_arrays=False``: inline arrays are views
+        over this frame's private buffer and SegRefs are zero-copy views
+        into client-owned segments — safe either way because every op that
+        keeps payload data (``store.put``/``put_blob``) copies before the
+        reply is sent, and ops that retain views (``restore``) are never
+        sent through segments (see ``repro.net.shm.SHM_REQUEST_OPS``).
+        """
+        try:
+            msg = decode_message(
+                payload, array_source=self._resolve_segref, copy_arrays=False
+            )
+        except WireError as exc:
+            # The frame itself arrived intact but its payload can't be
+            # honoured (stale/unknown segment ref, malformed message): reply
+            # with a typed error so the client sees a StagingError instead
+            # of a torn connection.
+            return [encode_error(_as_staging_error(exc), self.server_id)]
+        tag = msg[0]
+        if tag == "batch" or tag == "sbatch":
             results = []
             for item in msg[1]:
                 req = decode_message_item(item)
@@ -180,14 +255,17 @@ class Dispatcher:
                     )
                 else:
                     results.append(batch_item_result(value))
-            return encode(("batch_ok", results))
+            return encode_iov(("batch_ok", results))
+        sink = None
+        if tag == "sreq" and msg[3] is not None:
+            sink = self._shm_segments().response_sink(msg[3])
         try:
-            value = self.execute(msg[1], msg[2])
+            value = self._execute_granted(msg[1], msg[2], sink)
         except ReproError as exc:
-            return encode_error(exc, self.server_id)
+            return [encode_error(exc, self.server_id)]
         except Exception as exc:
-            return encode_error(_as_staging_error(exc), self.server_id)
-        return encode_response(value)
+            return [encode_error(_as_staging_error(exc), self.server_id)]
+        return encode_response_iov(value, array_sink=sink)
 
 
 def decode_message_item(item) -> tuple:
@@ -221,7 +299,7 @@ def _serve_connection(dispatcher: Dispatcher, conn: socket.socket) -> None:
                     payload = recv_frame(conn)
                 except WireError:
                     return  # client went away (clean or torn) — just drop
-                send_frame(conn, dispatcher.handle_frame(payload))
+                send_frame_iov(conn, dispatcher.handle_frame(payload))
     except OSError:
         return
 

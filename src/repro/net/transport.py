@@ -38,6 +38,11 @@ class Transport(ABC):
     #: Short name used in env/config and in ``net.*`` metric labels.
     name: str = "abstract"
 
+    #: True when calls cross a process boundary (tcp, shm). The client uses
+    #: this to pick fan-out thresholds: remote round trips are worth
+    #: parallelising at much smaller payloads than in-process calls.
+    remote: bool = False
+
     @abstractmethod
     def make_servers(self, num_servers: int) -> list:
         """Provision ``num_servers`` fresh, empty server handles (ids 0..n-1)."""
@@ -92,8 +97,8 @@ def resolve_transport(spec=None) -> Transport:
     """Resolve a transport from an instance, a name, or the environment.
 
     ``spec`` may be a :class:`Transport` instance (returned as-is), a name
-    (``"inproc"`` / ``"tcp"``), or ``None`` — then the ``REPRO_TRANSPORT``
-    environment variable decides, defaulting to inproc.
+    (``"inproc"`` / ``"tcp"`` / ``"shm"``), or ``None`` — then the
+    ``REPRO_TRANSPORT`` environment variable decides, defaulting to inproc.
     """
     if isinstance(spec, Transport):
         return spec
@@ -108,4 +113,10 @@ def resolve_transport(spec=None) -> Transport:
         from repro.net.tcp import TcpTransport
 
         return TcpTransport()
-    raise ValueError(f"unknown transport {spec!r} (expected 'inproc' or 'tcp')")
+    if name == "shm":
+        from repro.net.shm import ShmTransport
+
+        return ShmTransport()
+    raise ValueError(
+        f"unknown transport {spec!r} (expected 'inproc', 'tcp', or 'shm')"
+    )

@@ -58,6 +58,10 @@ _DEADLINE_EXCEEDED = _obs.counter("staging.client.deadline_exceeded")
 # Fan out to the pool only when a request's payload is at least this large;
 # below it, pool submit/wake latency exceeds the shard memcpy.
 PARALLEL_THRESHOLD_BYTES = 256 * 1024
+# Remote transports (tcp, shm) cross a process boundary per server call, so
+# overlapping round trips pays off at much smaller payloads than overlapping
+# in-process memcpys does.
+REMOTE_PARALLEL_THRESHOLD_BYTES = 64 * 1024
 
 _pool_lock = threading.Lock()
 _pool: ThreadPoolExecutor | None = None
@@ -141,9 +145,10 @@ class StagingGroup:
 
         ``transport`` selects how clients reach the servers: a
         :class:`~repro.net.transport.Transport` instance, ``"inproc"`` /
-        ``"tcp"``, or ``None`` to follow the ``REPRO_TRANSPORT`` environment
-        variable (default inproc). TCP groups own server *processes* —
-        call :meth:`close` (or rely on daemon cleanup at exit) when done.
+        ``"tcp"`` / ``"shm"``, or ``None`` to follow the ``REPRO_TRANSPORT``
+        environment variable (default inproc). Wire-transport groups own
+        server *processes* — call :meth:`close` (or rely on daemon cleanup
+        at exit) when done.
         """
         if parallel is None:
             parallel = (os.cpu_count() or 1) > 1
@@ -155,6 +160,11 @@ class StagingGroup:
             servers=servers,
             placement=placement,
             parallel=parallel,
+            parallel_threshold=(
+                REMOTE_PARALLEL_THRESHOLD_BYTES
+                if transport_obj.remote
+                else PARALLEL_THRESHOLD_BYTES
+            ),
             protection=protection,
             retry=retry if retry is not None else RetryPolicy(),
             health=GroupHealth(num_servers, down_after=down_after),

@@ -159,22 +159,36 @@ class StagingServer:
         _PUT_SECONDS.record(perf_counter() - t0)
         return objs
 
-    def get(self, desc: ObjectDescriptor) -> np.ndarray:
-        """Assemble and return the requested region."""
+    def get(
+        self, desc: ObjectDescriptor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Assemble and return the requested region (into ``out`` if given)."""
         t0 = perf_counter()
         try:
             with self.lock:
-                return self.store.get(desc)
+                return self.store.get(desc, out=out)
         finally:
             _GET_COUNT.inc()
             _GET_SECONDS.record(perf_counter() - t0)
 
-    def get_many(self, descs: list[ObjectDescriptor]) -> list[np.ndarray]:
-        """Assemble a batch of regions under one lock acquisition."""
+    def get_many(
+        self,
+        descs: list[ObjectDescriptor],
+        outs: list[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Assemble a batch of regions under one lock acquisition.
+
+        ``outs``, when given, supplies one destination array per descriptor
+        (the shm transport's granted response segment).
+        """
         t0 = perf_counter()
         try:
             with self.lock:
-                return [self.store.get(desc) for desc in descs]
+                if outs is None:
+                    return [self.store.get(desc) for desc in descs]
+                return [
+                    self.store.get(desc, out=out) for desc, out in zip(descs, outs)
+                ]
         finally:
             _GET_COUNT.inc(len(descs))
             _GET_SECONDS.record(perf_counter() - t0)

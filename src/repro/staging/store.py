@@ -143,11 +143,14 @@ class ObjectStore:
 
     # ------------------------------------------------------------------ get
 
-    def get(self, desc: ObjectDescriptor) -> np.ndarray:
+    def get(self, desc: ObjectDescriptor, out: np.ndarray | None = None) -> np.ndarray:
         """Assemble the requested region from stored fragments.
 
         Raises :class:`ObjectNotFound` unless stored fragments fully cover
-        ``desc.bbox`` at ``desc.version``.
+        ``desc.bbox`` at ``desc.version``. With ``out`` (a writable
+        ``desc``-shaped array), fragments are gathered directly into it and
+        it is returned — the shm transport passes a shared-segment view
+        here so the assembled region never exists anywhere else.
         """
         frags = self._objects.get(desc.key)
         if not frags:
@@ -157,8 +160,13 @@ class ObjectStore:
         # decomposition writers produced. Skips the cover-tracking walk.
         for frag in frags:
             if frag.desc.bbox.contains(desc.bbox):
-                return frag.data[desc.bbox.slices(frag.desc.bbox)].copy()
-        out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
+                src = frag.data[desc.bbox.slices(frag.desc.bbox)]
+                if out is None:
+                    return src.copy()
+                np.copyto(out, src)
+                return out
+        if out is None:
+            out = np.empty(desc.bbox.shape, dtype=np.dtype(desc.dtype))
         # Track uncovered regions as a list of boxes, carving out each fragment.
         uncovered: list[BBox] = [desc.bbox]
         for frag in frags:

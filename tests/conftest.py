@@ -15,23 +15,27 @@ from repro.staging import StagingClient, StagingGroup
 
 #: Marker for white-box tests that reach into in-process server internals
 #: (journal lists, raw store/index dicts, shared-payload identity). Those
-#: structures live in another process under the TCP transport, so the tests
-#: are skipped there — their invariants are transport-independent and remain
-#: covered by the inproc lane, which always runs.
+#: structures live in another process under the wire transports (tcp, shm),
+#: so the tests are skipped there — their invariants are
+#: transport-independent and remain covered by the inproc lane, which
+#: always runs.
 requires_inproc = pytest.mark.skipif(
-    os.environ.get("REPRO_TRANSPORT", "").strip().lower() == "tcp",
+    os.environ.get("REPRO_TRANSPORT", "").strip().lower() in {"tcp", "shm"},
     reason="white-box test touches in-process server internals",
 )
 
 
 @pytest.fixture(autouse=True)
 def _reap_tcp_server_processes():
-    """Close any TCP transports a test created but never closed.
+    """Close any wire transports a test created but never closed.
 
-    With ``REPRO_TRANSPORT=tcp`` every ``StagingGroup.create`` spawns real
-    server processes; tests (correctly) treat groups as throwaway values, so
-    without this reaper a full suite run would accumulate hundreds of idle
-    processes. Touches nothing unless the tcp module was actually imported.
+    With ``REPRO_TRANSPORT=tcp`` (or ``shm``) every ``StagingGroup.create``
+    spawns real server processes; tests (correctly) treat groups as
+    throwaway values, so without this reaper a full suite run would
+    accumulate hundreds of idle processes. Covers ShmTransport too — it
+    registers in the same live-transport set, and ``repro.net.shm`` cannot
+    be imported without ``repro.net.tcp``. Touches nothing unless the tcp
+    module was actually imported.
     """
     yield
     tcp = sys.modules.get("repro.net.tcp")

@@ -220,3 +220,90 @@ class TestEdgeCases:
     def test_unknown_tag_rejected(self):
         with pytest.raises(ProtocolError):
             decode(b"\xff")
+
+
+# ---------------------------------------------------------------------------
+# scatter-gather: encode_iov / zero-copy decode / out-of-band SegRefs
+
+
+@settings(max_examples=150, deadline=None)
+@given(values)
+def test_encode_iov_join_equals_encode(v):
+    """The iovec form is byte-identical to the contiguous form."""
+    from repro.net.codec import encode_iov
+
+    assert b"".join(bytes(p) for p in encode_iov(v)) == encode(v)
+
+
+class TestScatterGather:
+    def test_large_contiguous_payload_is_zero_copy(self):
+        """≥ IOV_MIN_BYTES contiguous arrays ride the iovec as memoryviews
+        of the caller's buffer — the regression test for the no-copy fast
+        path."""
+        from repro.net.codec import encode_iov
+
+        arr = np.arange(2048, dtype=np.float64)  # 16 KiB
+        views = [p for p in encode_iov(arr) if isinstance(p, memoryview)]
+        assert len(views) == 1
+        assert np.shares_memory(np.frombuffer(views[0], dtype=np.uint8), arr)
+
+    def test_small_payload_inlines_into_control_stream(self):
+        from repro.net.codec import encode_iov
+
+        parts = encode_iov(np.arange(8, dtype=np.float64))  # 64 B
+        assert not any(isinstance(p, memoryview) for p in parts)
+
+    def test_zero_copy_decode_returns_views_over_frame(self):
+        arr = np.arange(2048, dtype=np.float64)
+        buf = bytearray(encode(arr))  # writable, like recv_frame's buffer
+        frame = np.frombuffer(buf, dtype=np.uint8)
+        view = decode(buf, copy_arrays=False)
+        assert np.shares_memory(view, frame)
+        np.testing.assert_array_equal(view, arr)
+        owned = decode(buf)  # default: owning, writable copy
+        assert not np.shares_memory(owned, frame)
+        owned[0] = -1.0
+
+    def test_array_sink_claims_arrays_and_source_restores(self):
+        from repro.net.codec import SegRef
+
+        arr = np.arange(1024, dtype=np.float64)
+        placed: dict[tuple, np.ndarray] = {}
+
+        def sink(a):
+            ref = SegRef("seg-x", 3, len(placed) * 8192, a.nbytes, a.dtype.str, a.shape)
+            placed[(ref.segment, ref.offset)] = a.copy()
+            return ref
+
+        payload = encode({"x": arr, "n": 5}, array_sink=sink)
+        assert arr.tobytes() not in payload  # bytes went out-of-band
+        out = decode(payload, array_source=lambda ref: placed[(ref.segment, ref.offset)])
+        np.testing.assert_array_equal(out["x"], arr)
+        assert out["n"] == 5
+
+    def test_segref_without_resolver_is_protocol_error(self):
+        arr = np.arange(64, dtype=np.float64)
+
+        def sink(a):
+            from repro.net.codec import SegRef
+
+            return SegRef("seg-x", 0, 0, a.nbytes, a.dtype.str, a.shape)
+
+        payload = encode(arr, array_sink=sink)
+        with pytest.raises(ProtocolError):
+            decode(payload)
+
+    def test_ndarray_subclass_encodes_as_base_data(self):
+        """Subclassed arrays (the shm transport's leased reply views) must
+        encode as plain array data — pickling them would drag transport
+        state (an unpicklable lease here) onto the wire."""
+        import threading
+
+        class Tagged(np.ndarray):
+            pass
+
+        arr = np.arange(640, dtype=np.float64).view(Tagged)
+        arr._lease = threading.Lock()  # pickle would blow up on this
+        out = decode(encode(arr))
+        assert type(out) is np.ndarray
+        np.testing.assert_array_equal(out, np.arange(640, dtype=np.float64))

@@ -171,3 +171,80 @@ def test_send_rejects_oversize_payload():
     finally:
         a.close()
         b.close()
+
+
+# ---------------------------------------------------------------------------
+# send_frame_iov: scatter-gather sends
+
+
+def test_send_frame_iov_equals_send_frame():
+    from repro.net.frames import send_frame_iov
+
+    parts = [b"head", bytearray(b"-mid-"), memoryview(b"tail")]
+    joined = b"".join(bytes(p) for p in parts)
+    a, b = sock_pair()
+    try:
+        sent = send_frame_iov(a, parts)
+        assert sent == len(joined)
+        assert recv_frame(b) == joined
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_frame_iov_skips_empty_parts():
+    from repro.net.frames import send_frame_iov
+
+    a, b = sock_pair()
+    try:
+        send_frame_iov(a, [b"", b"x", b"", memoryview(b""), b"y"])
+        assert recv_frame(b) == b"xy"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_frame_iov_empty_frame():
+    from repro.net.frames import send_frame_iov
+
+    a, b = sock_pair()
+    try:
+        assert send_frame_iov(a, []) == 0
+        assert recv_frame(b) == b""
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_frame_iov_many_vectors_and_partial_sends():
+    """More parts than one sendmsg can take (vector-count ceiling) plus a
+    payload far beyond the socket buffer, so the partial-send loop runs."""
+    from repro.net.frames import send_frame_iov
+
+    parts = [bytes([i % 256]) * 997 for i in range(1300)]  # ~1.2 MiB, 1300 vecs
+    joined = b"".join(parts)
+    a, b = sock_pair()
+    try:
+        t = threading.Thread(target=send_frame_iov, args=(a, parts))
+        t.start()
+        got = recv_frame(b)
+        t.join()
+        assert bytes(got) == joined
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_frame_buffer_is_writable():
+    """Zero-copy decode views over a received frame must be mutable, so the
+    frame buffer itself has to be writable (bytearray, not bytes)."""
+    a, b = sock_pair()
+    try:
+        send_frame(a, b"abc")
+        buf = recv_frame(b)
+        assert isinstance(buf, bytearray)
+        memoryview(buf)[0] = 0x7A
+        assert buf == b"zbc"
+    finally:
+        a.close()
+        b.close()

@@ -1,0 +1,308 @@
+"""Property + unit tests for the shm segment allocator and codec hooks.
+
+Everything here runs in one process: the pool, writer, and resolver are
+plain objects, and ``ServerSegments`` attaches to segments this process
+created — same syscalls the real server process makes, no spawn cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.codec import SegRef, decode, encode
+from repro.net.frames import ProtocolError
+from repro.net.shm import (
+    HEADER_BYTES,
+    SHM_PREFIX,
+    SegmentPool,
+    ServerSegments,
+    _SegmentWriter,
+    leaked_segment_names,
+    oob_payload_bytes,
+)
+
+SLAB = 1 << 14  # small slabs keep the property suite fast
+
+
+def make_pool(capacity_slabs: int = 8) -> SegmentPool:
+    return SegmentPool(capacity_bytes=capacity_slabs * SLAB, min_slab=SLAB)
+
+
+# ---------------------------------------------------------------- properties
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("acquire"), st.integers(1, 3 * SLAB)),
+                st.tuples(st.just("release"), st.integers(0, 63)),
+                st.tuples(st.just("retire"), st.integers(0, 63)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_interleavings_never_double_grant(self, ops):
+        """Any acquire/release/retire interleaving: a slab is never handed
+        to two owners at once, names are never duplicated among live
+        grants, and close() always reaps every segment."""
+        pool = make_pool()
+        outstanding: list = []
+        created: set[str] = set()
+        try:
+            for op, arg in ops:
+                if op == "acquire":
+                    slab = pool.acquire(arg)
+                    if slab is not None:
+                        assert slab not in outstanding, "double-granted slab"
+                        assert slab.name not in {s.name for s in outstanding}
+                        assert slab.capacity >= arg
+                        outstanding.append(slab)
+                        created.add(slab.name)
+                elif outstanding:
+                    slab = outstanding.pop(arg % len(outstanding))
+                    (pool.release if op == "release" else pool.retire)(slab)
+        finally:
+            pool.close()
+        assert pool.live_bytes == 0
+        assert not (created & set(leaked_segment_names()))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4))
+    def test_release_bumps_generation_and_restamps(self, rounds):
+        pool = make_pool()
+        try:
+            generations = []
+            for _ in range(rounds):
+                slab = pool.acquire(SLAB)
+                generations.append(slab.generation)
+                # The header stamp always matches the live generation.
+                import struct
+
+                magic, stamp = struct.unpack_from("!IQ", slab.mem.buf, 0)
+                assert stamp == slab.generation
+                pool.release(slab)
+            assert generations == list(range(rounds))
+        finally:
+            pool.close()
+
+    def test_exhaustion_returns_none_then_recovers(self):
+        pool = make_pool(capacity_slabs=2)
+        try:
+            a = pool.acquire(SLAB)
+            b = pool.acquire(SLAB)
+            assert a is not None and b is not None
+            assert pool.acquire(SLAB) is None  # exhausted → wire fallback
+            pool.release(a)
+            c = pool.acquire(SLAB)
+            assert c is a  # recycled, not re-created
+            assert c.generation == 1  # recycle bumped the generation
+        finally:
+            pool.close()
+
+    def test_oversize_request_past_capacity_returns_none(self):
+        pool = make_pool(capacity_slabs=2)
+        try:
+            assert pool.acquire(4 * SLAB) is None
+            assert pool.acquire(0) is None
+        finally:
+            pool.close()
+
+
+# ------------------------------------------------------------- generations
+
+
+class TestGenerationValidation:
+    def test_stale_generation_rejected_by_server_side(self):
+        pool = make_pool()
+        segments = ServerSegments()
+        try:
+            slab = pool.acquire(SLAB)
+            writer = _SegmentWriter(slab)
+            arr = np.arange(SLAB // 8, dtype=np.float64)
+            ref = writer(arr)
+            assert ref is not None
+            # Current generation resolves to the exact bytes, zero-copy.
+            view = segments.resolve(ref)
+            np.testing.assert_array_equal(view, arr)
+            # Recycle the slab: its generation bumps, the old ref is stale.
+            pool.release(slab)
+            slab2 = pool.acquire(SLAB)
+            assert slab2 is slab and slab2.generation == ref.generation + 1
+            with pytest.raises(ProtocolError):
+                segments.resolve(ref)
+            pool.release(slab2)
+        finally:
+            segments.close()
+            pool.close()
+
+    def test_unknown_segment_and_bad_bounds_rejected(self):
+        segments = ServerSegments()
+        try:
+            ghost = SegRef(SHM_PREFIX + "nope", 0, 0, 64, "<f8", (8,))
+            with pytest.raises(ProtocolError):
+                segments.resolve(ghost)
+            pool = make_pool()
+            try:
+                slab = pool.acquire(SLAB)
+                beyond = SegRef(slab.name, slab.generation, 0, 10 * SLAB, "|u1", (10 * SLAB,))
+                with pytest.raises(ProtocolError):
+                    segments.resolve(beyond)
+                pool.release(slab)
+            finally:
+                pool.close()
+        finally:
+            segments.close()
+
+    def test_reply_resolver_rejects_refs_to_ungranted_segments(self):
+        from repro.net.shm import _ResponseResolver
+
+        pool = make_pool()
+        try:
+            slab = pool.acquire(SLAB)
+            resolver = _ResponseResolver(pool, slab)
+            other = SegRef("repro-shm-other", slab.generation, 0, 64, "<f8", (8,))
+            with pytest.raises(ProtocolError):
+                resolver(other)
+            stale = SegRef(slab.name, slab.generation + 7, 0, 64, "<f8", (8,))
+            with pytest.raises(ProtocolError):
+                resolver(stale)
+            pool.release(slab)
+        finally:
+            pool.close()
+
+
+# ------------------------------------------------------------------ leases
+
+
+class TestLeases:
+    def test_recycle_waits_for_live_views(self):
+        pool = make_pool()
+        try:
+            slab = pool.acquire(SLAB)
+            writer = _SegmentWriter(slab)
+            src = np.arange(1024, dtype=np.float64)
+            ref = writer(src)
+            view = pool.lease_view(slab, ref)
+            np.testing.assert_array_equal(view, src)
+            pool.release(slab)
+            # The slab is draining, not free: acquiring now must create a
+            # NEW segment, never recycle under the live view.
+            other = pool.acquire(SLAB)
+            assert other is not slab
+            pool.release(other)
+            del view
+            recycled = pool.acquire(SLAB)
+            assert recycled in (slab, other)  # both free again
+            pool.release(recycled)
+        finally:
+            pool.close()
+
+    def test_retired_slab_destroyed_after_last_lease_dies(self):
+        pool = make_pool()
+        slab = pool.acquire(SLAB)
+        writer = _SegmentWriter(slab)
+        ref = writer(np.zeros(1024, dtype=np.float64))
+        view = pool.lease_view(slab, ref)
+        name = slab.name
+        pool.retire(slab)  # wire fault while a view is checked out
+        assert slab.mem is not None  # destruction deferred for the view
+        del view
+        # The next pool operation drains the pending lease and unlinks.
+        fresh = pool.acquire(SLAB)
+        assert fresh is not slab
+        assert name not in leaked_segment_names()
+        pool.release(fresh)
+        pool.close()
+
+    def test_slab_view_survives_pool_close(self):
+        pool = make_pool()
+        slab = pool.acquire(SLAB)
+        writer = _SegmentWriter(slab)
+        src = np.arange(512, dtype=np.float64)
+        ref = writer(src)
+        view = pool.lease_view(slab, ref)
+        pool.close()
+        # The name is gone from /dev/shm immediately, but the mapping (and
+        # therefore the view's bytes) survives until the view dies.
+        assert slab.name not in leaked_segment_names()
+        np.testing.assert_array_equal(view, src)
+
+
+# ------------------------------------------------------- writer/sink/codec
+
+
+class TestSegmentWriter:
+    def test_writer_places_aligned_and_round_trips_through_codec(self):
+        pool = make_pool()
+        segments = ServerSegments()
+        try:
+            slab = pool.acquire(SLAB)
+            writer = _SegmentWriter(slab)
+            a = np.arange(640, dtype=np.float64)  # 5120 B ≥ MIN_ARRAY_BYTES
+            b = np.arange(513, dtype=np.float64).reshape(27, 19)[:, ::2]  # strided
+            payload = encode({"a": a, "b": np.ascontiguousarray(b), "n": 7},
+                             array_sink=writer)
+            decoded = decode(payload, array_source=segments.resolve)
+            np.testing.assert_array_equal(decoded["a"], a)
+            np.testing.assert_array_equal(decoded["b"], b)
+            assert decoded["n"] == 7
+            assert writer.placed_bytes >= a.nbytes
+            pool.release(slab)
+        finally:
+            segments.close()
+            pool.close()
+
+    def test_small_arrays_stay_inline(self):
+        pool = make_pool()
+        try:
+            slab = pool.acquire(SLAB)
+            writer = _SegmentWriter(slab)
+            tiny = np.arange(8, dtype=np.float64)  # 64 B < MIN_ARRAY_BYTES
+            assert writer(tiny) is None
+            assert writer.placed_bytes == 0
+            pool.release(slab)
+        finally:
+            pool.close()
+
+    def test_writer_overflow_falls_back_to_wire(self):
+        pool = make_pool()
+        try:
+            slab = pool.acquire(1)  # rounds up to one SLAB
+            writer = _SegmentWriter(slab)
+            big = np.zeros(2 * SLAB, dtype=np.uint8)
+            assert writer(big) is None  # doesn't fit: inline on the wire
+            pool.release(slab)
+        finally:
+            pool.close()
+
+    def test_oob_payload_bytes_walks_request_shapes(self):
+        big = np.zeros((64, 64), dtype=np.float64)  # 32 KiB
+        tiny = np.zeros(4, dtype=np.float64)
+        assert oob_payload_bytes(big) >= big.nbytes
+        assert oob_payload_bytes(tiny) == 0
+        assert oob_payload_bytes(([big, tiny], {"k": big})) >= 2 * big.nbytes
+        assert oob_payload_bytes("nope") == 0
+
+
+class TestHeaderLayout:
+    def test_payload_region_starts_after_header(self):
+        pool = make_pool()
+        try:
+            slab = pool.acquire(SLAB)
+            writer = _SegmentWriter(slab)
+            arr = np.full(1024, 7.5, dtype=np.float64)
+            ref = writer(arr)
+            assert ref.offset % 64 == 0
+            # Payload bytes land after the 64-byte header, leaving the
+            # magic/generation stamp intact.
+            raw = bytes(slab.mem.buf[HEADER_BYTES + ref.offset:
+                                     HEADER_BYTES + ref.offset + 16])
+            assert raw == arr[:2].tobytes()
+            pool.release(slab)
+        finally:
+            pool.close()

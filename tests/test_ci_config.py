@@ -68,25 +68,29 @@ class TestWorkflowShape:
         assert "BENCH_micro.json" in paths
         assert "obs_snapshot.json" in paths
 
-    def test_transport_job_runs_tcp_lane(self, workflow):
-        runs = " ".join(
-            s.get("run", "") for s in workflow["jobs"]["transport"]["steps"]
-        )
-        assert "--transport tcp" in runs
+    def test_transport_job_is_a_tcp_shm_matrix(self, workflow):
+        job = workflow["jobs"]["transport"]
+        assert job["strategy"]["matrix"]["transport"] == ["tcp", "shm"]
+        runs = " ".join(s.get("run", "") for s in job["steps"])
+        assert "--transport ${{ matrix.transport }}" in runs
         assert "tests/net" in runs
         assert "tests/staging" in runs
         assert "tests/faults" in runs
+        # The shm leg must fail if any segment survives the suite.
+        assert "/dev/shm/repro-shm-" in runs
 
-    def test_nightly_soak_is_schedule_gated_and_runs_over_tcp(self, workflow):
+    def test_nightly_soak_is_schedule_gated_and_runs_both_transports(self, workflow):
         job = workflow["jobs"]["nightly-soak"]
         assert "schedule" in job["if"]
         runs = " ".join(s.get("run", "") for s in job["steps"])
         assert "REPRO_TRANSPORT=tcp" in runs
+        assert "REPRO_TRANSPORT=shm" in runs
         assert "soak_gc.py" in runs and "soak_recovery.py" in runs
         # The nightly budget must exceed the per-PR kernels-job defaults
         # (soak_gc --steps 40, soak_recovery --steps 32).
         assert "--steps 120" in runs
         assert "--steps 48" in runs
+        assert "/dev/shm/repro-shm-" in runs
 
     def test_kernel_job_covers_corec_and_fault_matrix(self, workflow):
         runs = " ".join(s.get("run", "") for s in workflow["jobs"]["kernels"]["steps"])
@@ -109,11 +113,13 @@ class TestCheckScript:
             assert flag in text
 
     def test_transport_runs_reap_stranded_servers(self):
-        """The tcp lane traps INT/TERM/EXIT and kills each step's process
-        group, so a cancelled CI job cannot strand server processes."""
+        """The wire lanes trap INT/TERM/EXIT and kill each step's process
+        group, so a cancelled CI job cannot strand server processes; the
+        shm lane additionally unlinks leaked segments."""
         text = (REPO_ROOT / "scripts" / "check.sh").read_text()
         assert "trap cleanup INT TERM EXIT" in text
         assert "CHILD_PGID" in text
+        assert "/dev/shm/repro-shm-*" in text
 
     def test_dev_extra_pins_ci_tools(self):
         text = (REPO_ROOT / "pyproject.toml").read_text()
