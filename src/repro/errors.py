@@ -15,6 +15,8 @@ __all__ = [
     "VersionConflict",
     "ServerUnavailable",
     "TransientServerError",
+    "DeadlineExceeded",
+    "ServerBusy",
     "StagingDegradedError",
     "EncodingError",
     "DecodingError",
@@ -64,6 +66,38 @@ class TransientServerError(StagingError):
     def __init__(self, server_id: int, message: str = ""):
         self.server_id = server_id
         super().__init__(message or f"transient failure on staging server {server_id}")
+
+
+class DeadlineExceeded(TransientServerError):
+    """A request's propagated deadline expired before the server ran it.
+
+    Raised server-side (the request is dropped without executing) and
+    re-raised typed on the client. Subclassing :class:`TransientServerError`
+    folds it into the existing retry path: the client's ``_server_op`` loop
+    retries while its own budget allows and gives up when the same deadline
+    that expired on the wire has expired locally too.
+    """
+
+    def __init__(self, server_id: int, message: str = ""):
+        super().__init__(
+            server_id,
+            message or f"request deadline expired before staging server {server_id} ran it",
+        )
+
+
+class ServerBusy(TransientServerError):
+    """The server's bounded in-flight queue is full; the request was shed.
+
+    Load-shedding admission control (depth via ``REPRO_SERVER_QUEUE``):
+    rather than queueing without bound and letting latency collapse, the
+    server refuses immediately with this typed, retryable error — the
+    client's backoff becomes the flow-control signal.
+    """
+
+    def __init__(self, server_id: int, message: str = ""):
+        super().__init__(
+            server_id, message or f"staging server {server_id} queue full; request shed"
+        )
 
 
 class StagingDegradedError(StagingError):

@@ -14,6 +14,13 @@ checkpoint protocol operates on surviving state), while the fault library
 targets the client-visible data plane. A crashed server keeps raising
 :class:`~repro.errors.ServerUnavailable` until :meth:`heal` (called by
 ``StagingGroup.rebuild``) clears the fault state.
+
+Faults are strictly **per-request**: a ``slow`` plan's latency is slept on
+the thread executing that one op, outside ``_fault_lock``. Under the wire
+transports' event-loop server this means a slow request parks one worker
+while other requests multiplexed onto the *same connection* keep completing
+(out of order, by request id) — the fault matrix observes per-op delay, not
+a stalled connection.
 """
 
 from __future__ import annotations

@@ -30,14 +30,19 @@ shared-memory data plane (segment layout, grants, lifecycle, fallbacks).
 
 from repro.net.codec import decode, encode
 from repro.net.frames import (
+    Frame,
     FrameDecoder,
     FrameTooLarge,
+    MuxFrameDecoder,
     ProtocolError,
     ShortRead,
     WireClosed,
     recv_frame,
+    recv_frame_any,
     send_frame,
+    send_frame_v2,
 )
+from repro.net.mux import current_deadline, deadline_scope
 from repro.net.protocol import (
     WIRE_ERRORS,
     decode_message,
@@ -58,7 +63,13 @@ __all__ = [
     "decode",
     "send_frame",
     "recv_frame",
+    "send_frame_v2",
+    "recv_frame_any",
+    "Frame",
     "FrameDecoder",
+    "MuxFrameDecoder",
+    "deadline_scope",
+    "current_deadline",
     "ProtocolError",
     "ShortRead",
     "WireClosed",

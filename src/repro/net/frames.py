@@ -1,6 +1,6 @@
 """Length-prefixed message framing over byte streams.
 
-Every message on the wire is one *frame*::
+Two frame layouts share the stream. A *v1* frame is the original layout::
 
     +----------+----------------------+
     | !I length| payload (length B)   |
@@ -10,21 +10,42 @@ The 4-byte big-endian length counts payload bytes only. A frame larger than
 :data:`MAX_FRAME_BYTES` is rejected before any payload is read — a corrupted
 or misaligned length prefix must not turn into a multi-gigabyte allocation.
 
-Two consumption styles:
+A *v2* frame carries the multiplexing header the async RPC core rides on —
+a u64 request id (replies are matched to requests by id, never by arrival
+order) and an absolute wall-clock deadline (0.0 = none; both peers share the
+host clock, the transports are strictly local)::
 
-* :func:`send_frame` / :func:`recv_frame` — blocking socket I/O for the
-  client side and the per-connection server loop. ``recv_frame`` reads into
-  one preallocated buffer (``recv_into``), so a frame is never reassembled
-  from chunks, and returns a *writable* bytearray — zero-copy decode views
-  over it (:func:`repro.net.codec.decode` with ``copy_arrays=False``) are
-  mutable, matching in-process array semantics.
+    +--------------+----------+----------------+------------+---------------+
+    | !I 0xFFFFFFFF| !I length| !Q request id  | !d deadline| payload       |
+    +--------------+----------+----------------+------------+---------------+
+
+The sentinel word (:data:`V2_MAGIC`) is unambiguous: it exceeds
+:data:`MAX_FRAME_BYTES`, so no v1 length can collide with it, and a pure-v1
+decoder that meets a v2 frame fails loudly (``FrameTooLarge``) instead of
+misparsing. V1 frames remain fully accepted everywhere — old tests, golden
+byte streams, and lockstep clients keep decoding unchanged.
+
+Consumption styles:
+
+* :func:`send_frame` / :func:`recv_frame` — blocking v1 socket I/O.
+  ``recv_frame`` reads into one preallocated buffer (``recv_into``), so a
+  frame is never reassembled from chunks, and returns a *writable*
+  bytearray — zero-copy decode views over it (:func:`repro.net.codec.decode`
+  with ``copy_arrays=False``) are mutable, matching in-process semantics.
+* :func:`send_frame_v2` / :func:`send_frame_iov_v2` / :func:`recv_frame_any`
+  — the mux forms. ``recv_frame_any`` accepts both layouts and returns a
+  :class:`Frame` (``request_id is None`` marks a v1 frame).
 * :func:`send_frame_iov` — scatter-gather variant: sends an iovec (as
   produced by :func:`repro.net.codec.encode_iov`) with ``socket.sendmsg``,
   so header, control bytes, and payload views hit the socket without ever
   being concatenated into one buffer.
-* :class:`FrameDecoder` — incremental push-style decoder (``feed`` bytes in,
-  pop complete frames out) for tests and any future non-blocking loop; this
-  is what the torn-frame tests drive byte-by-byte.
+* :class:`FrameDecoder` — incremental push-style v1 decoder (``feed`` bytes
+  in, pop complete frames out), kept byte-for-byte compatible for the torn
+  frame tests and golden streams.
+* :class:`MuxFrameDecoder` — incremental decoder for the event-loop server:
+  accepts v1 and v2 frames interleaved on one stream and pops
+  :class:`Frame` objects; payloads land in one preallocated writable
+  bytearray each (no chunk-list reassembly).
 
 Error taxonomy (all subclass :class:`WireError`):
 
@@ -44,15 +65,21 @@ import struct
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "V2_MAGIC",
     "WireError",
     "WireClosed",
     "ShortRead",
     "FrameTooLarge",
     "ProtocolError",
+    "Frame",
     "send_frame",
     "send_frame_iov",
+    "send_frame_v2",
+    "send_frame_iov_v2",
     "recv_frame",
+    "recv_frame_any",
     "FrameDecoder",
+    "MuxFrameDecoder",
 ]
 
 # sendmsg vector ceiling per call (UIO_MAXIOV is 1024 on Linux; stay under).
@@ -63,6 +90,14 @@ _SENDMSG_MAX_VECS = 512
 MAX_FRAME_BYTES = 1 << 31  # 2 GiB
 
 _LEN = struct.Struct("!I")
+
+#: Sentinel length word announcing a v2 (multiplexed) frame. Greater than
+#: MAX_FRAME_BYTES, so it can never be a valid v1 length.
+V2_MAGIC = 0xFFFFFFFF
+#: The v2 header fields after the sentinel: payload length, request id,
+#: absolute wall-clock deadline (time.time() seconds; 0.0 = no deadline).
+_V2_REST = struct.Struct("!IQd")
+_V2_HEAD = struct.Struct("!IIQd")  # sentinel + the three fields, for senders
 
 
 class WireError(Exception):
@@ -156,6 +191,197 @@ def recv_frame(sock: socket.socket) -> bytearray:
     if n:
         _recv_exact_into(sock, memoryview(payload), header=False)
     return payload
+
+
+class Frame:
+    """One decoded frame: payload plus the v2 mux header (if present).
+
+    ``request_id is None`` marks a v1 frame — the peer is a lockstep
+    request/response client and replies must preserve arrival order.
+    ``deadline`` is an absolute ``time.time()`` instant (0.0 = none).
+    """
+
+    __slots__ = ("request_id", "deadline", "payload")
+
+    def __init__(self, payload, request_id: int | None = None, deadline: float = 0.0):
+        self.payload = payload
+        self.request_id = request_id
+        self.deadline = deadline
+
+    @property
+    def is_v2(self) -> bool:
+        return self.request_id is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Frame(id={self.request_id}, deadline={self.deadline},"
+            f" {len(self.payload)}B)"
+        )
+
+
+def frame_header_v2(payload_len: int, request_id: int, deadline: float = 0.0) -> bytes:
+    """The 24-byte v2 header for a ``payload_len``-byte frame."""
+    if payload_len > MAX_FRAME_BYTES:
+        raise FrameTooLarge(
+            f"frame of {payload_len} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return _V2_HEAD.pack(V2_MAGIC, payload_len, request_id, deadline)
+
+
+def send_frame_v2(
+    sock: socket.socket, payload, request_id: int, deadline: float = 0.0
+) -> None:
+    """Write one v2 frame (blocking)."""
+    head = frame_header_v2(len(payload), request_id, deadline)
+    n = len(payload)
+    if n <= 1 << 16:
+        sock.sendall(head + bytes(payload))
+    else:
+        sock.sendall(head)
+        sock.sendall(payload)
+
+
+def send_frame_iov_v2(
+    sock: socket.socket, parts, request_id: int, deadline: float = 0.0
+) -> int:
+    """Scatter-gather send of one v2 frame; returns payload bytes sent."""
+    n = sum(len(p) for p in parts)
+    head = frame_header_v2(n, request_id, deadline)
+    vecs = [memoryview(head)]
+    vecs += [memoryview(p).cast("B") for p in parts if len(p)]
+    while vecs:
+        sent = sock.sendmsg(vecs[:_SENDMSG_MAX_VECS])
+        while sent:
+            first = vecs[0]
+            if sent >= len(first):
+                sent -= len(first)
+                vecs.pop(0)
+            else:
+                vecs[0] = first[sent:]
+                sent = 0
+    return n
+
+
+def recv_frame_any(sock: socket.socket) -> Frame:
+    """Read one frame of either version, blocking; payload is a writable
+    bytearray (see :func:`recv_frame`)."""
+    header = bytearray(_LEN.size)
+    _recv_exact_into(sock, memoryview(header), header=True)
+    (word,) = _LEN.unpack(header)
+    if word == V2_MAGIC:
+        rest = bytearray(_V2_REST.size)
+        _recv_exact_into(sock, memoryview(rest), header=False)
+        n, request_id, deadline = _V2_REST.unpack(rest)
+        if n > MAX_FRAME_BYTES:
+            raise FrameTooLarge(f"peer declared {n}-byte frame, cap {MAX_FRAME_BYTES}")
+        payload = bytearray(n)
+        if n:
+            _recv_exact_into(sock, memoryview(payload), header=False)
+        return Frame(payload, request_id, deadline)
+    n = word
+    if n > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"peer declared {n}-byte frame, cap {MAX_FRAME_BYTES}")
+    payload = bytearray(n)
+    if n:
+        _recv_exact_into(sock, memoryview(payload), header=False)
+    return Frame(payload)
+
+
+class MuxFrameDecoder:
+    """Incremental decoder accepting v1 and v2 frames on one stream.
+
+    Push-style like :class:`FrameDecoder`, but pops :class:`Frame` objects
+    and assembles each payload into one preallocated *writable* bytearray
+    (zero-copy decode views over popped payloads stay mutable). This is the
+    read path of the event-loop server: ``feed`` whatever ``recv`` returned,
+    pop frames, never block.
+    """
+
+    __slots__ = ("_head", "_need_head", "_payload", "_filled", "_pending_frame", "_frames", "_closed")
+
+    def __init__(self) -> None:
+        self._head = bytearray()
+        self._need_head = _LEN.size
+        self._payload: bytearray | None = None
+        self._filled = 0
+        self._pending_frame: Frame | None = None
+        self._frames: list[Frame] = []
+        self._closed = False
+
+    def feed(self, data) -> None:
+        if self._closed:
+            raise ProtocolError("feed() after close()")
+        view = memoryview(data)
+        while len(view):
+            if self._payload is None:
+                take = min(self._need_head - len(self._head), len(view))
+                self._head += view[:take]
+                view = view[take:]
+                if len(self._head) < self._need_head:
+                    return
+                if self._need_head == _LEN.size:
+                    (word,) = _LEN.unpack(self._head)
+                    if word == V2_MAGIC:
+                        # A v2 frame: wait for the 16 remaining header bytes.
+                        self._need_head = _LEN.size + _V2_REST.size
+                        continue
+                    if word > MAX_FRAME_BYTES:
+                        raise FrameTooLarge(
+                            f"peer declared {word}-byte frame, cap {MAX_FRAME_BYTES}"
+                        )
+                    self._begin_payload(Frame(None), word)
+                else:
+                    n, request_id, deadline = _V2_REST.unpack_from(
+                        self._head, _LEN.size
+                    )
+                    if n > MAX_FRAME_BYTES:
+                        raise FrameTooLarge(
+                            f"peer declared {n}-byte frame, cap {MAX_FRAME_BYTES}"
+                        )
+                    self._begin_payload(Frame(None, request_id, deadline), n)
+                continue
+            take = min(len(self._payload) - self._filled, len(view))
+            self._payload[self._filled : self._filled + take] = view[:take]
+            self._filled += take
+            view = view[take:]
+            if self._filled == len(self._payload):
+                frame = self._pending_frame
+                frame.payload = self._payload
+                self._frames.append(frame)
+                self._payload = None
+                self._pending_frame = None
+
+    def _begin_payload(self, frame: Frame, n: int) -> None:
+        self._head.clear()
+        self._need_head = _LEN.size
+        self._payload = bytearray(n)
+        self._filled = 0
+        self._pending_frame = frame
+        if n == 0:
+            frame.payload = self._payload
+            self._frames.append(frame)
+            self._payload = None
+            self._pending_frame = None
+
+    def close(self) -> None:
+        """Signal end-of-stream. Raises ShortRead if a frame is in flight."""
+        self._closed = True
+        if self._head or self._payload is not None:
+            raise ShortRead("stream ended mid-frame")
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        n = len(self._head)
+        if self._payload is not None:
+            n += self._filled
+        return n
+
+    def frames(self) -> list[Frame]:
+        """Pop all completed frames (in arrival order)."""
+        out = self._frames
+        self._frames = []
+        return out
 
 
 class FrameDecoder:

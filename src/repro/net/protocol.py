@@ -40,8 +40,10 @@ messages — they surface as socket exceptions and the transport maps them to
 from __future__ import annotations
 
 from repro.errors import (
+    DeadlineExceeded,
     DecodingError,
     ObjectNotFound,
+    ServerBusy,
     ServerUnavailable,
     StagingDegradedError,
     StagingError,
@@ -50,6 +52,7 @@ from repro.errors import (
 )
 from repro.net.codec import decode, encode, encode_iov
 from repro.net.frames import ProtocolError
+from repro.obs import registry as _obs
 
 __all__ = [
     "WIRE_ERRORS",
@@ -62,8 +65,12 @@ __all__ = [
     "encode_error",
     "decode_message",
     "error_kind_for",
+    "peek_request_kind",
     "raise_wire_error",
 ]
+
+_BUSY_SEEN = _obs.counter("net.mux.server_busy")
+_DEADLINE_SEEN = _obs.counter("net.mux.deadline_exceeded")
 
 # kind string ↔ exception type for staging-level errors that must arrive on
 # the client as their original type (retry policy and degraded reads branch
@@ -72,6 +79,8 @@ WIRE_ERRORS: dict[str, type[StagingError]] = {
     "not_found": ObjectNotFound,
     "version_conflict": VersionConflict,
     "unavailable": ServerUnavailable,
+    "deadline": DeadlineExceeded,
+    "busy": ServerBusy,
     "transient": TransientServerError,
     "degraded": StagingDegradedError,
     "decoding": DecodingError,
@@ -147,9 +156,59 @@ def batch_item_result(value=None, exc: BaseException | None = None, server_id: i
 def raise_wire_error(kind: str, server_id: int, message: str):
     """Re-raise a wire error tuple as its original exception type."""
     cls = WIRE_ERRORS.get(kind, StagingError)
+    if cls is ServerBusy:
+        _BUSY_SEEN.inc()
+    elif cls is DeadlineExceeded:
+        _DEADLINE_SEEN.inc()
     if issubclass(cls, _SERVER_SCOPED):
         raise cls(server_id, message)
     raise cls(message)
+
+
+# Byte-level peek constants (mirror repro.net.codec's tag bytes): a request
+# payload always opens with _TUPLE, an item count, then a _STR message tag.
+_TAG_TUPLE = 0x08
+_TAG_STR = 0x05
+
+
+def _peek_str(view, offset: int) -> tuple[str | None, int]:
+    if len(view) < offset + 5 or view[offset] != _TAG_STR:
+        return None, offset
+    n = int.from_bytes(view[offset + 1 : offset + 5], "big")
+    end = offset + 5 + n
+    if n > 256 or len(view) < end:
+        return None, offset
+    try:
+        return bytes(view[offset + 5 : end]).decode("utf-8"), end
+    except UnicodeDecodeError:
+        return None, offset
+
+
+
+def peek_request_kind(payload) -> tuple[str | None, str | None]:
+    """Cheaply read a request frame's ``(message tag, op name)`` without
+    decoding the payload.
+
+    The event-loop server uses this to route *before* paying the decode:
+    admin (``admin:``-prefixed) ops bypass admission control and run inline
+    on the loop thread, everything else goes through the bounded queue to
+    the worker pool. Reads a handful of header bytes; any shape it does not
+    recognise (batches report ``op=None``, responses and malformed bytes
+    report ``(None, None)``) — callers must treat that as "not admin", never
+    as an error, and let the real decoder rule on validity.
+    """
+    view = memoryview(payload)
+    if len(view) < 5 or view[0] != _TAG_TUPLE:
+        return None, None
+    tag, end = _peek_str(view, 5)
+    if tag is None:
+        return None, None
+    if tag in ("req", "sreq"):
+        op, _ = _peek_str(view, end)
+        return tag, op
+    if tag in ("batch", "sbatch"):
+        return tag, None
+    return None, None
 
 
 def decode_message(payload, *, array_source=None, copy_arrays: bool = True) -> tuple:

@@ -33,6 +33,18 @@ the inproc return values exist for direct server use). ``put_many`` and
 ``get_many`` are single ops — a whole multi-shard scatter/gather rides one
 round trip — and :meth:`RemoteServer.pipeline` additionally packs arbitrary
 op sequences into one frame (one round trip for N ops).
+
+Connections. By default every endpoint *multiplexes*: all caller threads
+share ~1 socket (``REPRO_MUX_CONNECTIONS``) through
+:class:`~repro.net.mux.MuxConnection` — v2 frames with request ids, replies
+demuxed by a reader thread, the calling thread's
+:func:`~repro.net.mux.deadline_scope` deadline stamped into every header.
+``REPRO_MUX=0`` falls back to the v1 pooled path (one lockstep socket per
+concurrent caller), whose idle pool is capped (``REPRO_TCP_POOL_IDLE``,
+``net.tcp.pool_idle`` gauge) instead of growing with the historical maximum
+of thread concurrency. On a mux connection a *timeout* fails only its own
+request; any other wire failure retires the connection for everyone sharing
+it (stream position unknowable — same rule as the pool, applied once).
 """
 
 from __future__ import annotations
@@ -50,6 +62,12 @@ from repro.errors import (
     TransientServerError,
 )
 from repro.net.frames import WireClosed, WireError, recv_frame, send_frame, send_frame_iov
+from repro.net.mux import (
+    MuxConnection,
+    current_deadline,
+    mux_connections_per_endpoint,
+    mux_enabled,
+)
 from repro.net.protocol import (
     decode_message,
     encode_batch_iov,
@@ -57,7 +75,7 @@ from repro.net.protocol import (
     encode_request_iov,
     raise_wire_error,
 )
-from repro.net.tcpserver import SERVER_OPS, run_server
+from repro.net.tcpserver import SERVER_OPS, run_server, server_config
 from repro.net.transport import Transport
 from repro.obs import registry as _obs
 
@@ -79,6 +97,18 @@ _SPAWN_SECONDS = _obs.histogram("net.tcp.spawn.seconds")
 REQUEST_TIMEOUT = float(os.environ.get("REPRO_TCP_TIMEOUT", "") or 30.0)
 CONNECT_TIMEOUT = float(os.environ.get("REPRO_TCP_CONNECT_TIMEOUT", "") or 5.0)
 SPAWN_TIMEOUT = 60.0
+#: Max idle sockets an endpoint's v1 pool retains; overflow is closed on
+#: return. Before the cap the pool grew to the historical max of concurrent
+#: callers and never shrank.
+POOL_MAX_IDLE = int(os.environ.get("REPRO_TCP_POOL_IDLE", "") or 8)
+#: Hard ceiling on concurrently checked-out v1 sockets per endpoint
+#: (0 = unlimited). At the cap, borrowers block until a socket comes back —
+#: the lockstep path's socket count becomes a real budget (fd limits,
+#: equal-socket comparisons against the one-socket mux path) instead of
+#: scaling with caller concurrency.
+POOL_CAP_ENV = "REPRO_TCP_POOL_CAP"
+
+_POOL_IDLE = _obs.gauge("net.tcp.pool_idle")
 
 _mp_lock = threading.Lock()
 _mp_ctx = None
@@ -131,6 +161,15 @@ class _Endpoint:
         self._idle: list[socket.socket] = []
         self._lock = threading.Lock()
         self._closed = False
+        cap = int(os.environ.get(POOL_CAP_ENV, "") or 0)
+        self._pool_sem = threading.BoundedSemaphore(cap) if cap > 0 else None
+        # Mux mode (the default): every caller thread shares these few
+        # connections; the v1 pool above stays empty. Resolved per endpoint
+        # so tests/benchmarks can flip REPRO_MUX between groups.
+        self._mux = mux_enabled()
+        self._mux_target = mux_connections_per_endpoint()
+        self._mux_conns: list[MuxConnection] = []
+        self._mux_rr = 0
 
     # ------------------------------------------------------------- sockets
 
@@ -144,19 +183,77 @@ class _Endpoint:
         return sock
 
     def _borrow(self) -> socket.socket:
+        if self._pool_sem is not None:
+            self._pool_sem.acquire()
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ServerUnavailable(self.server_id, "transport closed")
+                if self._idle:
+                    sock = self._idle.pop()
+                    _POOL_IDLE.add(-1)
+                    return sock
+            return self._dial()
+        except BaseException:
+            if self._pool_sem is not None:
+                self._pool_sem.release()
+            raise
+
+    def _give_back(self, sock: socket.socket) -> None:
+        self._discard(sock, reuse=True)
+
+    def _discard(self, sock: socket.socket, reuse: bool) -> None:
+        """Finish a borrow: pool the socket (idle cap) or close it.
+
+        ``reuse=False`` marks a stream whose state is unknowable (any wire
+        failure) — closed, never pooled. Either way the borrow accounted
+        against ``REPRO_TCP_POOL_CAP`` is released.
+        """
+        try:
+            if reuse:
+                with self._lock:
+                    if not self._closed and len(self._idle) < POOL_MAX_IDLE:
+                        self._idle.append(sock)
+                        _POOL_IDLE.add(1)
+                        return
+            sock.close()
+        finally:
+            if self._pool_sem is not None:
+                self._pool_sem.release()
+
+    def _mux_conn(self) -> MuxConnection:
+        """A live shared connection (round-robin over ``_mux_target``)."""
         with self._lock:
             if self._closed:
                 raise ServerUnavailable(self.server_id, "transport closed")
-            if self._idle:
-                return self._idle.pop()
-        return self._dial()
-
-    def _give_back(self, sock: socket.socket) -> None:
+            live = [c for c in self._mux_conns if not c.dead]
+            if len(live) < self._mux_target:
+                self._mux_conns = live  # drop dead ones
+            else:
+                self._mux_rr = (self._mux_rr + 1) % len(live)
+                return live[self._mux_rr]
+        # Dial outside the lock (connect can block); concurrent first
+        # callers may race here, so re-check before keeping the new conn.
+        conn = MuxConnection(self._dial(), self.server_id)
         with self._lock:
-            if not self._closed:
-                self._idle.append(sock)
-                return
-        sock.close()
+            if self._closed:
+                conn.close()
+                raise ServerUnavailable(self.server_id, "transport closed")
+            live = [c for c in self._mux_conns if not c.dead]
+            if len(live) < self._mux_target:
+                live.append(conn)
+                self._mux_conns = live
+                return conn
+            self._mux_conns = live
+            winner = live[self._mux_rr % len(live)]
+        conn.close()  # lost the race: someone else filled the slot
+        return winner
+
+    def _retire_mux_conn(self, conn: MuxConnection) -> None:
+        with self._lock:
+            if conn in self._mux_conns:
+                self._mux_conns.remove(conn)
+        conn.close()
 
     # ------------------------------------------------------------- requests
 
@@ -173,6 +270,8 @@ class _Endpoint:
         destination or may treat the buffer as owned.
         """
         t0 = perf_counter()
+        if self._mux:
+            return self._round_trip_mux(parts, array_source, t0)
         try:
             sock = self._borrow()
         except (OSError, WireError) as exc:
@@ -181,19 +280,54 @@ class _Endpoint:
             sent = send_frame_iov(sock, parts)
             reply = recv_frame(sock)
         except (OSError, WireError) as exc:
-            sock.close()
+            self._discard(sock, reuse=False)
             raise _map_wire_error(exc, self.server_id) from exc
         try:
             msg = decode_message(
                 reply, array_source=array_source, copy_arrays=False
             )
         except WireError as exc:
-            sock.close()
+            self._discard(sock, reuse=False)
             raise _map_wire_error(exc, self.server_id) from exc
         self._give_back(sock)
         _REQUESTS.inc()
         _BYTES_SENT.inc(sent + 4)
         _BYTES_RECEIVED.inc(len(reply) + 4)
+        _REQ_SECONDS.record(perf_counter() - t0)
+        return msg
+
+    def _round_trip_mux(self, parts: list, array_source, t0: float) -> tuple:
+        """The multiplexed round trip: v2 frame, per-request future.
+
+        The reply payload is decoded *here*, on the caller's thread — never
+        in the reader — because decoding may resolve SegRefs through a
+        per-request ``array_source``. A timeout keeps the connection (only
+        this request is abandoned; its late reply is dropped by id); every
+        other wire failure retires the shared connection.
+        """
+        from time import time as _now
+
+        deadline = current_deadline()
+        timeout = REQUEST_TIMEOUT
+        if deadline:
+            timeout = max(0.05, min(timeout, deadline - _now()))
+        conn = None
+        sent = sum(len(p) for p in parts)
+        try:
+            conn = self._mux_conn()
+            reply = conn.call(parts, deadline=deadline, timeout=timeout)
+        except (OSError, WireError) as exc:
+            if conn is not None and not isinstance(exc, (socket.timeout, TimeoutError)):
+                self._retire_mux_conn(conn)
+            raise _map_wire_error(exc, self.server_id) from exc
+        try:
+            msg = decode_message(reply, array_source=array_source, copy_arrays=False)
+        except WireError as exc:
+            self._retire_mux_conn(conn)
+            raise _map_wire_error(exc, self.server_id) from exc
+        _REQUESTS.inc()
+        _BYTES_SENT.inc(sent + 20)
+        _BYTES_RECEIVED.inc(len(reply) + 20)
         _REQ_SECONDS.record(perf_counter() - t0)
         return msg
 
@@ -249,6 +383,8 @@ class _Endpoint:
                 return
             self._closed = True
             idle, self._idle = self._idle, []
+            mux_conns, self._mux_conns = self._mux_conns, []
+        _POOL_IDLE.add(-len(idle))
         if shutdown_op:
             try:
                 sock = idle.pop() if idle else self._dial()
@@ -258,6 +394,12 @@ class _Endpoint:
                 sock.close()
             except (OSError, WireError):
                 pass
+        # The server drains admitted requests before exiting; wait for their
+        # replies to land so concurrent callers finish cleanly instead of
+        # seeing the socket die under them.
+        for conn in mux_conns:
+            conn.drain(timeout=5.0)
+            conn.close()
         for sock in idle:
             sock.close()
         proc = self.process
@@ -466,9 +608,13 @@ class TcpTransport(Transport):
         t0 = perf_counter()
         ctx = _context()
         port_rx, port_tx = ctx.Pipe(duplex=False)
+        # Event-loop sizing is resolved *here*, in the parent: forkserver
+        # children snapshot the forkserver's environment at its creation, so
+        # REPRO_SERVER_QUEUE set after import would never reach the child as
+        # an env var. Shipping it as an argument always works.
         proc = ctx.Process(
             target=run_server,
-            args=(server_id, port_tx),
+            args=(server_id, port_tx, server_config()),
             daemon=True,
             name=f"staging-server-{server_id}",
         )

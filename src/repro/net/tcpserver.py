@@ -1,4 +1,4 @@
-"""The staging server process: TCP accept loop + RPC dispatcher.
+"""The staging server process: event-loop frame I/O + RPC dispatcher.
 
 One process per staging server (DataSpaces-style). The process hosts a plain
 :class:`~repro.staging.server.StagingServer` and serves the same method
@@ -10,11 +10,39 @@ process wraps its server in the same
 refusals, flaky errors, slow service, and corrupt reads all cross a real
 socket before the client sees them.
 
-Concurrency model: one thread per client connection (the parent's shard-I/O
-pool opens one connection per worker thread); the server's own RLock
-serializes state access exactly as in-process. Control-plane admin ops
-(``admin:*``) bypass the fault wrapper, mirroring ``FaultyServer``'s
-control-plane passthrough.
+Concurrency model (DESIGN.md §15): a single ``selectors``-based event loop
+owns every socket. The loop thread does all reads and writes non-blockingly
+— frames are reassembled per connection by
+:class:`~repro.net.frames.MuxFrameDecoder` and replies are queued iovecs
+flushed with ``sendmsg`` — while decoded requests execute on a bounded
+worker pool and complete **out of order by request id**. A wakeup pipe
+carries worker-completion and shutdown signals into the selector, replacing
+the old 0.2 s accept-poll timeout (the listener is just another readable
+key). The former thread-per-connection model coupled concurrency to
+connection count; here a multiplexed client interleaves hundreds of
+requests over one socket and a stalled (``slow``-faulted) request occupies
+one worker, not the whole connection.
+
+Admission control: the loop admits at most ``queue_depth`` requests
+(``REPRO_SERVER_QUEUE``, read by the *parent* at spawn time — forkserver
+children snapshot the forkserver's environment, not the parent's — and
+passed through ``run_server``'s ``config``). Beyond that it sheds with a
+typed, retryable :class:`~repro.errors.ServerBusy` instead of queueing
+without bound; expired deadlines stamped in v2 headers are dropped with
+:class:`~repro.errors.DeadlineExceeded` both at admission and again when a
+worker picks the request up. ``admin:*`` control ops are recognised by a
+byte-level peek (:func:`~repro.net.protocol.peek_request_kind`) and run
+inline on the loop thread, bypassing admission — a saturated data plane
+must never lock out ``admin:shutdown`` or fault installation.
+
+v1 compatibility: v1 frames (no request id) are served on the same loop;
+their replies are sequenced per connection in arrival order, since a v1
+client attributes replies by position, not id.
+
+Shutdown drains: ``admin:shutdown`` closes the listener immediately, lets
+admitted requests finish, flushes every queued reply, and only then closes
+connections — in-flight callers get real replies, not resets. New data ops
+arriving mid-drain are shed with ``ServerBusy``.
 
 This module is also the forkserver preload target: importing it warms
 numpy + the staging stack once, so each server process forks in
@@ -23,23 +51,65 @@ milliseconds instead of re-importing the world.
 
 from __future__ import annotations
 
+import os
+import selectors
 import socket
+import struct
 import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError, ServerBusy
 from repro.faults.plan import FaultInjector
 from repro.faults.proxy import FaultyServer
 from repro.net.codec import encode_iov
-from repro.net.frames import WireError, recv_frame, send_frame_iov
+from repro.net.frames import (
+    Frame,
+    MuxFrameDecoder,
+    WireError,
+    frame_header_v2,
+)
 from repro.net.protocol import (
     batch_item_result,
     decode_message,
     encode_error,
     encode_response_iov,
+    peek_request_kind,
 )
+from repro.obs import registry as _obs
 from repro.staging.server import StagingServer
 
-__all__ = ["SERVER_OPS", "Dispatcher", "run_server"]
+__all__ = [
+    "SERVER_OPS",
+    "SERVER_QUEUE_ENV",
+    "SERVER_WORKERS_ENV",
+    "Dispatcher",
+    "server_config",
+    "run_server",
+]
+
+#: Admission-control depth: max requests admitted (queued + executing) at
+#: once; beyond it the server sheds with ServerBusy. Read in the *parent*
+#: and shipped via run_server(config=...) — see module docstring.
+SERVER_QUEUE_ENV = "REPRO_SERVER_QUEUE"
+#: Worker threads executing admitted requests.
+SERVER_WORKERS_ENV = "REPRO_SERVER_WORKERS"
+
+_DEFAULT_QUEUE_DEPTH = 64
+_DEFAULT_WORKERS = 8
+
+#: How long shutdown waits for admitted requests + queued replies.
+_DRAIN_TIMEOUT = 10.0
+
+_RECV_CHUNK = 1 << 20
+_SENDMSG_MAX_VECS = 512
+_V1_HEAD = struct.Struct("!I")
+
+_SHED = _obs.counter("net.mux.shed")
+_DEADLINE_DROPS = _obs.counter("net.mux.deadline_drops")
+_ADMITTED = _obs.counter("net.mux.admitted")
+_SERVER_INFLIGHT = _obs.gauge("net.mux.server_inflight")
 
 # Methods clients may invoke by name. Everything else (including admin ops,
 # which carry an "admin:" prefix and never collide) is rejected.
@@ -76,6 +146,17 @@ _STORE_METHODS = frozenset(
     {"fragments", "clear", "versions", "keys", "latest_version", "fragment_count"}
 )
 _STORE_PROPS = frozenset({"object_count", "nbytes"})
+
+
+def server_config(env=None) -> dict:
+    """Event-loop sizing from the environment (call in the parent!)."""
+    env = os.environ if env is None else env
+    raw_q = str(env.get(SERVER_QUEUE_ENV, "") or "").strip()
+    raw_w = str(env.get(SERVER_WORKERS_ENV, "") or "").strip()
+    return {
+        "queue_depth": max(1, int(raw_q)) if raw_q else _DEFAULT_QUEUE_DEPTH,
+        "workers": max(1, int(raw_w)) if raw_w else _DEFAULT_WORKERS,
+    }
 
 
 class Dispatcher:
@@ -124,6 +205,11 @@ class Dispatcher:
         if op == "shutdown":
             self.stop.set()
             return None
+        if op == "metrics":
+            # This *process's* metrics — the shed/deadline-drop/inflight
+            # counters live here, not in the client, so tests and the
+            # bench harness read them over the wire.
+            return _obs.snapshot()
         if op == "install_faults":
             (plans, rng) = args
             with self._swap_lock:
@@ -218,8 +304,15 @@ class Dispatcher:
                 sink.rollback(mark)
         return self.execute(op, args)
 
-    def handle_frame(self, payload) -> list:
+    def handle_frame(self, payload, deadline: float = 0.0) -> list:
         """Dispatch one decoded frame; returns the reply as iovec parts.
+
+        ``deadline`` is the request's absolute wall-clock deadline from its
+        v2 header (0.0 = none): if it has already passed, the request is
+        dropped *without executing* and the reply is a typed
+        ``DeadlineExceeded`` — checked here (when a worker dequeues the
+        request) in addition to at admission, so time spent waiting behind
+        the queue counts against the caller's budget too.
 
         Requests decode with ``copy_arrays=False``: inline arrays are views
         over this frame's private buffer and SegRefs are zero-copy views
@@ -228,6 +321,9 @@ class Dispatcher:
         reply is sent, and ops that retain views (``restore``) are never
         sent through segments (see ``repro.net.shm.SHM_REQUEST_OPS``).
         """
+        if deadline and time.time() > deadline:
+            _DEADLINE_DROPS.inc()
+            return [encode_error(DeadlineExceeded(self.server_id), self.server_id)]
         try:
             msg = decode_message(
                 payload, array_source=self._resolve_segref, copy_arrays=False
@@ -287,50 +383,352 @@ def _as_staging_error(exc: Exception):
     return StagingError(f"{type(exc).__name__}: {exc}")
 
 
-def _serve_connection(dispatcher: Dispatcher, conn: socket.socket) -> None:
-    try:
-        with conn:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            # Accepted sockets may inherit the listener's accept-poll
-            # timeout; connection threads block indefinitely instead.
-            conn.settimeout(None)
-            while not dispatcher.stop.is_set():
-                try:
-                    payload = recv_frame(conn)
-                except WireError:
-                    return  # client went away (clean or torn) — just drop
-                send_frame_iov(conn, dispatcher.handle_frame(payload))
-    except OSError:
-        return
+class _Conn:
+    """Per-connection loop state: decoder, write queue, v1 reply sequencing."""
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "decoder",
+        "out",
+        "events",
+        "inflight",
+        "eof",
+        "closed",
+        "v1_reads",
+        "v1_next_send",
+        "v1_parked",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.decoder = MuxFrameDecoder()
+        self.out: deque = deque()
+        self.events = 0  # currently registered selector mask
+        self.inflight = 0  # requests admitted from this conn, not yet replied
+        self.eof = False
+        self.closed = False
+        # v1 frames carry no id; replies must leave in arrival order.
+        self.v1_reads = 0
+        self.v1_next_send = 0
+        self.v1_parked: dict[int, list] = {}
 
 
-def run_server(server_id: int, port_conn) -> None:
+class EventLoopServer:
+    """Single-threaded selector loop + bounded worker pool (see module doc)."""
+
+    def __init__(
+        self, dispatcher: Dispatcher, listener: socket.socket, config: dict
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.listener = listener
+        self.queue_depth = int(config["queue_depth"])
+        self.sel = selectors.DefaultSelector()
+        self.pool = ThreadPoolExecutor(
+            max_workers=int(config["workers"]),
+            thread_name_prefix=f"staging-worker-{dispatcher.server_id}",
+        )
+        self.conns: dict[int, _Conn] = {}
+        self.inflight = 0  # admitted, not yet completed (loop thread only)
+        self.draining = False
+        self._drain_deadline = 0.0
+        # Worker → loop completion channel: (conn, frame, v1_seq, parts).
+        self._done: deque = deque()
+        self._done_lock = threading.Lock()
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        os.set_blocking(self._wake_w, False)
+        _obs.gauge("net.mux.queue_depth").set(self.queue_depth)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> None:
+        self.listener.setblocking(False)
+        self.sel.register(self.listener, selectors.EVENT_READ, self._on_accept)
+        self.sel.register(self._wake_r, selectors.EVENT_READ, self._on_wakeup)
+        try:
+            while True:
+                timeout = 0.05 if self.draining else None
+                for key, mask in self.sel.select(timeout):
+                    key.data(key, mask)
+                self._reap_completions()
+                if self.draining and self._drained():
+                    break
+        finally:
+            self._teardown()
+
+    def _drained(self) -> bool:
+        if self.inflight == 0 and not any(c.out for c in self.conns.values()):
+            return True
+        return time.time() >= self._drain_deadline
+
+    def _teardown(self) -> None:
+        self.pool.shutdown(wait=False)
+        for conn in list(self.conns.values()):
+            self._close_conn(conn)
+        try:
+            self.sel.unregister(self._wake_r)
+        except KeyError:
+            pass
+        os.close(self._wake_r)
+        os.close(self._wake_w)
+        self.sel.close()
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full ⇒ a wakeup is already pending
+
+    def _on_wakeup(self, key, mask) -> None:
+        try:
+            while os.read(self._wake_r, 4096):
+                pass
+        except BlockingIOError:
+            pass
+
+    # --------------------------------------------------------------- accept
+
+    def _on_accept(self, key, mask) -> None:
+        while True:
+            try:
+                sock, _addr = self.listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
+            conn = _Conn(sock)
+            self.conns[conn.fd] = conn
+            conn.events = selectors.EVENT_READ
+            self.sel.register(sock, conn.events, self._make_io_cb(conn))
+
+    def _make_io_cb(self, conn: _Conn):
+        def _cb(key, mask):
+            if mask & selectors.EVENT_WRITE:
+                self._flush(conn)
+            if mask & selectors.EVENT_READ and not conn.closed:
+                self._on_read(conn)
+
+        return _cb
+
+    # ----------------------------------------------------------------- read
+
+    def _on_read(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            # Peer finished sending. Keep the conn up until every admitted
+            # request has replied and the write queue is flushed.
+            conn.eof = True
+            if conn.decoder.pending_bytes:
+                self._close_conn(conn)  # torn mid-frame: nothing to salvage
+            else:
+                self._update_events(conn)
+                self._maybe_retire(conn)
+            return
+        try:
+            conn.decoder.feed(data)
+        except WireError:
+            self._close_conn(conn)
+            return
+        for frame in conn.decoder.frames():
+            self._handle_frame(conn, frame)
+            if conn.closed:
+                return
+
+    # ------------------------------------------------------------ admission
+
+    def _handle_frame(self, conn: _Conn, frame: Frame) -> None:
+        v1_seq = None
+        if frame.request_id is None:
+            v1_seq = conn.v1_reads
+            conn.v1_reads += 1
+        tag, op = peek_request_kind(frame.payload)
+        if op is not None and op.startswith("admin:"):
+            # Control plane: inline on the loop thread, no admission check,
+            # no deadline drop — shutdown/heal must work under overload.
+            parts = self.dispatcher.handle_frame(frame.payload)
+            self._complete(conn, frame, v1_seq, parts)
+            if self.dispatcher.stop.is_set() and not self.draining:
+                self._begin_drain()
+            return
+        server_id = self.dispatcher.server_id
+        if frame.deadline and time.time() > frame.deadline:
+            _DEADLINE_DROPS.inc()
+            err = [encode_error(DeadlineExceeded(server_id), server_id)]
+            self._complete(conn, frame, v1_seq, err)
+            return
+        if self.inflight >= self.queue_depth or self.draining:
+            _SHED.inc()
+            err = [encode_error(ServerBusy(server_id), server_id)]
+            self._complete(conn, frame, v1_seq, err)
+            return
+        _ADMITTED.inc()
+        self.inflight += 1
+        conn.inflight += 1
+        _SERVER_INFLIGHT.set(self.inflight)
+        self.pool.submit(self._work, conn, frame, v1_seq)
+
+    def _work(self, conn: _Conn, frame: Frame, v1_seq) -> None:
+        """Worker-thread body: execute and hand the reply back to the loop."""
+        try:
+            parts = self.dispatcher.handle_frame(frame.payload, deadline=frame.deadline)
+        except Exception as exc:  # handle_frame encodes; this is a belt
+            parts = [
+                encode_error(_as_staging_error(exc), self.dispatcher.server_id)
+            ]
+        with self._done_lock:
+            self._done.append((conn, frame, v1_seq, parts))
+        self._wake()
+
+    def _reap_completions(self) -> None:
+        while True:
+            with self._done_lock:
+                if not self._done:
+                    return
+                conn, frame, v1_seq, parts = self._done.popleft()
+            self.inflight -= 1
+            conn.inflight -= 1
+            _SERVER_INFLIGHT.set(self.inflight)
+            self._complete(conn, frame, v1_seq, parts)
+
+    # ---------------------------------------------------------------- write
+
+    def _complete(self, conn: _Conn, frame: Frame, v1_seq, parts: list) -> None:
+        if conn.closed:
+            return  # client went away; drop the reply
+        if frame.request_id is not None:
+            self._enqueue_reply(conn, frame_header_v2(_total(parts), frame.request_id), parts)
+        else:
+            # v1: replies leave in arrival order; park out-of-order ones.
+            conn.v1_parked[v1_seq] = parts
+            while conn.v1_next_send in conn.v1_parked:
+                ready = conn.v1_parked.pop(conn.v1_next_send)
+                conn.v1_next_send += 1
+                self._enqueue_reply(conn, _V1_HEAD.pack(_total(ready)), ready)
+        self._flush(conn)
+        self._maybe_retire(conn)
+
+    def _enqueue_reply(self, conn: _Conn, head: bytes, parts: list) -> None:
+        conn.out.append(memoryview(head))
+        for part in parts:
+            if len(part):
+                conn.out.append(memoryview(part).cast("B"))
+
+    def _flush(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        q = conn.out
+        while q:
+            vecs = []
+            for mv in q:
+                vecs.append(mv)
+                if len(vecs) >= _SENDMSG_MAX_VECS:
+                    break
+            try:
+                sent = conn.sock.sendmsg(vecs)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            while sent:
+                head = q[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    q.popleft()
+                else:
+                    q[0] = head[sent:]
+                    sent = 0
+        self._update_events(conn)
+
+    def _update_events(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        desired = 0
+        if conn.out:
+            desired |= selectors.EVENT_WRITE
+        if not conn.eof:
+            desired |= selectors.EVENT_READ
+        if desired == conn.events:
+            return
+        # A half-closed conn with in-flight work wants neither event: it
+        # leaves the selector entirely (an EOF socket polls readable forever
+        # — keeping it registered would spin the loop) and re-registers when
+        # a completion queues its reply.
+        if desired == 0:
+            self.sel.unregister(conn.sock)
+        elif conn.events == 0:
+            self.sel.register(conn.sock, desired, self._make_io_cb(conn))
+        else:
+            self.sel.modify(conn.sock, desired, self._make_io_cb(conn))
+        conn.events = desired
+
+    def _maybe_retire(self, conn: _Conn) -> None:
+        if conn.eof and not conn.closed and conn.inflight == 0 and not conn.out:
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        conn.out.clear()
+        self.conns.pop(conn.fd, None)
+        try:
+            self.sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- shutdown
+
+    def _begin_drain(self) -> None:
+        """Stop accepting, let admitted work finish, flush, then exit."""
+        self.draining = True
+        self._drain_deadline = time.time() + _DRAIN_TIMEOUT
+        try:
+            self.sel.unregister(self.listener)
+        except (KeyError, ValueError):
+            pass
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+
+def run_server(server_id: int, port_conn, config: dict | None = None) -> None:
     """Child-process entry: bind, report the port, serve until shutdown.
 
     ``port_conn`` is the parent's end of a ``multiprocessing.Pipe``; the
-    bound port is the only thing ever written to it.
+    bound port is the only thing ever written to it. ``config`` carries the
+    event-loop sizing the parent resolved from its own environment
+    (:func:`server_config`); falling back to reading it here only works for
+    direct callers, not forkserver children (whose environ is the
+    forkserver's snapshot).
     """
+    cfg = dict(server_config())
+    if config:
+        cfg.update(config)
     dispatcher = Dispatcher(server_id)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    with listener:
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind(("127.0.0.1", 0))
-        listener.listen(64)
-        # Wake the accept loop periodically so admin:shutdown is honoured
-        # even with no new connections arriving.
-        listener.settimeout(0.2)
-        port_conn.send(listener.getsockname()[1])
-        port_conn.close()
-        while not dispatcher.stop.is_set():
-            try:
-                conn, _addr = listener.accept()
-            except TimeoutError:
-                continue
-            except OSError:
-                break
-            threading.Thread(
-                target=_serve_connection,
-                args=(dispatcher, conn),
-                daemon=True,
-                name=f"staging-conn-{server_id}",
-            ).start()
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(128)
+    port_conn.send(listener.getsockname()[1])
+    port_conn.close()
+    EventLoopServer(dispatcher, listener, cfg).run()
+
+
+def _total(parts: list) -> int:
+    return sum(len(p) for p in parts)

@@ -28,6 +28,7 @@ from repro.descriptors.odsc import ObjectDescriptor
 from repro.errors import ObjectNotFound, ServerUnavailable, TransientServerError
 from repro.geometry.bbox import BBox
 from repro.geometry.domain import Domain
+from repro.net.mux import deadline_scope
 from repro.net.transport import InprocTransport, Transport, resolve_transport
 from repro.obs import registry as _obs
 from repro.staging.hashing import PlacementMap
@@ -261,10 +262,16 @@ class StagingClient:
         policy = self.group.retry
         health = self.group.health
         deadline = perf_counter() + policy.deadline
+        # The same budget, as a wall-clock instant the wire layer stamps
+        # into every v2 frame header: a request that expires in a remote
+        # server's queue is dropped there (typed DeadlineExceeded, retried
+        # below) instead of executing after the caller stopped waiting.
+        wall_deadline = time.time() + policy.deadline
         attempt = 1
         while True:
             try:
-                result = fn()
+                with deadline_scope(wall_deadline):
+                    result = fn()
             except ServerUnavailable:
                 health.mark_down(server_id)
                 raise

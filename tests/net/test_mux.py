@@ -1,0 +1,427 @@
+"""Multiplexed RPC core: demux correctness, deadlines, admission control.
+
+The marquee property: N concurrent caller threads sharing ONE socket (the
+mux default) each get back exactly the bytes they stored, under random
+payload shapes and thread interleavings, with completions arriving out of
+order (a slow-faulted request must not delay its neighbours). Plus the
+regression matrix for the new typed errors: DeadlineExceeded for requests
+that expire before the server runs them, ServerBusy when the bounded
+in-flight queue sheds, and drain-before-close on ``admin:shutdown``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.descriptors import ObjectDescriptor
+from repro.errors import DeadlineExceeded, ServerBusy, TransientServerError
+from repro.faults import FaultPlan, inject_faults
+from repro.geometry import BBox, Domain
+from repro.net.frames import (
+    Frame,
+    MuxFrameDecoder,
+    frame_header_v2,
+    send_frame,
+)
+from repro.net.mux import current_deadline, deadline_scope
+from repro.staging import StagingClient, StagingGroup
+from repro.staging.resilience import RetryPolicy
+
+from tests.conftest import make_payload
+
+pytestmark = pytest.mark.integration
+
+#: This suite always exercises a *wire* transport (mux lives in the wire
+#: stack); under the CI transport matrix it follows REPRO_TRANSPORT so the
+#: concurrency dimension runs over shm's doorbell connections too.
+WIRE = (
+    "shm"
+    if os.environ.get("REPRO_TRANSPORT", "").strip().lower() == "shm"
+    else "tcp"
+)
+
+DOMAIN = Domain((16, 16, 8))
+FULL = BBox((0, 0, 0), (16, 16, 8))
+
+
+def _counter_value(name: str) -> int:
+    from repro.obs import get_registry
+
+    counter = get_registry().get(name)
+    return 0 if counter is None else counter.value
+
+
+@pytest.fixture(scope="module")
+def mux_group():
+    """One long-lived 2-server TCP group shared by the demux properties —
+    spawning processes per hypothesis example would dominate the runtime."""
+    group = StagingGroup.create(DOMAIN, num_servers=2, transport=WIRE)
+    yield group
+    group.close()
+
+
+def _endpoint(group, sid=0):
+    return group.servers[sid]._endpoint
+
+
+# ---------------------------------------------------------------------------
+# frame-level: the v2 decoder demuxes mixed v1/v2 streams at any split
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.binary(max_size=48),
+            st.one_of(st.none(), st.integers(1, 2**64 - 1)),
+            st.floats(0, 1e9),
+        ),
+        max_size=6,
+    ),
+    st.integers(1, 9),
+)
+def test_mux_decoder_any_split_any_version_mix(frames, chunk):
+    stream = b""
+    for payload, rid, deadline in frames:
+        if rid is None:
+            stream += len(payload).to_bytes(4, "big") + payload
+        else:
+            stream += frame_header_v2(len(payload), rid, deadline) + payload
+    dec = MuxFrameDecoder()
+    for i in range(0, len(stream), chunk):
+        dec.feed(stream[i : i + chunk])
+    got = dec.frames()
+    assert len(got) == len(frames)
+    for out, (payload, rid, deadline) in zip(got, frames):
+        assert isinstance(out, Frame)
+        assert bytes(out.payload) == payload
+        assert out.request_id == rid
+        if rid is not None:
+            assert out.deadline == pytest.approx(deadline)
+        else:
+            assert out.deadline == 0.0
+    dec.close()
+
+
+# ---------------------------------------------------------------------------
+# the marquee property: N callers, one socket, byte-identical demux
+
+
+_example_counter = itertools.count()
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seeds=st.lists(st.integers(0, 2**16), min_size=4, max_size=8))
+def test_concurrent_callers_get_byte_identical_replies(mux_group, seeds):
+    """Each thread writes its own object and reads it back (twice, with a
+    barrier in between to maximise interleaving); every reply must demux to
+    exactly that thread's bytes. Payload sizes differ per thread so
+    completions genuinely reorder on the shared connection."""
+    n = len(seeds)
+    # Fresh names every example: the module-scoped group keeps state, and a
+    # re-put of an old name with different geometry is a VersionConflict.
+    run = next(_example_counter)
+    version = 1
+    barrier = threading.Barrier(n)
+    failures: list = []
+
+    def worker(idx: int, seed: int) -> None:
+        try:
+            name = f"mux-{run}-{idx}"
+            # Distinct extents per thread → distinct payload sizes.
+            hi = 4 + (seed % 12)
+            desc = ObjectDescriptor(name, version, BBox((0, 0, 0), (hi, hi, 8)))
+            payload = make_payload(desc, seed=seed)
+            client = StagingClient(mux_group, client_id=f"t{idx}")
+            barrier.wait(timeout=30)
+            client.put(desc, payload)
+            got = client.get(desc)
+            np.testing.assert_array_equal(got, payload)
+            got2 = client.get(desc)
+            np.testing.assert_array_equal(got2, payload)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            failures.append((idx, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(i, s)) for i, s in enumerate(seeds)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not failures, failures
+    # All of that rode a couple of shared sockets, not a per-thread pool.
+    endpoint = _endpoint(mux_group)
+    assert endpoint._mux
+    assert len(endpoint._mux_conns) <= endpoint._mux_target
+
+
+# ---------------------------------------------------------------------------
+# out-of-order completion: slow fault delays one request, not the connection
+
+
+def test_slow_fault_delays_only_its_own_request():
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        client = StagingClient(group, client_id="w")
+        desc = ObjectDescriptor("shared", 1, DOMAIN.bbox)
+        client.put(desc, make_payload(desc))
+        # Next data op on server 0 sleeps 0.6 s inside the worker pool.
+        inject_faults(group, [FaultPlan(server=0, op=0, kind="slow", latency=0.6)])
+
+        slow_done = threading.Event()
+
+        def slow_reader():
+            StagingClient(group, client_id="slow").get(desc)
+            slow_done.set()
+
+        t = threading.Thread(target=slow_reader)
+        t.start()
+        time.sleep(0.1)  # let the slow get reach the server first
+        t0 = time.perf_counter()
+        got = StagingClient(group, client_id="fast").get(desc)
+        fast_elapsed = time.perf_counter() - t0
+        np.testing.assert_array_equal(got, make_payload(desc))
+        # The fast get overtook the slow one on the same shared connection.
+        assert not slow_done.is_set()
+        assert fast_elapsed < 0.45, f"fast request waited {fast_elapsed:.3f}s"
+        t.join(timeout=30)
+        assert slow_done.is_set()
+    finally:
+        group.close()
+
+
+# ---------------------------------------------------------------------------
+# deadline propagation
+
+
+def test_deadline_scope_nesting_tightens_only():
+    assert current_deadline() == 0.0
+    with deadline_scope(100.0):
+        assert current_deadline() == 100.0
+        with deadline_scope(50.0):
+            assert current_deadline() == 50.0
+            with deadline_scope(200.0):  # may not loosen the outer bound
+                assert current_deadline() == 50.0
+        assert current_deadline() == 100.0
+    assert current_deadline() == 0.0
+
+
+def test_expired_deadline_dropped_server_side_typed():
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        endpoint = _endpoint(group)
+        with deadline_scope(time.time() - 1.0):
+            with pytest.raises(DeadlineExceeded) as err:
+                endpoint.request("blob_keys", ("x", 0))
+        assert isinstance(err.value, TransientServerError)  # retryable path
+        metrics = endpoint.request("admin:metrics", ())
+        assert metrics["net.mux.deadline_drops"]["value"] >= 1
+        # The connection survived the drop and admin ops ignore deadlines.
+        with deadline_scope(time.time() - 1.0):
+            assert group.servers[0].ping()
+    finally:
+        group.close()
+
+
+def test_live_deadline_requests_execute_normally():
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        desc = ObjectDescriptor("d", 1, DOMAIN.bbox)
+        payload = make_payload(desc)
+        client = StagingClient(group, client_id="w")
+        # _server_op stamps its retry budget into every header; nothing
+        # should expire on a healthy fast path.
+        client.put(desc, payload)
+        np.testing.assert_array_equal(client.get(desc), payload)
+        metrics = _endpoint(group).request("admin:metrics", ())
+        assert metrics["net.mux.deadline_drops"]["value"] == 0
+    finally:
+        group.close()
+
+
+# ---------------------------------------------------------------------------
+# admission control
+
+
+def test_queue_full_sheds_with_server_busy(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVER_QUEUE", "1")
+    monkeypatch.setenv("REPRO_SERVER_WORKERS", "1")
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        client = StagingClient(group, client_id="w")
+        desc = ObjectDescriptor("q", 1, DOMAIN.bbox)
+        client.put(desc, make_payload(desc))
+        inject_faults(group, [FaultPlan(server=0, op=0, kind="slow", latency=0.8)])
+        endpoint = _endpoint(group)
+
+        t = threading.Thread(
+            target=lambda: StagingClient(group, client_id="slow").get(desc)
+        )
+        t.start()
+        time.sleep(0.2)  # the slow get now occupies the only admission slot
+        with pytest.raises(ServerBusy) as err:
+            endpoint.request("blob_keys", ("q", 1))
+        assert isinstance(err.value, TransientServerError)
+        t.join(timeout=30)
+        metrics = endpoint.request("admin:metrics", ())
+        assert metrics["net.mux.shed"]["value"] >= 1
+        assert metrics["net.mux.queue_depth"]["value"] == 1
+    finally:
+        group.close()
+
+
+def test_shed_requests_are_retried_transparently_by_client(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVER_QUEUE", "1")
+    monkeypatch.setenv("REPRO_SERVER_WORKERS", "1")
+    # Enough retry budget to outlast the 0.4 s busy window (the default
+    # policy's total backoff is tens of milliseconds — tuned for transient
+    # blips, not a saturated queue).
+    retry = RetryPolicy(max_attempts=30, base_backoff=0.05, max_backoff=0.1)
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE, retry=retry)
+    try:
+        client = StagingClient(group, client_id="w")
+        desc = ObjectDescriptor("r", 1, DOMAIN.bbox)
+        client.put(desc, make_payload(desc))
+        inject_faults(group, [FaultPlan(server=0, op=0, kind="slow", latency=0.4)])
+
+        t = threading.Thread(
+            target=lambda: StagingClient(group, client_id="slow").get(desc)
+        )
+        t.start()
+        time.sleep(0.1)
+        # ServerBusy is TransientServerError: _server_op backs off and
+        # retries until the worker frees up — the caller never sees the shed.
+        got = StagingClient(group, client_id="fast").get(desc)
+        np.testing.assert_array_equal(got, make_payload(desc))
+        t.join(timeout=30)
+        metrics = _endpoint(group).request("admin:metrics", ())
+        assert metrics["net.mux.shed"]["value"] >= 1
+    finally:
+        group.close()
+
+
+# ---------------------------------------------------------------------------
+# clean shutdown drains in-flight work
+
+
+def test_shutdown_drains_inflight_requests():
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    client = StagingClient(group, client_id="w")
+    desc = ObjectDescriptor("drain", 1, DOMAIN.bbox)
+    payload = make_payload(desc)
+    client.put(desc, payload)
+    inject_faults(group, [FaultPlan(server=0, op=0, kind="slow", latency=0.5)])
+
+    result: dict = {}
+
+    def slow_reader():
+        try:
+            result["value"] = StagingClient(group, client_id="slow").get(desc)
+        except Exception as exc:  # noqa: BLE001 - asserted below
+            result["error"] = exc
+
+    t = threading.Thread(target=slow_reader)
+    t.start()
+    time.sleep(0.15)  # the get is admitted and sleeping in a worker
+    group.close()  # admin:shutdown → drain → exit
+    t.join(timeout=30)
+    assert "error" not in result, f"in-flight get failed: {result.get('error')!r}"
+    np.testing.assert_array_equal(result["value"], payload)
+
+
+# ---------------------------------------------------------------------------
+# v1 fallback and pool cap
+
+
+def test_v1_pooled_fallback_and_idle_cap(monkeypatch):
+    monkeypatch.setenv("REPRO_MUX", "0")
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        endpoint = _endpoint(group)
+        assert not endpoint._mux
+        desc = ObjectDescriptor("v1", 1, DOMAIN.bbox)
+        payload = make_payload(desc)
+        client = StagingClient(group, client_id="w")
+        client.put(desc, payload)
+        np.testing.assert_array_equal(client.get(desc), payload)
+
+        from repro.net.tcp import POOL_MAX_IDLE
+
+        # Return far more sockets than the cap retains.
+        borrowed = [endpoint._borrow() for _ in range(POOL_MAX_IDLE + 4)]
+        for sock in borrowed:
+            endpoint._give_back(sock)
+        assert len(endpoint._idle) == POOL_MAX_IDLE
+    finally:
+        group.close()
+
+
+def test_v1_pool_cap_serializes_on_one_socket(monkeypatch):
+    """REPRO_TCP_POOL_CAP=1 bounds the lockstep path to one data socket:
+    concurrent callers serialize on it and still all succeed."""
+    monkeypatch.setenv("REPRO_MUX", "0")
+    monkeypatch.setenv("REPRO_TCP_POOL_CAP", "1")
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        desc = ObjectDescriptor("capped", 1, DOMAIN.bbox)
+        payload = make_payload(desc)
+        StagingClient(group, client_id="seed").put(desc, payload)
+        before = _counter_value("net.tcp.connects")
+
+        errors: list = []
+
+        def worker(idx: int) -> None:
+            try:
+                client = StagingClient(group, client_id=f"cap-{idx}")
+                for _ in range(5):
+                    np.testing.assert_array_equal(client.get(desc), payload)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # The seed put already dialed the one allowed socket; the four
+        # concurrent workers reuse it rather than dialing their own.
+        assert _counter_value("net.tcp.connects") - before == 0
+    finally:
+        group.close()
+
+
+def test_v1_client_against_v2_server_lockstep(monkeypatch):
+    """A pure-v1 client (no mux, no ids) still round-trips against the
+    event-loop server — replies come back in arrival order."""
+    monkeypatch.setenv("REPRO_MUX", "0")
+    group = StagingGroup.create(DOMAIN, num_servers=1, transport=WIRE)
+    try:
+        endpoint = _endpoint(group)
+        sock = endpoint._borrow()
+        try:
+            from repro.net.frames import recv_frame
+            from repro.net.protocol import decode_message, encode_request
+
+            for _ in range(3):
+                send_frame(sock, encode_request("admin:ping", ()))
+            for _ in range(3):
+                msg = decode_message(recv_frame(sock))
+                assert msg == ("ok", "pong")
+        finally:
+            sock.close()
+    finally:
+        group.close()
